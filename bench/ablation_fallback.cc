@@ -1,0 +1,37 @@
+// Ablation (§3.1 "How aggressively should we replicate?"): fallback site
+// search — give-up vs explicit multi-attempt vs the power-2 ladder — in the
+// replica-accumulating §5.1 configuration where site conflicts actually
+// occur.
+#include "bench/common/bench_common.h"
+
+using namespace icr;
+
+int main() {
+  core::ReplicationConfig power2;
+  power2.fallback = core::FallbackStrategy::kPower2;
+  power2.max_attempts = 4;
+
+  const core::Scheme base =
+      core::Scheme::IcrPPS_S().with_leave_replicas(true);
+  const std::vector<sim::SchemeVariant> variants = {
+      {"give-up", base.with_replication(bench::single_attempt())},
+      {"multi(N/2,N/4)", base.with_replication(bench::multi_attempt())},
+      {"power-2(x4)", base.with_replication(power2)},
+  };
+
+  bench::run_and_print(
+      "Ablation B", "Fallback strategy vs replication ability "
+                    "(ICR-P-PS(S), replicas left resident)",
+      variants,
+      [](const sim::RunResult& r) { return r.dl1.replication_ability(); },
+      "replication ability");
+
+  bench::run_and_print(
+      "Ablation B", "Fallback strategy vs loads-with-replica",
+      variants,
+      [](const sim::RunResult& r) {
+        return r.dl1.loads_with_replica_fraction();
+      },
+      "loads with replica");
+  return 0;
+}

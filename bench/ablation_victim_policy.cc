@@ -1,0 +1,37 @@
+// Ablation (§3.1 "How do we place a replica in a set?"): the four replica
+// victim policies under a 1000-cycle decay window. dead-only biases
+// reliability (never sacrifices a replica), replica-first biases
+// performance; dead-first is the paper's §5.2+ compromise.
+#include "bench/common/bench_common.h"
+
+using namespace icr;
+
+int main() {
+  auto with_policy = [](core::ReplicaVictimPolicy p) {
+    return core::Scheme::IcrPPS_S().with_decay_window(1000).with_victim_policy(
+        p);
+  };
+  const std::vector<sim::SchemeVariant> variants = {
+      {"dead-only", with_policy(core::ReplicaVictimPolicy::kDeadOnly)},
+      {"dead-first", with_policy(core::ReplicaVictimPolicy::kDeadFirst)},
+      {"replica-first", with_policy(core::ReplicaVictimPolicy::kReplicaFirst)},
+      {"replica-only", with_policy(core::ReplicaVictimPolicy::kReplicaOnly)},
+  };
+
+  bench::run_and_print(
+      "Ablation A", "Replica victim policy vs loads-with-replica "
+                    "(ICR-P-PS(S), window 1000)",
+      variants,
+      [](const sim::RunResult& r) {
+        return r.dl1.loads_with_replica_fraction();
+      },
+      "loads with replica");
+
+  bench::run_and_print(
+      "Ablation A", "Replica victim policy vs dL1 miss rate "
+                    "(ICR-P-PS(S), window 1000)",
+      variants,
+      [](const sim::RunResult& r) { return r.dl1.miss_rate(); },
+      "dL1 miss rate", 4);
+  return 0;
+}

@@ -1,0 +1,94 @@
+#include "bench/common/bench_common.h"
+
+#include <cstdio>
+
+namespace icr::bench {
+
+void print_header(const std::string& figure, const std::string& description) {
+  std::printf("\n################################################################\n");
+  std::printf("# %s\n", figure.c_str());
+  std::printf("# %s\n", description.c_str());
+  std::printf("# instructions/point: %llu (override: ICR_SIM_INSTRUCTIONS)\n",
+              static_cast<unsigned long long>(
+                  sim::default_instruction_count()));
+  std::printf("################################################################\n");
+}
+
+namespace {
+
+void print_matrix(const std::string& figure,
+                  const std::vector<sim::SchemeVariant>& variants,
+                  const std::vector<std::vector<sim::RunResult>>& matrix,
+                  const std::function<double(const sim::RunResult&)>& metric,
+                  const std::string& metric_name, int precision,
+                  bool normalized) {
+  const auto apps = trace::all_apps();
+  std::vector<std::string> columns = {"benchmark"};
+  for (const auto& v : variants) columns.push_back(v.label);
+  TextTable table(figure + " — " + metric_name, std::move(columns));
+
+  std::vector<double> sums(variants.size(), 0.0);
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    std::vector<double> row;
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      double value = metric(matrix[v][a]);
+      if (normalized) {
+        const double base = metric(matrix[0][a]);
+        value = base == 0.0 ? 0.0 : value / base;
+      }
+      sums[v] += value;
+      row.push_back(value);
+    }
+    table.add_numeric_row(trace::to_string(apps[a]), row, precision);
+  }
+  std::vector<double> avg;
+  for (double s : sums) avg.push_back(s / static_cast<double>(apps.size()));
+  table.add_numeric_row("average", avg, precision);
+  table.print();
+}
+
+}  // namespace
+
+void run_and_print(
+    const std::string& figure, const std::string& description,
+    const std::vector<sim::SchemeVariant>& variants,
+    const std::function<double(const sim::RunResult&)>& metric,
+    const std::string& metric_name, int precision,
+    const sim::SimConfig& config) {
+  print_header(figure, description);
+  const auto matrix = sim::run_matrix(variants, trace::all_apps(), config);
+  print_matrix(figure, variants, matrix, metric, metric_name, precision,
+               /*normalized=*/false);
+}
+
+void run_and_print_normalized(
+    const std::string& figure, const std::string& description,
+    const std::vector<sim::SchemeVariant>& variants,
+    const std::function<double(const sim::RunResult&)>& metric,
+    const std::string& metric_name, const sim::SimConfig& config) {
+  print_header(figure, description);
+  const auto matrix = sim::run_matrix(variants, trace::all_apps(), config);
+  print_matrix(figure, variants, matrix, metric,
+               metric_name + " (normalized to " + variants[0].label + ")", 3,
+               /*normalized=*/true);
+}
+
+core::ReplicationConfig single_attempt() {
+  core::ReplicationConfig rep;  // defaults: 1 replica @ N/2, no fallback
+  return rep;
+}
+
+core::ReplicationConfig multi_attempt() {
+  core::ReplicationConfig rep;
+  rep.fallback = core::FallbackStrategy::kMultiAttempt;
+  rep.extra_attempts = {core::Distance::quarter()};
+  return rep;
+}
+
+core::ReplicationConfig two_replicas() {
+  core::ReplicationConfig rep = multi_attempt();
+  rep.num_replicas = 2;
+  return rep;
+}
+
+}  // namespace icr::bench

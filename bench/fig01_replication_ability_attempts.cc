@@ -1,0 +1,27 @@
+// Fig. 1: replication ability for single-attempt (Distance-N/2) vs
+// multiple-attempt (Distance-N/2 then N/4) site search, ICR-P-PS(S) with
+// aggressive dead-block prediction and dead-only victim selection.
+// Expected shape: multi-attempt >= single-attempt for every benchmark.
+//
+// Replicas are left resident when their primary is evicted here: the paper
+// introduces replica-with-primary eviction only for the §5.2 results ("In
+// these results, when the primary copy is evicted..."), so the §5.1
+// experiments accumulate replicas — which is what crowds the dead-only
+// victim sites and makes the fallback attempt matter.
+#include "bench/common/bench_common.h"
+
+using namespace icr;
+
+int main() {
+  const core::Scheme base =
+      core::Scheme::IcrPPS_S().with_leave_replicas(true);
+  bench::run_and_print(
+      "Fig. 1", "Replication ability, single vs multiple attempts, ICR-P-PS(S)",
+      {
+          {"single(N/2)", base.with_replication(bench::single_attempt())},
+          {"multi(N/2,N/4)", base.with_replication(bench::multi_attempt())},
+      },
+      [](const sim::RunResult& r) { return r.dl1.replication_ability(); },
+      "replication ability");
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Fig. 2: loads with replica for single vs multiple replication attempts,
+// ICR-P-PS(S). Expected shape: negligible improvement from multi-attempt —
+// the hot lines that matter were replicated even with a single attempt.
+#include "bench/common/bench_common.h"
+
+using namespace icr;
+
+int main() {
+  // Same §5.1 setting as Fig. 1 (see fig01 for the leave-replicas note).
+  const core::Scheme base =
+      core::Scheme::IcrPPS_S().with_leave_replicas(true);
+  bench::run_and_print(
+      "Fig. 2", "Loads with replica, single vs multiple attempts, ICR-P-PS(S)",
+      {
+          {"single(N/2)", base.with_replication(bench::single_attempt())},
+          {"multi(N/2,N/4)", base.with_replication(bench::multi_attempt())},
+      },
+      [](const sim::RunResult& r) {
+        return r.dl1.loads_with_replica_fraction();
+      },
+      "loads with replica (fraction of read hits)");
+  return 0;
+}

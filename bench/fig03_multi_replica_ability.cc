@@ -1,0 +1,40 @@
+// Fig. 3: replication ability when trying to create one vs two replicas,
+// ICR-P-PS(S). Columns: the single-replica ability, the fraction of
+// opportunities ending with >=1 replica, and with >=2 replicas (i.e. three
+// copies resident — paper: ~12% of the time on average).
+#include "bench/common/bench_common.h"
+
+using namespace icr;
+
+int main() {
+  const core::Scheme base = core::Scheme::IcrPPS_S();
+  const core::Scheme one = base.with_replication(bench::single_attempt());
+  const core::Scheme two = base.with_replication(bench::two_replicas());
+
+  bench::print_header(
+      "Fig. 3",
+      "Replication ability, one vs two replicas, ICR-P-PS(S); replica 1 at "
+      "Distance-N/2, replica 2 at Distance-N/4");
+
+  const auto apps = trace::all_apps();
+  const auto m =
+      sim::run_matrix({{"one", one}, {"two", two}}, apps);
+
+  TextTable t("Fig. 3 — multi-replica ability",
+              {"benchmark", "1-replica ability", "created >=1 (2-cfg)",
+               "created 2 (2-cfg)"});
+  double s1 = 0, s2 = 0, s3 = 0;
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    const double v1 = m[0][a].dl1.replication_ability();
+    const double v2 = m[1][a].dl1.multi_replica_fraction(false);
+    const double v3 = m[1][a].dl1.multi_replica_fraction(true);
+    s1 += v1;
+    s2 += v2;
+    s3 += v3;
+    t.add_numeric_row(trace::to_string(apps[a]), {v1, v2, v3});
+  }
+  const double n = static_cast<double>(apps.size());
+  t.add_numeric_row("average", {s1 / n, s2 / n, s3 / n});
+  t.print();
+  return 0;
+}

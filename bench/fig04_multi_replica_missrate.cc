@@ -1,0 +1,19 @@
+// Fig. 4: dL1 miss rates when creating one vs two replicas, ICR-P-PS(S).
+// Expected shape: two replicas evict more useful blocks and worsen miss
+// rates; mesa suffers most (its working set barely fits the cache).
+#include "bench/common/bench_common.h"
+
+using namespace icr;
+
+int main() {
+  const core::Scheme base = core::Scheme::IcrPPS_S();
+  bench::run_and_print(
+      "Fig. 4", "dL1 miss rate, one vs two replicas, ICR-P-PS(S)",
+      {
+          {"one replica", base.with_replication(bench::single_attempt())},
+          {"two replicas", base.with_replication(bench::two_replicas())},
+      },
+      [](const sim::RunResult& r) { return r.dl1.miss_rate(); },
+      "dL1 miss rate", 4);
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Fig. 5: loads with replica under vertical (Distance-N/2, across sets) vs
+// horizontal (Distance-0, within the set) replication, ICR-P-PS(S).
+// Expected shape: little difference — live/dead lines are evenly balanced
+// across sets. A Distance-7 column (the paper's prime-distance experiment,
+// §5.1) is included as well.
+#include "bench/common/bench_common.h"
+
+using namespace icr;
+
+int main() {
+  const core::Scheme base = core::Scheme::IcrPPS_S();
+  core::ReplicationConfig vertical;  // N/2
+  core::ReplicationConfig horizontal;
+  horizontal.first_distance = core::Distance::zero();
+  core::ReplicationConfig prime;
+  prime.first_distance = core::Distance::absolute(7);
+
+  bench::run_and_print(
+      "Fig. 5",
+      "Loads with replica: vertical (N/2) vs horizontal (0) vs Distance-7, "
+      "ICR-P-PS(S)",
+      {
+          {"vertical(N/2)", base.with_replication(vertical)},
+          {"horizontal(0)", base.with_replication(horizontal)},
+          {"distance-7", base.with_replication(prime)},
+      },
+      [](const sim::RunResult& r) {
+        return r.dl1.loads_with_replica_fraction();
+      },
+      "loads with replica (fraction of read hits)");
+  return 0;
+}

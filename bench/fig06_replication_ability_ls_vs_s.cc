@@ -1,0 +1,21 @@
+// Fig. 6: replication ability for ICR-*(LS) vs ICR-*(S) (aggressive dead
+// block prediction). Expected shape: LS replicates more data than S, since
+// every load-miss fill is an extra opportunity. The protection flavour
+// (P/ECC) does not alter replication behaviour, so P and ECC columns match.
+#include "bench/common/bench_common.h"
+
+using namespace icr;
+
+int main() {
+  bench::run_and_print(
+      "Fig. 6", "Replication ability, ICR-*(LS) vs ICR-*(S)",
+      {
+          {"ICR-P(S)", core::Scheme::IcrPPS_S()},
+          {"ICR-P(LS)", core::Scheme::IcrPPS_LS()},
+          {"ICR-ECC(S)", core::Scheme::IcrEccPS_S()},
+          {"ICR-ECC(LS)", core::Scheme::IcrEccPS_LS()},
+      },
+      [](const sim::RunResult& r) { return r.dl1.replication_ability(); },
+      "replication ability");
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Fig. 7: loads with replica for ICR-*(LS) vs ICR-*(S). Expected shape
+// (paper §5.2): over 65% of read hits find a replica with S, over 90% with
+// LS — mcf approaching complete duplication.
+#include "bench/common/bench_common.h"
+
+using namespace icr;
+
+int main() {
+  bench::run_and_print(
+      "Fig. 7", "Loads with replica, ICR-*(LS) vs ICR-*(S)",
+      {
+          {"ICR-*(S)", core::Scheme::IcrPPS_S()},
+          {"ICR-*(LS)", core::Scheme::IcrPPS_LS()},
+      },
+      [](const sim::RunResult& r) {
+        return r.dl1.loads_with_replica_fraction();
+      },
+      "loads with replica (fraction of read hits)");
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Fig. 8: dL1 miss rates for Base*, ICR-*(LS) and ICR-*(S). Expected shape:
+// both ICR triggers raise the miss rate over the base cache (replicas
+// displace blocks); LS more than S; mcf barely moves (its locality is so
+// poor that displaced blocks were useless anyway).
+#include "bench/common/bench_common.h"
+
+using namespace icr;
+
+int main() {
+  bench::run_and_print(
+      "Fig. 8", "dL1 miss rates: Base*, ICR-*(LS), ICR-*(S)",
+      {
+          {"Base*", core::Scheme::BaseP()},
+          {"ICR-*(LS)", core::Scheme::IcrPPS_LS()},
+          {"ICR-*(S)", core::Scheme::IcrPPS_S()},
+      },
+      [](const sim::RunResult& r) { return r.dl1.miss_rate(); },
+      "dL1 miss rate", 4);
+  return 0;
+}

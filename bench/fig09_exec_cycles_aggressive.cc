@@ -1,0 +1,24 @@
+// Fig. 9: normalized execution cycles for all ten schemes (aggressive dead
+// block prediction, dead-only victims, replicas evicted with the primary).
+// Expected shape (paper §5.2): BaseECC ~30% over BaseP; every ICR-*-PP
+// scheme comparable to BaseECC (2-cycle hits dominate); ICR-P-PS(S) only a
+// few percent over BaseP; ICR-ECC-PS(S) between, clearly better than
+// BaseECC.
+#include "bench/common/bench_common.h"
+
+using namespace icr;
+
+int main() {
+  std::vector<sim::SchemeVariant> variants;
+  for (const core::Scheme& s : core::Scheme::all_paper_schemes()) {
+    variants.push_back({s.name, s});
+  }
+  bench::run_and_print_normalized(
+      "Fig. 9",
+      "Normalized execution cycles, all 10 schemes, aggressive dead-block "
+      "prediction",
+      variants,
+      [](const sim::RunResult& r) { return static_cast<double>(r.cycles); },
+      "execution cycles");
+  return 0;
+}

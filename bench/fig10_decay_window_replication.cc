@@ -1,0 +1,30 @@
+// Fig. 10: replication ability and loads-with-replica vs decay window size
+// (vpr, ICR-P-PS(S), dead-first). Expected shape: ability falls as the
+// window grows (fewer dead candidates), but loads-with-replica barely moves
+// — the few hot replicas that matter are created regardless.
+#include "bench/common/bench_common.h"
+
+using namespace icr;
+
+int main() {
+  bench::print_header(
+      "Fig. 10",
+      "Replication ability & loads with replica vs decay window (vpr), "
+      "ICR-P-PS(S), dead-first victims");
+
+  const std::uint64_t windows[] = {0, 500, 1000, 5000, 10000, 100000};
+  TextTable t("Fig. 10 — vpr decay-window sweep",
+              {"decay window", "replication ability", "loads with replica"});
+  for (const std::uint64_t w : windows) {
+    const core::Scheme scheme =
+        core::Scheme::IcrPPS_S()
+            .with_decay_window(w)
+            .with_victim_policy(core::ReplicaVictimPolicy::kDeadFirst);
+    const sim::RunResult r = sim::run_one(trace::App::kVpr, scheme);
+    t.add_numeric_row(std::to_string(w),
+                      {r.dl1.replication_ability(),
+                       r.dl1.loads_with_replica_fraction()});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Fig. 11: normalized execution cycles vs decay window size (vpr) for
+// ICR-P-PS(S) and ICR-ECC-PS(S), normalized to BaseP. Expected shape: both
+// schemes improve as the window grows (fewer useful blocks displaced); the
+// paper reads <4% over BaseP at a 1000-cycle window for ICR-P-PS(S) and
+// ~1.7% at 10000 cycles.
+#include "bench/common/bench_common.h"
+
+using namespace icr;
+
+int main() {
+  bench::print_header(
+      "Fig. 11",
+      "Normalized execution cycles vs decay window (vpr), dead-first");
+
+  const sim::RunResult base = sim::run_one(trace::App::kVpr,
+                                           core::Scheme::BaseP());
+  const std::uint64_t windows[] = {0, 500, 1000, 5000, 10000, 100000};
+  TextTable t("Fig. 11 — vpr, cycles normalized to BaseP",
+              {"decay window", "ICR-P-PS(S)", "ICR-ECC-PS(S)"});
+  for (const std::uint64_t w : windows) {
+    const auto p = sim::run_one(
+        trace::App::kVpr,
+        core::Scheme::IcrPPS_S().with_decay_window(w).with_victim_policy(
+            core::ReplicaVictimPolicy::kDeadFirst));
+    const auto e = sim::run_one(
+        trace::App::kVpr,
+        core::Scheme::IcrEccPS_S().with_decay_window(w).with_victim_policy(
+            core::ReplicaVictimPolicy::kDeadFirst));
+    t.add_numeric_row(std::to_string(w), {sim::normalized_cycles(p, base),
+                                          sim::normalized_cycles(e, base)});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Fig. 15: normalized execution cycles when replicas are LEFT in the dL1 on
+// primary eviction and can service later primary misses at +1 cycle
+// (§5.6). Expected shape: ICR-P-PS(S) and ICR-ECC-PS(S) match BaseP nearly
+// everywhere and beat it on mcf/vpr (and to a smaller extent gcc, gzip,
+// vortex) — replication now *improves* performance.
+#include "bench/common/bench_common.h"
+
+using namespace icr;
+
+int main() {
+  auto perf = [](core::Scheme s) {
+    return s.with_decay_window(1000)
+        .with_victim_policy(core::ReplicaVictimPolicy::kDeadFirst)
+        .with_leave_replicas(true);
+  };
+  bench::run_and_print_normalized(
+      "Fig. 15",
+      "Normalized execution cycles with replicas left in dL1 on primary "
+      "eviction (ICR-*-PS(S), window 1000, dead-first)",
+      {
+          {"BaseP", core::Scheme::BaseP()},
+          {"BaseECC", core::Scheme::BaseECC()},
+          {"ICR-P-PS(S)+leave", perf(core::Scheme::IcrPPS_S())},
+          {"ICR-ECC-PS(S)+leave", perf(core::Scheme::IcrEccPS_S())},
+      },
+      [](const sim::RunResult& r) { return static_cast<double>(r.cycles); },
+      "execution cycles");
+  return 0;
+}

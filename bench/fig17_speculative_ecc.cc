@@ -1,0 +1,61 @@
+// Fig. 17: BaseECC with speculative 1-cycle loads (background ECC checks)
+// normalized to the performance-optimized ICR-P-PS(S) (replicas left in
+// place).
+//   (a) execution cycles — paper: speculative BaseECC still ~2.5% slower on
+//       average, ~31% on mcf;
+//   (b) L1+L2 energy at parity:ECC = 15%:30% of an L1 access — roughly even;
+//   (c) L1+L2 energy at parity:ECC = 10%:30% — speculative BaseECC ~3%
+//       more expensive.
+#include "bench/common/bench_common.h"
+
+using namespace icr;
+
+int main() {
+  const core::Scheme icr_perf =
+      core::Scheme::IcrPPS_S()
+          .with_decay_window(1000)
+          .with_victim_policy(core::ReplicaVictimPolicy::kDeadFirst)
+          .with_leave_replicas(true);
+  const core::Scheme spec_ecc = core::Scheme::BaseECCSpeculative();
+
+  bench::print_header(
+      "Fig. 17",
+      "Speculative-load BaseECC normalized to performance-optimized "
+      "ICR-P-PS(S) (replicas left in place)");
+
+  const auto apps = trace::all_apps();
+
+  auto energy_with = [&](const sim::RunResult& r, double parity_frac,
+                         double ecc_frac) {
+    energy::EnergyParams params;
+    params.parity_fraction = parity_frac;
+    params.ecc_fraction = ecc_frac;
+    return energy::EnergyModel(params).evaluate(r.energy_events).total_nj();
+  };
+
+  const auto m = sim::run_matrix(
+      {{"ICR-P-PS(S) perf", icr_perf}, {"BaseECC spec", spec_ecc}}, apps);
+
+  TextTable t("Fig. 17 — BaseECC(speculative) / ICR-P-PS(S)(perf)",
+              {"benchmark", "(a) norm. cycles", "(b) energy 15:30",
+               "(c) energy 10:30"});
+  double sa = 0, sb = 0, sc = 0;
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    const double cyc = sim::normalized_cycles(m[1][a], m[0][a]);
+    const double e_b = energy_with(m[1][a], 0.15, 0.30) /
+                       energy_with(m[0][a], 0.15, 0.30);
+    const double e_c = energy_with(m[1][a], 0.10, 0.30) /
+                       energy_with(m[0][a], 0.10, 0.30);
+    sa += cyc;
+    sb += e_b;
+    sc += e_c;
+    t.add_numeric_row(trace::to_string(apps[a]), {cyc, e_b, e_c});
+  }
+  const double n = static_cast<double>(apps.size());
+  t.add_numeric_row("average", {sa / n, sb / n, sc / n});
+  t.print();
+
+  std::printf("\nValues > 1 mean speculative BaseECC is slower / burns more "
+              "energy than performance-optimized ICR-P-PS(S).\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Engineering micro-benchmarks (google-benchmark) for the hot primitives:
+// parity, SEC-DED encode/decode, dL1 access paths, dead-block evaluation,
+// and trace generation throughput. Not a paper figure — a regression
+// baseline for the simulator itself.
+#include <benchmark/benchmark.h>
+
+#include "src/coding/parity.h"
+#include "src/coding/secded.h"
+#include "src/core/icr_cache.h"
+#include "src/core/scheme.h"
+#include "src/cpu/pipeline.h"
+#include "src/mem/memory_hierarchy.h"
+#include "src/trace/workloads.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace icr;
+
+void BM_ByteParity(benchmark::State& state) {
+  Rng rng(1);
+  std::uint64_t word = rng.next_u64();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(byte_parity(word));
+    word += 0x9E3779B97F4A7C15ULL;
+  }
+}
+BENCHMARK(BM_ByteParity);
+
+void BM_SecDedEncode(benchmark::State& state) {
+  Rng rng(2);
+  std::uint64_t word = rng.next_u64();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(secded_encode(word));
+    word += 0x9E3779B97F4A7C15ULL;
+  }
+}
+BENCHMARK(BM_SecDedEncode);
+
+void BM_SecDedDecodeClean(benchmark::State& state) {
+  const std::uint64_t word = 0xDEADBEEFCAFEF00DULL;
+  const std::uint8_t check = secded_encode(word);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(secded_decode(word, check));
+  }
+}
+BENCHMARK(BM_SecDedDecodeClean);
+
+void BM_SecDedDecodeCorrect(benchmark::State& state) {
+  const std::uint64_t word = 0xDEADBEEFCAFEF00DULL;
+  const std::uint8_t check = secded_encode(word);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(secded_decode(word ^ 0x10, check));
+  }
+}
+BENCHMARK(BM_SecDedDecodeCorrect);
+
+void BM_DL1LoadHit(benchmark::State& state) {
+  mem::MemoryHierarchy hierarchy;
+  core::IcrCache dl1(mem::l1d_geometry_default(), core::Scheme::IcrPPS_S(),
+                     hierarchy);
+  dl1.store(0x1000, 1, 0);
+  std::uint64_t cycle = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dl1.load(0x1000, cycle++));
+  }
+}
+BENCHMARK(BM_DL1LoadHit);
+
+void BM_DL1StoreWithReplicaUpdate(benchmark::State& state) {
+  mem::MemoryHierarchy hierarchy;
+  core::IcrCache dl1(mem::l1d_geometry_default(), core::Scheme::IcrPPS_S(),
+                     hierarchy);
+  std::uint64_t cycle = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dl1.store(0x1000, cycle, cycle));
+    ++cycle;
+  }
+}
+BENCHMARK(BM_DL1StoreWithReplicaUpdate);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  trace::SyntheticWorkload w(trace::profile_for(trace::App::kGcc));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.next());
+  }
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_EndToEndSimulatedInstruction(benchmark::State& state) {
+  // Amortized cost of one simulated instruction through the full stack.
+  mem::MemoryHierarchy hierarchy;
+  core::IcrCache dl1(mem::l1d_geometry_default(), core::Scheme::IcrPPS_S(),
+                     hierarchy);
+  trace::SyntheticWorkload w(trace::profile_for(trace::App::kVpr));
+  cpu::Pipeline pipe(cpu::PipelineConfig{}, w, dl1, hierarchy);
+  std::uint64_t done = 0;
+  for (auto _ : state) {
+    pipe.run(1000);
+    done += 1000;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(done));
+}
+BENCHMARK(BM_EndToEndSimulatedInstruction)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Table 1: configuration parameters of the simulated superscalar system.
+// Prints the configuration actually instantiated by SimConfig::table1() and
+// cross-checks the live objects, so this bench fails loudly if the code
+// ever drifts from the paper's parameters.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/common/bench_common.h"
+#include "src/util/table.h"
+
+using namespace icr;
+
+namespace {
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "Table 1 mismatch: %s\n", what);
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const sim::SimConfig cfg = sim::SimConfig::table1();
+
+  TextTable t("Table 1 — base configuration (paper values)",
+              {"parameter", "value"});
+  t.add_row({"Functional units", "4 int ALU, 1 int mul/div, 4 FP ALU, 1 FP mul/div"});
+  t.add_row({"LSQ size", std::to_string(cfg.pipeline.lsq_size) + " instructions"});
+  t.add_row({"RUU size", std::to_string(cfg.pipeline.ruu_size) + " instructions"});
+  t.add_row({"Issue width", std::to_string(cfg.pipeline.issue_width) + " instructions/cycle"});
+  t.add_row({"L1 instruction cache", "16KB, 1-way, 32B blocks, 1 cycle"});
+  t.add_row({"L1 data cache", "16KB, 4-way, 64B blocks, 1 cycle"});
+  t.add_row({"L2 (unified)", "256KB, 4-way, 64B blocks, 6 cycles"});
+  t.add_row({"Memory", std::to_string(cfg.hierarchy.memory_latency) + " cycle latency"});
+  t.add_row({"Branch predictor", "combined: 2K bimodal + 1K two-level (8-bit hist) + meta"});
+  t.add_row({"BTB", "512 entries, 4-way"});
+  t.add_row({"Misprediction penalty", std::to_string(cfg.pipeline.mispredict_penalty) + " cycles"});
+  t.add_row({"Write policy", "write-back (all caches)"});
+  t.print();
+
+  // Cross-check the instantiated objects against the paper.
+  check(cfg.pipeline.issue_width == 4, "issue width");
+  check(cfg.pipeline.ruu_size == 16, "RUU size");
+  check(cfg.pipeline.lsq_size == 8, "LSQ size");
+  check(cfg.pipeline.mispredict_penalty == 3, "misprediction penalty");
+  check(cfg.pipeline.fus.int_alu == 4 && cfg.pipeline.fus.int_muldiv == 1 &&
+            cfg.pipeline.fus.fp_alu == 4 && cfg.pipeline.fus.fp_muldiv == 1,
+        "functional units");
+  check(cfg.dl1.size_bytes == 16 * 1024 && cfg.dl1.associativity == 4 &&
+            cfg.dl1.line_bytes == 64,
+        "dL1 geometry");
+  check(cfg.hierarchy.l1i.size_bytes == 16 * 1024 &&
+            cfg.hierarchy.l1i.associativity == 1 &&
+            cfg.hierarchy.l1i.line_bytes == 32,
+        "L1I geometry");
+  check(cfg.hierarchy.l2.size_bytes == 256 * 1024 &&
+            cfg.hierarchy.l2.associativity == 4 &&
+            cfg.hierarchy.l2.line_bytes == 64,
+        "L2 geometry");
+  check(cfg.hierarchy.l2_latency == 6 && cfg.hierarchy.memory_latency == 100 &&
+            cfg.hierarchy.l1i_latency == 1,
+        "latencies");
+  check(cfg.pipeline.branch.bimodal_entries == 2048 &&
+            cfg.pipeline.branch.two_level_entries == 1024 &&
+            cfg.pipeline.branch.history_bits == 8 &&
+            cfg.pipeline.branch.btb_entries == 512 &&
+            cfg.pipeline.branch.btb_ways == 4,
+        "branch predictor");
+  std::printf("\nAll Table-1 parameters verified against the instantiated "
+              "configuration.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Custom workload: shows how a downstream user plugs their own memory
+// behaviour into the library — build a WorkloadProfile from scratch (or
+// implement trace::TraceSource directly) and evaluate ICR on it.
+//
+// The example models a small in-memory key-value store: a very hot index
+// (Zipf), a large value heap (pointer chase), and an append log
+// (sequential), with a high store fraction.
+#include <cstdio>
+
+#include "src/sim/simulator.h"
+#include "src/util/table.h"
+
+using namespace icr;
+
+int main() {
+  trace::WorkloadProfile kv;
+  kv.name = "kvstore";
+  kv.load_frac = 0.30;
+  kv.store_frac = 0.18;  // write heavy: replication triggers often
+  kv.branch_frac = 0.12;
+  kv.patterns = {
+      // hot index: 8KB, heavily skewed
+      {trace::PatternSpec::Kind::kZipf, 0.55, 8 * 1024, 1.3, 8, 64},
+      // value heap: 1MB pointer chase, 128-byte nodes
+      {trace::PatternSpec::Kind::kChase, 0.25, 1024 * 1024, 0.0, 8, 128},
+      // append log: sequential
+      {trace::PatternSpec::Kind::kSequential, 0.20, 2 * 1024 * 1024, 0.0, 8,
+       64},
+  };
+  kv.dependent_load_frac = 0.5;
+  kv.hard_branch_frac = 0.15;
+  kv.code_footprint_bytes = 12 * 1024;
+  kv.seed = 2026;
+
+  std::printf("Custom workload '%s' under four protection schemes\n\n",
+              kv.name.c_str());
+
+  TextTable t("kvstore results",
+              {"scheme", "cycles", "IPC", "dL1 miss", "loads w/ replica",
+               "repl.ability"});
+  for (const core::Scheme& scheme :
+       {core::Scheme::BaseP(), core::Scheme::BaseECC(),
+        core::Scheme::IcrPPS_S(), core::Scheme::IcrEccPS_S()}) {
+    sim::Simulator simulator(sim::SimConfig::table1(), scheme, kv);
+    const sim::RunResult r = simulator.run(250000);
+    // For a write-heavy workload the interesting question is: what fraction
+    // of read hits would have a replica to fall back on?
+    t.add_row({r.scheme, std::to_string(r.cycles), format_double(r.ipc(), 3),
+               format_double(r.dl1.miss_rate(), 4),
+               format_double(r.dl1.loads_with_replica_fraction(), 3),
+               format_double(r.dl1.replication_ability(), 3)});
+  }
+  t.print();
+
+  std::printf(
+      "\nBecause the store fraction is high, ICR replicates eagerly: a\n"
+      "write-heavy service gets most of its hot reads covered by replicas\n"
+      "without paying ECC latency on every access.\n");
+  return 0;
+}

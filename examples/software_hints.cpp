@@ -1,0 +1,70 @@
+// Software-directed replication (paper §6 future work): the program tells
+// the cache which data deserves replicas — critical state gets two copies,
+// regenerable scratch data gets none — and the cache spends its dead-block
+// space accordingly.
+#include <cstdio>
+
+#include "src/core/replication_hints.h"
+#include "src/sim/simulator.h"
+#include "src/util/table.h"
+
+using namespace icr;
+
+namespace {
+
+// Runs vpr under ICR-P-PS(S), optionally with a hint table, and reports
+// where the replicas went.
+sim::RunResult run(const core::ReplicationHints* hints,
+                   std::uint64_t instructions) {
+  core::ReplicationConfig rep;
+  rep.fallback = core::FallbackStrategy::kMultiAttempt;
+  rep.extra_attempts = {core::Distance::quarter()};
+  const core::Scheme scheme =
+      core::Scheme::IcrPPS_S().with_replication(rep).with_decay_window(1000);
+  static sim::SimConfig cfg = sim::SimConfig::table1();
+  sim::Simulator simulator(cfg, scheme,
+                           trace::profile_for(trace::App::kVpr));
+  simulator.dl1().set_replication_hints(hints);
+  return simulator.run(instructions);
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kInstructions = 250000;
+
+  // vpr's first pattern region (the hot Zipf set) starts at 0x10000000 and
+  // the strided grid at 0x20000000 (see SyntheticWorkload's region layout).
+  core::ReplicationHints hints;
+  // Critical hot structures: allow two replicas.
+  hints.add_range(0x1000'0000ULL, 0x2000'0000ULL, 2);
+  // Strided scratch grid: regenerable, never replicate.
+  hints.add_range(0x2000'0000ULL, 0x3000'0000ULL, 0);
+
+  const sim::RunResult plain = run(nullptr, kInstructions);
+  const sim::RunResult hinted = run(&hints, kInstructions);
+
+  TextTable t("software-directed replication (vpr, ICR-P-PS(S))",
+              {"metric", "hardware-only", "with hints"});
+  t.add_numeric_row("replication ability",
+                    {plain.dl1.replication_ability(),
+                     hinted.dl1.replication_ability()});
+  t.add_numeric_row("loads with replica",
+                    {plain.dl1.loads_with_replica_fraction(),
+                     hinted.dl1.loads_with_replica_fraction()});
+  t.add_numeric_row(">=2 replicas per opportunity",
+                    {plain.dl1.multi_replica_fraction(true),
+                     hinted.dl1.multi_replica_fraction(true)});
+  t.add_numeric_row("dL1 miss rate",
+                    {plain.dl1.miss_rate(), hinted.dl1.miss_rate()}, 4);
+  t.add_numeric_row("execution cycles",
+                    {static_cast<double>(plain.cycles),
+                     static_cast<double>(hinted.cycles)}, 0);
+  t.print();
+
+  std::printf(
+      "\nWith hints, the dead-block space is spent only on data the software\n"
+      "declared critical: the hot set gets double replicas (NMR-grade\n"
+      "protection) while the regenerable grid gets none.\n");
+  return 0;
+}

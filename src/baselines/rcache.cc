@@ -1,0 +1,61 @@
+#include "src/baselines/rcache.h"
+
+#include "src/util/check.h"
+
+namespace icr::baselines {
+
+RCache::RCache(std::uint32_t entries) : entries_(entries) {
+  ICR_CHECK(entries > 0);
+}
+
+RCache::Entry* RCache::find(std::uint64_t word_addr) noexcept {
+  for (Entry& e : entries_) {
+    if (e.valid && e.word_addr == word_addr) return &e;
+  }
+  return nullptr;
+}
+
+void RCache::record(std::uint64_t addr, std::uint64_t value) {
+  const std::uint64_t word = addr & ~std::uint64_t{7};
+  ++stats_.writes;
+  ++clock_;
+  if (Entry* e = find(word)) {
+    e->value = value;
+    e->lru = clock_;
+    return;
+  }
+  Entry* victim = &entries_[0];
+  for (Entry& e : entries_) {
+    if (!e.valid) {
+      victim = &e;
+      break;
+    }
+    if (e.lru < victim->lru) victim = &e;
+  }
+  victim->valid = true;
+  victim->word_addr = word;
+  victim->value = value;
+  victim->lru = clock_;
+}
+
+std::optional<std::uint64_t> RCache::lookup(std::uint64_t addr,
+                                            bool for_recovery) {
+  const std::uint64_t word = addr & ~std::uint64_t{7};
+  ++stats_.lookups;
+  ++clock_;
+  if (Entry* e = find(word)) {
+    ++stats_.hits;
+    if (for_recovery) ++stats_.recoveries;
+    e->lru = clock_;
+    return e->value;
+  }
+  return std::nullopt;
+}
+
+void RCache::invalidate(std::uint64_t addr) noexcept {
+  if (Entry* e = find(addr & ~std::uint64_t{7})) {
+    e->valid = false;
+  }
+}
+
+}  // namespace icr::baselines

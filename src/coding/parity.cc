@@ -1,0 +1,23 @@
+#include "src/coding/parity.h"
+
+#include "src/util/bitops.h"
+
+namespace icr {
+
+std::uint8_t byte_parity(std::uint64_t word) noexcept {
+  // Fold each byte onto its low bit: XOR halves repeatedly, then gather the
+  // low bit of every byte.
+  std::uint64_t x = word;
+  x ^= x >> 4;
+  x ^= x >> 2;
+  x ^= x >> 1;
+  x &= 0x0101010101010101ULL;
+  // Compact the 8 low-bits-of-bytes into one byte.
+  return static_cast<std::uint8_t>((x * 0x0102040810204080ULL) >> 56);
+}
+
+std::uint8_t parity_mismatch(std::uint64_t word, std::uint8_t stored) noexcept {
+  return static_cast<std::uint8_t>(byte_parity(word) ^ stored);
+}
+
+}  // namespace icr

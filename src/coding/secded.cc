@@ -1,0 +1,103 @@
+#include "src/coding/secded.h"
+
+#include <array>
+
+#include "src/util/bitops.h"
+
+namespace icr {
+namespace {
+
+constexpr unsigned kCodewordBits = 71;  // 64 data + 7 Hamming check bits
+
+// position_of_data[d] = codeword position (1-based) of data bit d.
+// data_at_position[p] = data bit index stored at position p, or -1.
+struct PositionTables {
+  std::array<unsigned, 64> position_of_data{};
+  std::array<int, kCodewordBits + 1> data_at_position{};
+
+  constexpr PositionTables() {
+    for (auto& v : data_at_position) v = -1;
+    unsigned d = 0;
+    for (unsigned p = 1; p <= kCodewordBits; ++p) {
+      if (is_pow2(p)) continue;  // power-of-two positions hold check bits
+      position_of_data[d] = p;
+      data_at_position[p] = static_cast<int>(d);
+      ++d;
+    }
+  }
+};
+
+constexpr PositionTables kTables{};
+
+// XOR-accumulates data bits into the seven Hamming checks.
+std::uint8_t hamming_checks(std::uint64_t data) noexcept {
+  std::uint8_t checks = 0;
+  for (unsigned d = 0; d < 64; ++d) {
+    if (bit_of(data, d) == 0) continue;
+    checks ^= static_cast<std::uint8_t>(kTables.position_of_data[d] & 0x7F);
+  }
+  return checks;
+}
+
+}  // namespace
+
+namespace secded_internal {
+unsigned data_bit_position(unsigned data_bit) noexcept {
+  return kTables.position_of_data[data_bit];
+}
+}  // namespace secded_internal
+
+std::uint8_t secded_encode(std::uint64_t data) noexcept {
+  const std::uint8_t hamming = hamming_checks(data);
+  // Overall parity covers every codeword bit: all data bits plus the seven
+  // Hamming checks. Stored in bit 7 of the check byte.
+  const unsigned overall =
+      parity64(data) ^ (parity64(hamming & 0x7F) & 1U);
+  return static_cast<std::uint8_t>((hamming & 0x7F) |
+                                   (static_cast<std::uint8_t>(overall) << 7));
+}
+
+SecDedResult secded_decode(std::uint64_t data, std::uint8_t check) noexcept {
+  const std::uint8_t stored_hamming = check & 0x7F;
+  const unsigned stored_overall = (check >> 7) & 1U;
+
+  const std::uint8_t syndrome =
+      static_cast<std::uint8_t>(hamming_checks(data) ^ stored_hamming);
+  const unsigned parity_now =
+      parity64(data) ^ (parity64(stored_hamming) & 1U) ^ stored_overall;
+
+  SecDedResult result;
+  result.data = data;
+
+  if (syndrome == 0 && parity_now == 0) {
+    result.status = SecDedStatus::kClean;
+    return result;
+  }
+  if (parity_now == 1) {
+    // Odd overall parity: exactly one bit flipped (or an odd >1 number,
+    // indistinguishable — SEC-DED guarantees cover only <= 2 flips).
+    if (syndrome == 0) {
+      result.status = SecDedStatus::kCorrectedCheck;  // overall bit flipped
+      return result;
+    }
+    if (is_pow2(syndrome)) {
+      result.status = SecDedStatus::kCorrectedCheck;  // a Hamming bit flipped
+      return result;
+    }
+    const int data_bit =
+        syndrome <= kCodewordBits ? kTables.data_at_position[syndrome] : -1;
+    if (data_bit < 0) {
+      // Syndrome points outside the codeword: >= 3 flips; report detection.
+      result.status = SecDedStatus::kDetectedDouble;
+      return result;
+    }
+    result.data = data ^ (1ULL << data_bit);
+    result.status = SecDedStatus::kCorrectedData;
+    return result;
+  }
+  // Even overall parity with a non-zero syndrome: double-bit error.
+  result.status = SecDedStatus::kDetectedDouble;
+  return result;
+}
+
+}  // namespace icr

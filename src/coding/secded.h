@@ -1,0 +1,48 @@
+// Hamming (72,64) SEC-DED: single-error correction, double-error detection.
+//
+// This is the paper's "8-bit SEC-DED at 64-bit granularity" heavy-weight
+// protection (same 12.5% storage overhead as byte parity, but correcting).
+// We implement the classic extended Hamming construction: seven check bits
+// at power-of-two codeword positions plus one overall-parity bit. Decoding
+// computes the 7-bit syndrome and the overall parity:
+//
+//   syndrome == 0, parity even  ->  clean
+//   parity odd                  ->  single-bit error at position `syndrome`
+//                                   (or in the overall parity bit itself
+//                                   when syndrome == 0); corrected
+//   syndrome != 0, parity even  ->  double-bit error; detected, uncorrectable
+//
+// The encoder/decoder operate on real bits, so the fault injector's flips in
+// cache data arrays are genuinely caught and repaired.
+#pragma once
+
+#include <cstdint>
+
+namespace icr {
+
+enum class SecDedStatus : std::uint8_t {
+  kClean,           // no error
+  kCorrectedData,   // single-bit error in a data bit, corrected
+  kCorrectedCheck,  // single-bit error in a check bit, data unaffected
+  kDetectedDouble,  // double-bit error detected; data NOT trustworthy
+};
+
+struct SecDedResult {
+  SecDedStatus status = SecDedStatus::kClean;
+  std::uint64_t data = 0;  // corrected data (valid unless kDetectedDouble)
+};
+
+// The 8 check bits protecting `data`.
+[[nodiscard]] std::uint8_t secded_encode(std::uint64_t data) noexcept;
+
+// Verifies (and possibly corrects) `data` against stored check bits.
+[[nodiscard]] SecDedResult secded_decode(std::uint64_t data,
+                                         std::uint8_t check) noexcept;
+
+namespace secded_internal {
+// Exposed for white-box tests: maps data-bit index (0..63) to its codeword
+// position (1..72, skipping power-of-two positions).
+[[nodiscard]] unsigned data_bit_position(unsigned data_bit) noexcept;
+}  // namespace secded_internal
+
+}  // namespace icr

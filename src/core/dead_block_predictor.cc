@@ -1,0 +1,26 @@
+#include "src/core/dead_block_predictor.h"
+
+#include <algorithm>
+
+namespace icr::core {
+
+DeadBlockPredictor::DeadBlockPredictor(std::uint64_t decay_window) noexcept
+    : window_(decay_window), tick_(std::max<std::uint64_t>(1, decay_window / 4)) {}
+
+std::uint32_t DeadBlockPredictor::counter_value(std::uint64_t last_access,
+                                                std::uint64_t now) const noexcept {
+  if (now <= last_access) return 0;
+  if (window_ == 0) return kSaturated;  // aggressive: dead right after access
+  // Global ticks fire at multiples of tick_; the counter counts ticks that
+  // occurred strictly after the access.
+  const std::uint64_t ticks = now / tick_ - last_access / tick_;
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(ticks, kSaturated));
+}
+
+bool DeadBlockPredictor::is_dead(std::uint64_t last_access,
+                                 std::uint64_t now) const noexcept {
+  return counter_value(last_access, now) >= kSaturated;
+}
+
+}  // namespace icr::core

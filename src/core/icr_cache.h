@@ -1,0 +1,290 @@
+// The ICR data L1 cache: the paper's primary contribution.
+//
+// A set-associative write-back (or write-through, §5.8) L1 data cache that
+// keeps real 64-byte data payloads, byte-granularity parity per 64-bit word,
+// and SEC-DED check bits per word; and that implements In-Cache Replication:
+// blocks predicted dead by the decay counters are recycled to hold replicas
+// of blocks in active use. All ten §3.2 schemes are expressed through the
+// `Scheme` knobs; error detection and recovery operate on genuinely stored
+// (and genuinely corruptible) bits.
+//
+// Latency contract (loads; stores are always 1 cycle, they are buffered):
+//   Base parity hit ........................ 1 cycle
+//   Base ECC hit ........................... 2 cycles (1 if speculative)
+//   ICR hit, line replicated, PS lookup .... 1 cycle (parity only)
+//   ICR hit, line replicated, PP lookup .... 2 cycles (parallel compare)
+//   ICR hit, unreplicated line ............. 1 (P) or 2 (ECC) cycles
+//   + 1 cycle when a PS parity error consults the replica
+//   + L2/memory latency when recovery must refetch a clean block
+// Misses add the MemoryHierarchy fetch latency; in the leave-replica
+// performance mode (§5.6) a primary miss served by a surviving replica
+// costs only +1 cycle instead of the L2 round trip.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/baselines/rcache.h"
+#include "src/core/dead_block_predictor.h"
+#include "src/core/replication_hints.h"
+#include "src/core/replication_policy.h"
+#include "src/core/scheme.h"
+#include "src/mem/cache_geometry.h"
+#include "src/mem/memory_hierarchy.h"
+#include "src/mem/write_buffer.h"
+
+namespace icr::core {
+
+// One dL1 line: payload, per-word protection, and ICR metadata.
+struct IcrLine {
+  bool valid = false;
+  bool dirty = false;
+  bool replica = false;          // replica copy (paper's 1-bit overhead)
+  std::uint8_t replica_count = 0;  // primaries: live replicas of this block
+  std::uint64_t block_addr = 0;
+  std::uint64_t lru_stamp = 0;
+  std::uint64_t last_access_cycle = 0;
+  std::vector<std::uint8_t> data;    // line_bytes
+  std::vector<std::uint8_t> parity;  // one byte-parity vector per 64-bit word
+  std::vector<std::uint8_t> ecc;     // one SEC-DED check byte per 64-bit word
+};
+
+struct IcrStats {
+  std::uint64_t loads = 0;
+  std::uint64_t load_hits = 0;
+  std::uint64_t load_misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t store_hits = 0;
+  std::uint64_t store_misses = 0;
+
+  std::uint64_t loads_with_replica = 0;  // read hits whose line had a replica
+  std::uint64_t replica_fills = 0;       // misses served by orphan replicas
+
+  // Replication-ability accounting (paper §4.1): the denominator is every
+  // replication opportunity — each store (S / LS) and each load-miss fill
+  // (LS only); the numerator counts opportunities that created at least one
+  // new replica. A store to a block that already carries its full replica
+  // complement merely refreshes the copies and is not a new replication.
+  std::uint64_t replication_opportunities = 0;
+  std::uint64_t replication_successes = 0;  // opportunities creating >=1 copy
+  std::uint64_t opportunities_with_one = 0;  // creating >=1 new replica
+  std::uint64_t opportunities_with_two = 0;  // creating >=2 new replicas
+  std::uint64_t replicas_created = 0;
+  // Site-level search diagnostics: searches run (block lacked a replica)
+  // and searches that found no victim under the §3.1 policy.
+  std::uint64_t site_searches = 0;
+  std::uint64_t site_search_failures = 0;
+
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t replica_evictions = 0;
+  std::uint64_t dead_victim_writebacks = 0;  // dirty dead blocks displaced
+
+  std::uint64_t errors_detected = 0;
+  std::uint64_t errors_corrected_by_replica = 0;
+  std::uint64_t errors_corrected_by_ecc = 0;
+  std::uint64_t errors_corrected_by_rcache = 0;
+  std::uint64_t errors_refetched_from_l2 = 0;
+  std::uint64_t unrecoverable_loads = 0;
+
+  // Background scrubbing (extension).
+  std::uint64_t scrub_lines_checked = 0;
+  std::uint64_t scrub_corrections = 0;      // repaired before any load saw it
+  std::uint64_t scrub_uncorrectable = 0;    // found but unrepairable (dirty)
+
+  std::uint64_t parity_computations = 0;
+  std::uint64_t ecc_computations = 0;
+  std::uint64_t replica_updates = 0;  // extra L1 writes keeping replicas fresh
+  std::uint64_t l1_read_accesses = 0;
+  std::uint64_t l1_write_accesses = 0;
+
+  [[nodiscard]] std::uint64_t accesses() const noexcept {
+    return loads + stores;
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return load_misses + store_misses;
+  }
+  [[nodiscard]] double miss_rate() const noexcept {
+    return accesses() == 0 ? 0.0
+                           : static_cast<double>(misses()) /
+                                 static_cast<double>(accesses());
+  }
+  [[nodiscard]] double replication_ability() const noexcept {
+    return replication_opportunities == 0
+               ? 0.0
+               : static_cast<double>(replication_successes) /
+                     static_cast<double>(replication_opportunities);
+  }
+  // Fraction of opportunities that created at least one (resp. two) new
+  // replicas in a single event (paper Fig. 3's "ability to create just one
+  // replica / to successfully create two replicas").
+  [[nodiscard]] double multi_replica_fraction(bool two) const noexcept {
+    const std::uint64_t num = two ? opportunities_with_two : opportunities_with_one;
+    return replication_opportunities == 0
+               ? 0.0
+               : static_cast<double>(num) /
+                     static_cast<double>(replication_opportunities);
+  }
+  [[nodiscard]] double loads_with_replica_fraction() const noexcept {
+    return load_hits == 0 ? 0.0
+                          : static_cast<double>(loads_with_replica) /
+                                static_cast<double>(load_hits);
+  }
+  [[nodiscard]] double unrecoverable_load_fraction() const noexcept {
+    return loads == 0 ? 0.0
+                      : static_cast<double>(unrecoverable_loads) /
+                            static_cast<double>(loads);
+  }
+};
+
+class IcrCache {
+ public:
+  IcrCache(mem::CacheGeometry geometry, Scheme scheme,
+           mem::MemoryHierarchy& next);
+
+  struct AccessOutcome {
+    std::uint32_t latency = 0;  // cycles this access occupies the pipeline
+    bool hit = false;
+    bool replica_fill = false;
+    bool error_detected = false;
+    bool error_recovered = false;
+    bool unrecoverable = false;
+    std::uint64_t value = 0;  // the 64-bit word delivered (loads)
+  };
+
+  // 64-bit word load / store at `addr` (8-byte aligned) at time `cycle`.
+  AccessOutcome load(std::uint64_t addr, std::uint64_t cycle);
+  AccessOutcome store(std::uint64_t addr, std::uint64_t value,
+                      std::uint64_t cycle);
+
+  // Advances the background scrubber (call once per cycle; no-op unless the
+  // scheme enables scrubbing and the interval elapsed). Each activation
+  // verifies every word of one set and repairs what it can — from a clean
+  // replica, via SEC-DED, or by refetching a clean block from L2. Dirty
+  // parity-only words with no good copy are uncorrectable; their stale
+  // parity is left in place so the consuming load still detects the loss.
+  void advance_scrubber(std::uint64_t cycle);
+
+  // ---- fault-injection surface ----
+  [[nodiscard]] std::uint32_t num_sets() const noexcept {
+    return geometry_.num_sets();
+  }
+  [[nodiscard]] std::uint32_t ways() const noexcept {
+    return geometry_.associativity;
+  }
+  [[nodiscard]] const IcrLine& line(std::uint32_t set,
+                                    std::uint32_t way) const noexcept;
+  // Flips one stored data bit; protection bits are intentionally left stale —
+  // that is exactly what a particle strike does.
+  void flip_data_bit(std::uint32_t set, std::uint32_t way,
+                     std::uint32_t byte_index, std::uint32_t bit);
+  // Flips one stored parity or ECC bit (word-granularity check byte).
+  void flip_check_bit(std::uint32_t set, std::uint32_t way,
+                      std::uint32_t word_index, std::uint32_t bit,
+                      bool ecc_array);
+
+  [[nodiscard]] const IcrStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const Scheme& scheme() const noexcept { return scheme_; }
+  [[nodiscard]] const mem::CacheGeometry& geometry() const noexcept {
+    return geometry_;
+  }
+  [[nodiscard]] const DeadBlockPredictor& dead_block_predictor()
+      const noexcept {
+    return dbp_;
+  }
+  [[nodiscard]] const mem::WriteBuffer* write_buffer() const noexcept {
+    return write_buffer_.get();
+  }
+
+  // Attaches a Kim&Somani-style duplication buffer (baselines::RCache):
+  // every store is duplicated into it, and the parity-error recovery ladder
+  // consults it before declaring a dirty unreplicated word lost. Pass
+  // nullptr to detach. Used by the baseline-comparison bench.
+  void attach_rcache(baselines::RCache* rcache) noexcept {
+    rcache_ = rcache;
+  }
+
+  // Software-directed replication control (§6 future work): per-address-
+  // range replica quotas. Pass nullptr to clear. A block covered by a
+  // quota-0 range is never replicated (and such events are not counted as
+  // replication opportunities — the software opted the data out).
+  void set_replication_hints(const ReplicationHints* hints) noexcept {
+    hints_ = hints;
+  }
+
+  // Number of valid replica lines currently resident (O(cache) scan).
+  [[nodiscard]] std::uint64_t resident_replicas() const noexcept;
+
+  // Aborts if any structural invariant is violated (test hook):
+  //  - at most one primary per block;
+  //  - every primary's replica_count matches the resident replicas of its
+  //    block at the policy's candidate sites;
+  //  - replicas are never dirty;
+  //  - every replica of block B lives at a candidate distance from B's set.
+  void check_invariants() const;
+
+ private:
+  [[nodiscard]] IcrLine* set_base(std::uint32_t set) noexcept {
+    return &lines_[static_cast<std::size_t>(set) * geometry_.associativity];
+  }
+  [[nodiscard]] const IcrLine* set_base(std::uint32_t set) const noexcept {
+    return &lines_[static_cast<std::size_t>(set) * geometry_.associativity];
+  }
+
+  [[nodiscard]] IcrLine* find_primary(std::uint64_t block) noexcept;
+  // All resident replicas of `block` at the candidate distance sites.
+  [[nodiscard]] std::vector<IcrLine*> find_replicas(std::uint64_t block);
+
+  [[nodiscard]] std::uint64_t read_word(const IcrLine& line,
+                                        std::uint32_t word_index) const;
+  void write_word(IcrLine& line, std::uint32_t word_index, std::uint64_t value);
+  void refresh_protection(IcrLine& line, std::uint32_t word_index);
+  void fill_from_backing(IcrLine& line, std::uint64_t block);
+
+  void touch(IcrLine& line, std::uint64_t cycle) noexcept;
+
+  // Evicts `line` (writeback if dirty primary, replica bookkeeping, etc.).
+  void evict_line(IcrLine& line, std::uint64_t cycle);
+
+  // Victim by plain LRU over all ways of the natural set; evicts it and
+  // returns the now-invalid line.
+  IcrLine& allocate_primary_slot(std::uint64_t block, std::uint64_t cycle);
+
+  // §3.1 replica victim selection inside `set` (never a live primary, never
+  // the block's own primary copy). Returns nullptr if no candidate.
+  [[nodiscard]] IcrLine* select_replica_victim(std::uint32_t set,
+                                               std::uint64_t block,
+                                               std::uint64_t cycle);
+
+  // One replication attempt for `primary` (counts metrics, walks the
+  // candidate distances, installs up to the configured number of replicas).
+  void attempt_replication(IcrLine& primary, std::uint64_t cycle);
+
+  [[nodiscard]] std::uint32_t load_hit_latency(
+      const IcrLine& line) const noexcept;
+
+  // Parity/ECC verification of the accessed word plus the paper's recovery
+  // ladder; updates `outcome` (latency, error flags, delivered value).
+  void verify_and_recover(IcrLine& line, std::uint32_t word_index,
+                          std::uint64_t cycle, AccessOutcome& outcome);
+
+  // True when the line is protected by parity (replicated lines always are).
+  [[nodiscard]] bool parity_regime(const IcrLine& line) const noexcept;
+
+  mem::CacheGeometry geometry_;
+  Scheme scheme_;
+  mem::MemoryHierarchy& next_;
+  const ReplicationHints* hints_ = nullptr;
+  baselines::RCache* rcache_ = nullptr;
+  DeadBlockPredictor dbp_;
+  std::vector<std::uint32_t> distances_;
+  std::vector<IcrLine> lines_;
+  std::unique_ptr<mem::WriteBuffer> write_buffer_;  // write-through only
+  std::uint64_t lru_clock_ = 0;
+  std::uint32_t scrub_cursor_ = 0;        // next set the scrubber visits
+  std::uint64_t next_scrub_cycle_ = 0;
+  IcrStats stats_;
+};
+
+}  // namespace icr::core

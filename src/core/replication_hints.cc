@@ -1,0 +1,22 @@
+#include "src/core/replication_hints.h"
+
+#include "src/util/check.h"
+
+namespace icr::core {
+
+void ReplicationHints::add_range(std::uint64_t begin, std::uint64_t end,
+                                 std::uint8_t max_replicas) {
+  ICR_CHECK(begin < end);
+  ranges_.push_back(Range{begin, end, max_replicas});
+}
+
+std::optional<std::uint8_t> ReplicationHints::quota_for(
+    std::uint64_t addr) const noexcept {
+  // Later ranges take precedence: scan backwards, first hit wins.
+  for (auto it = ranges_.rbegin(); it != ranges_.rend(); ++it) {
+    if (addr >= it->begin && addr < it->end) return it->max_replicas;
+  }
+  return std::nullopt;
+}
+
+}  // namespace icr::core

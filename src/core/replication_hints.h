@@ -1,0 +1,46 @@
+// Software-directed replication control — the paper's §6 future work:
+// "explore controlling replication using software mechanisms that can
+// direct how many replicas are needed for each line, when such replication
+// should be initiated, and what blocks should not be replicated."
+//
+// A ReplicationHints table maps address ranges to per-block replica quotas:
+//   quota 0  — never replicate blocks in this range (e.g. scratch data the
+//              software can regenerate);
+//   quota k  — allow up to k replicas (e.g. 2+ for checkpoint state);
+// Blocks outside every range use the scheme's configured replica count.
+// Ranges are half-open [begin, end) byte ranges; later-added ranges win on
+// overlap (so a program can carve exceptions out of a big region).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace icr::core {
+
+class ReplicationHints {
+ public:
+  // Registers [begin, end) with a replica quota. Ranges added later take
+  // precedence over earlier ones on overlap.
+  void add_range(std::uint64_t begin, std::uint64_t end,
+                 std::uint8_t max_replicas);
+
+  // The quota for the block containing `addr`, if any hint covers it.
+  [[nodiscard]] std::optional<std::uint8_t> quota_for(
+      std::uint64_t addr) const noexcept;
+
+  [[nodiscard]] std::size_t range_count() const noexcept {
+    return ranges_.size();
+  }
+  void clear() noexcept { ranges_.clear(); }
+
+ private:
+  struct Range {
+    std::uint64_t begin;
+    std::uint64_t end;
+    std::uint8_t max_replicas;
+  };
+  std::vector<Range> ranges_;
+};
+
+}  // namespace icr::core

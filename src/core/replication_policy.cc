@@ -1,0 +1,73 @@
+#include "src/core/replication_policy.h"
+
+#include <algorithm>
+
+namespace icr::core {
+
+std::uint32_t Distance::resolve(std::uint32_t num_sets) const noexcept {
+  switch (kind) {
+    case Kind::kAbsolute:
+      return num_sets == 0 ? 0 : value % num_sets;
+    case Kind::kHalfSets:
+      return num_sets / 2;
+    case Kind::kQuarterSets:
+      return num_sets / 4;
+    case Kind::kZero:
+      return 0;
+  }
+  return 0;
+}
+
+const char* to_string(ReplicaVictimPolicy policy) noexcept {
+  switch (policy) {
+    case ReplicaVictimPolicy::kDeadOnly:
+      return "dead-only";
+    case ReplicaVictimPolicy::kReplicaOnly:
+      return "replica-only";
+    case ReplicaVictimPolicy::kDeadFirst:
+      return "dead-first";
+    case ReplicaVictimPolicy::kReplicaFirst:
+      return "replica-first";
+  }
+  return "?";
+}
+
+std::vector<std::uint32_t> candidate_distances(const ReplicationConfig& config,
+                                               std::uint32_t num_sets) {
+  std::vector<std::uint32_t> result;
+  auto push_unique = [&](std::uint32_t d) {
+    if (std::find(result.begin(), result.end(), d) == result.end()) {
+      result.push_back(d);
+    }
+  };
+
+  const std::uint32_t first = config.first_distance.resolve(num_sets);
+  push_unique(first);
+
+  switch (config.fallback) {
+    case FallbackStrategy::kNone:
+      break;
+    case FallbackStrategy::kMultiAttempt:
+      for (const Distance& d : config.extra_attempts) {
+        push_unique(d.resolve(num_sets));
+      }
+      break;
+    case FallbackStrategy::kPower2: {
+      // k, k - k/2, k - k/2 - k/4, ... — walk down the power-of-two ladder
+      // (one of the paper's two directions) until the step vanishes or the
+      // attempt budget is spent.
+      std::uint32_t k = first;
+      std::uint32_t step = first / 2;
+      for (std::uint32_t attempt = 1;
+           attempt < config.max_attempts && step > 0; ++attempt) {
+        k -= step;
+        push_unique(k % (num_sets == 0 ? 1 : num_sets));
+        step /= 2;
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace icr::core

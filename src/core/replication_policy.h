@@ -1,0 +1,80 @@
+// Where and how aggressively to place replicas (paper §3.1).
+//
+// Replica sites are searched with "distance-k" addressing: the replica of a
+// block whose primary lives in set m is placed in set (m + k) mod N. The
+// paper's two headline instances are vertical replication (k = N/2, across
+// sets) and horizontal replication (k = 0, within the ways of the same set).
+// When the first site has no suitable victim, a fallback strategy may probe
+// further sites (multi-attempt list or the power-2 ladder); with
+// multiple replicas requested, each successful site in the sequence hosts
+// one copy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace icr::core {
+
+// Distance expressed relative to the number of sets so one policy object
+// works for any cache geometry.
+struct Distance {
+  enum class Kind : std::uint8_t {
+    kAbsolute,     // value sets
+    kHalfSets,     // N/2   (vertical replication)
+    kQuarterSets,  // N/4
+    kZero,         // 0     (horizontal replication)
+  };
+  Kind kind = Kind::kHalfSets;
+  std::uint32_t value = 0;  // used by kAbsolute
+
+  [[nodiscard]] std::uint32_t resolve(std::uint32_t num_sets) const noexcept;
+
+  [[nodiscard]] static Distance half() noexcept {
+    return {Kind::kHalfSets, 0};
+  }
+  [[nodiscard]] static Distance quarter() noexcept {
+    return {Kind::kQuarterSets, 0};
+  }
+  [[nodiscard]] static Distance zero() noexcept { return {Kind::kZero, 0}; }
+  [[nodiscard]] static Distance absolute(std::uint32_t sets) noexcept {
+    return {Kind::kAbsolute, sets};
+  }
+};
+
+// How to pick the victim way for a replica inside the chosen set (§3.1
+// "How do we place a replica in a set?"). Live primary copies are never
+// evicted for a replica under any policy.
+enum class ReplicaVictimPolicy : std::uint8_t {
+  kDeadOnly,      // LRU among dead primary blocks only
+  kReplicaOnly,   // LRU among existing replicas only
+  kDeadFirst,     // dead blocks first, then replicas
+  kReplicaFirst,  // replicas first, then dead blocks
+};
+
+[[nodiscard]] const char* to_string(ReplicaVictimPolicy policy) noexcept;
+
+// Fallback when the first site cannot host the replica.
+enum class FallbackStrategy : std::uint8_t {
+  kNone,          // single attempt: give up
+  kMultiAttempt,  // probe an explicit list of further distances
+  kPower2,        // ladder: k, k-k/2, k-k/2-k/4, ... (§3.1 "power-2")
+};
+
+struct ReplicationConfig {
+  std::uint32_t num_replicas = 1;   // copies beyond the primary
+  Distance first_distance = Distance::half();
+  FallbackStrategy fallback = FallbackStrategy::kNone;
+  // kMultiAttempt: distances probed after first_distance (paper: {N/4}).
+  std::vector<Distance> extra_attempts;
+  // kPower2: total number of sites probed (including the first).
+  std::uint32_t max_attempts = 4;
+};
+
+// Expands a ReplicationConfig into the ordered list of candidate distances
+// (in sets) to probe for a given cache geometry. Duplicate sites are
+// removed, preserving order.
+[[nodiscard]] std::vector<std::uint32_t> candidate_distances(
+    const ReplicationConfig& config, std::uint32_t num_sets);
+
+}  // namespace icr::core

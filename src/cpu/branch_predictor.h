@@ -1,0 +1,83 @@
+// Combined branch predictor + BTB (paper Table 1).
+//
+// The direction predictor follows SimpleScalar's `comb` configuration: a
+// bimodal table of 2-bit counters (2K entries), a two-level predictor with
+// an 8-bit global history register indexing a 1K-entry pattern history
+// table (gshare-style hashing with the PC), and a meta chooser of 2-bit
+// counters that learns per branch which component to trust. Targets come
+// from a 512-entry 4-way BTB; a taken branch whose target misses in the BTB
+// cannot redirect fetch and is charged as a misprediction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace icr::cpu {
+
+struct BranchPredictorConfig {
+  std::uint32_t bimodal_entries = 2048;
+  std::uint32_t two_level_entries = 1024;
+  std::uint32_t history_bits = 8;
+  std::uint32_t meta_entries = 2048;
+  std::uint32_t btb_entries = 512;
+  std::uint32_t btb_ways = 4;
+};
+
+struct BranchPredictorStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t direction_mispredicts = 0;
+  std::uint64_t btb_misses = 0;  // taken branches with unknown target
+
+  [[nodiscard]] double mispredict_rate() const noexcept {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(direction_mispredicts) /
+                              static_cast<double>(lookups);
+  }
+};
+
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(BranchPredictorConfig config = {});
+
+  struct Prediction {
+    bool taken = false;
+    bool target_known = false;
+    std::uint64_t target = 0;
+  };
+
+  [[nodiscard]] Prediction predict(std::uint64_t pc) const;
+
+  // Trains all tables with the actual outcome and returns true iff the
+  // prediction made *before* this update would have been wrong (direction
+  // wrong, or taken with an unknown/incorrect target).
+  bool predict_and_update(std::uint64_t pc, bool taken, std::uint64_t target);
+
+  [[nodiscard]] const BranchPredictorStats& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  struct BtbEntry {
+    bool valid = false;
+    std::uint64_t pc = 0;
+    std::uint64_t target = 0;
+    std::uint64_t lru = 0;
+  };
+
+  [[nodiscard]] std::uint32_t bimodal_index(std::uint64_t pc) const noexcept;
+  [[nodiscard]] std::uint32_t two_level_index(std::uint64_t pc) const noexcept;
+  [[nodiscard]] std::uint32_t meta_index(std::uint64_t pc) const noexcept;
+
+  static void train(std::uint8_t& counter, bool taken) noexcept;
+
+  BranchPredictorConfig config_;
+  std::vector<std::uint8_t> bimodal_;    // 2-bit counters
+  std::vector<std::uint8_t> two_level_;  // 2-bit counters (PHT)
+  std::vector<std::uint8_t> meta_;       // 2-bit: >=2 -> use two-level
+  std::uint32_t history_ = 0;
+  std::vector<BtbEntry> btb_;
+  std::uint64_t btb_clock_ = 0;
+  BranchPredictorStats stats_;
+};
+
+}  // namespace icr::cpu

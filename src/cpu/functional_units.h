@@ -1,0 +1,63 @@
+// Functional-unit pool (paper Table 1): 4 integer ALUs, 1 integer
+// multiplier/divider, 4 FP ALUs, 1 FP multiplier/divider, plus 2 memory
+// ports for loads/stores. ALU-class units are fully pipelined (issue
+// interval 1); dividers are unpipelined and block their unit for the whole
+// operation, like SimpleScalar's resource model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/instruction.h"
+
+namespace icr::cpu {
+
+struct FuConfig {
+  std::uint32_t int_alu = 4;
+  std::uint32_t int_muldiv = 1;
+  std::uint32_t fp_alu = 4;
+  std::uint32_t fp_muldiv = 1;
+  std::uint32_t mem_ports = 2;
+
+  std::uint32_t int_alu_latency = 1;
+  std::uint32_t int_mul_latency = 3;
+  std::uint32_t int_div_latency = 20;
+  std::uint32_t fp_alu_latency = 2;
+  std::uint32_t fp_mul_latency = 4;
+  std::uint32_t fp_div_latency = 12;
+};
+
+class FunctionalUnits {
+ public:
+  explicit FunctionalUnits(FuConfig config = {});
+
+  // Attempts to claim a unit for `op` at `cycle`. On success returns true
+  // and sets `latency` to the execution latency. Memory ops claim a port;
+  // their latency is determined by the cache and passed by the caller, so
+  // `latency` is left at 0 for them.
+  bool try_issue(trace::OpClass op, std::uint64_t cycle,
+                 std::uint32_t& latency);
+
+  // Extends the memory port claimed at `cycle` so it stays busy for
+  // `total_busy` cycles. Used for multi-cycle dL1 hits (e.g. 2-cycle ECC
+  // verification occupies the port, not just the result latency).
+  void extend_mem_port(std::uint64_t cycle, std::uint32_t total_busy);
+
+  [[nodiscard]] const FuConfig& config() const noexcept { return config_; }
+
+ private:
+  // A unit class: `count` units, each free again at busy_until[i].
+  struct Pool {
+    std::vector<std::uint64_t> busy_until;
+    bool claim(std::uint64_t cycle, std::uint32_t busy_for);
+  };
+
+  FuConfig config_;
+  Pool int_alu_;
+  Pool int_muldiv_;
+  Pool fp_alu_;
+  Pool fp_muldiv_;
+  Pool mem_ports_;
+};
+
+}  // namespace icr::cpu

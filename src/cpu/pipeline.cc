@@ -1,0 +1,230 @@
+#include "src/cpu/pipeline.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace icr::cpu {
+
+Pipeline::Pipeline(PipelineConfig config, trace::TraceSource& source,
+                   core::IcrCache& dl1, mem::MemoryHierarchy& hierarchy,
+                   fault::FaultInjector* injector)
+    : config_(config),
+      source_(source),
+      dl1_(dl1),
+      hierarchy_(hierarchy),
+      injector_(injector),
+      predictor_(config.branch),
+      fus_(config.fus),
+      ruu_(config.ruu_size),
+      lsq_(config.lsq_size) {
+  fetch_queue_.reserve(config_.fetch_queue_size);
+}
+
+void Pipeline::verify_load(std::uint64_t addr,
+                           const core::IcrCache::AccessOutcome& outcome) {
+  const std::uint64_t word = addr & ~std::uint64_t{7};
+  const auto it = golden_.find(word);
+  const std::uint64_t expected =
+      it != golden_.end() ? it->second : mem::BackingStore::initial_word(word);
+  if (outcome.unrecoverable) {
+    ++stats_.unrecoverable_loads;
+  } else if (outcome.value != expected) {
+    ++stats_.silent_corrupt_loads;
+  }
+}
+
+bool Pipeline::operands_ready(const RuuEntry& entry) noexcept {
+  for (const std::uint64_t producer : entry.src_producer) {
+    if (producer == 0) continue;
+    if (const RuuEntry* p = ruu_.find_seq(producer)) {
+      if (!p->completed) return false;
+    }
+    // Not found => the producer already committed; the value is in the
+    // register file.
+  }
+  return true;
+}
+
+void Pipeline::do_commit() {
+  if (cycle_ < commit_blocked_until_) return;
+  for (std::uint32_t n = 0; n < config_.commit_width && !ruu_.empty(); ++n) {
+    RuuEntry& head = ruu_.head();
+    if (!head.completed) break;
+    if (head.instr.is_store()) {
+      const auto outcome =
+          dl1_.store(head.instr.mem_addr, head.instr.store_value, cycle_);
+      golden_[head.instr.mem_addr & ~std::uint64_t{7}] =
+          head.instr.store_value;
+      if (outcome.latency > 1) {
+        // Write-through buffer stall: commit is blocked for the remainder.
+        commit_blocked_until_ = cycle_ + outcome.latency - 1;
+      }
+      lsq_.pop_if_seq(head.seq);
+      ++stats_.stores;
+    } else if (head.instr.is_load()) {
+      lsq_.pop_if_seq(head.seq);
+      ++stats_.loads;
+    } else if (head.instr.is_branch()) {
+      ++stats_.branches;
+    }
+    ++stats_.committed;
+    ruu_.pop();
+    if (cycle_ < commit_blocked_until_) return;  // stalled mid-group
+  }
+}
+
+void Pipeline::do_writeback() {
+  for (std::uint32_t i = 0; i < ruu_.size(); ++i) {
+    RuuEntry& e = ruu_.at(i);
+    if (e.issued && !e.completed && e.complete_cycle <= cycle_) {
+      e.completed = true;
+      if (e.mispredicted && mispredict_wait_seq_ == e.seq) {
+        // The branch resolved; fetch restarts after the fixed redirect
+        // penalty (paper Table 1: 3 cycles).
+        fetch_blocked_until_ = std::max(
+            fetch_blocked_until_, cycle_ + config_.mispredict_penalty);
+        mispredict_wait_seq_ = 0;
+      }
+    }
+  }
+}
+
+void Pipeline::do_issue() {
+  std::uint32_t issued = 0;
+  for (std::uint32_t i = 0; i < ruu_.size() && issued < config_.issue_width;
+       ++i) {
+    RuuEntry& e = ruu_.at(i);
+    if (e.issued || !operands_ready(e)) continue;
+
+    if (e.instr.is_load()) {
+      // Store-to-load forwarding from the LSQ beats the cache.
+      if (const auto fwd = lsq_.forward_value(e.seq, e.instr.mem_addr)) {
+        std::uint32_t lat = 0;
+        if (!fus_.try_issue(e.instr.op, cycle_, lat)) continue;
+        e.issued = true;
+        e.complete_cycle = cycle_ + 1;
+        ++stats_.forwarded_loads;
+        ++issued;
+        continue;
+      }
+      std::uint32_t lat = 0;
+      if (!fus_.try_issue(e.instr.op, cycle_, lat)) continue;
+      const auto outcome = dl1_.load(e.instr.mem_addr, cycle_);
+      verify_load(e.instr.mem_addr, outcome);
+      if (outcome.hit && outcome.latency > 1) {
+        // Multi-cycle hit (ECC check / parallel replica compare): the
+        // check pipeline occupies the port, a bandwidth cost on top of the
+        // latency cost.
+        fus_.extend_mem_port(cycle_, outcome.latency);
+      }
+      e.issued = true;
+      e.complete_cycle = cycle_ + std::max<std::uint32_t>(1, outcome.latency);
+      ++issued;
+      continue;
+    }
+
+    std::uint32_t latency = 0;
+    if (!fus_.try_issue(e.instr.op, cycle_, latency)) continue;
+    e.issued = true;
+    if (e.instr.is_store()) {
+      latency = 1;  // address generation; the write happens at commit
+    }
+    e.complete_cycle = cycle_ + std::max<std::uint32_t>(1, latency);
+    ++issued;
+  }
+}
+
+void Pipeline::do_dispatch() {
+  std::uint32_t dispatched = 0;
+  while (dispatched < config_.decode_width && !fetch_queue_.empty()) {
+    const FetchSlot& slot = fetch_queue_.front();
+    if (ruu_.full()) break;
+    if (slot.instr.is_mem() && lsq_.full()) break;
+
+    RuuEntry& e = ruu_.push();
+    e.instr = slot.instr;
+    e.seq = slot.seq;
+    e.mispredicted = slot.mispredicted;
+    if (e.instr.src1 >= 0) e.src_producer[0] = reg_writer_[e.instr.src1];
+    if (e.instr.src2 >= 0) e.src_producer[1] = reg_writer_[e.instr.src2];
+    if (e.instr.dest >= 0) reg_writer_[e.instr.dest] = e.seq;
+    if (e.instr.is_mem()) {
+      lsq_.push(e.seq, e.instr.is_store(), e.instr.mem_addr,
+                e.instr.store_value);
+    }
+    fetch_queue_.erase(fetch_queue_.begin());
+    ++dispatched;
+  }
+}
+
+void Pipeline::do_fetch() {
+  if (mispredict_wait_seq_ != 0 || cycle_ < fetch_blocked_until_) {
+    ++stats_.fetch_stall_cycles;
+    return;
+  }
+  for (std::uint32_t n = 0; n < config_.fetch_width; ++n) {
+    if (fetch_queue_.size() >= config_.fetch_queue_size) break;
+
+    trace::Instruction instr =
+        pending_fetch_ ? *pending_fetch_ : source_.next();
+    pending_fetch_.reset();
+
+    // Instruction-cache access when crossing into a new fetch block.
+    const std::uint64_t block =
+        hierarchy_.l1i().geometry().block_address(instr.pc);
+    if (block != current_fetch_block_) {
+      const std::uint32_t latency = hierarchy_.ifetch(instr.pc, cycle_);
+      current_fetch_block_ = block;
+      if (latency > hierarchy_.config().l1i_latency) {
+        // Miss: hold this instruction and stall fetch for the full latency.
+        pending_fetch_ = instr;
+        fetch_blocked_until_ = cycle_ + latency;
+        break;
+      }
+    }
+
+    FetchSlot slot;
+    slot.instr = instr;
+    slot.seq = next_seq_++;
+
+    if (instr.is_branch()) {
+      const bool mispredicted = predictor_.predict_and_update(
+          instr.pc, instr.branch_taken, instr.next_pc);
+      if (mispredicted) {
+        ++stats_.mispredicted_branches;
+        slot.mispredicted = true;
+        mispredict_wait_seq_ = slot.seq;
+        fetch_queue_.push_back(slot);
+        break;  // wrong-path bubble until the branch resolves
+      }
+      fetch_queue_.push_back(slot);
+      if (instr.branch_taken) break;  // redirect: stop fetching this cycle
+      continue;
+    }
+    fetch_queue_.push_back(slot);
+  }
+}
+
+const PipelineStats& Pipeline::run(std::uint64_t instruction_count,
+                                   std::uint64_t max_cycles) {
+  if (max_cycles == 0) {
+    max_cycles = cycle_ + 10000 * std::max<std::uint64_t>(1, instruction_count);
+  }
+  const std::uint64_t target = stats_.committed + instruction_count;
+  while (stats_.committed < target) {
+    ICR_CHECK(cycle_ < max_cycles);  // model deadlock guard
+    do_commit();
+    do_writeback();
+    do_issue();
+    do_dispatch();
+    do_fetch();
+    if (injector_ != nullptr) injector_->tick(dl1_, cycle_);
+    dl1_.advance_scrubber(cycle_);
+    ++cycle_;
+  }
+  stats_.cycles = cycle_;
+  return stats_;
+}
+
+}  // namespace icr::cpu

@@ -1,0 +1,141 @@
+// Trace-driven out-of-order superscalar pipeline in the spirit of
+// SimpleScalar's sim-outorder (the paper's simulation vehicle).
+//
+// Per cycle, in reverse stage order (so values flow between stages with a
+// one-cycle skew, as in a real pipeline):
+//   commit    — up to 4 completed instructions leave the RUU head in order;
+//               stores perform their dL1 write here (they are buffered, so
+//               a store occupies commit for extra cycles only if a
+//               write-through buffer stall says so)
+//   writeback — instructions whose FU latency elapsed become complete and
+//               wake their dependents; a resolving mispredicted branch
+//               unblocks fetch after the 3-cycle penalty
+//   issue     — up to 4 ready instructions claim functional units out of
+//               order; loads access the ICR dL1 (or forward from the LSQ)
+//   dispatch  — up to 4 instructions move from the fetch queue into the
+//               16-entry RUU / 8-entry LSQ
+//   fetch     — up to 4 instructions enter the fetch queue, subject to L1I
+//               misses, taken-branch redirects and branch mispredictions
+//               (trace-driven: a mispredicted branch stalls fetch until it
+//               resolves, modelling the wrong-path bubble)
+//
+// The pipeline also performs end-to-end data verification: store values are
+// recorded as architectural truth and every load's delivered value is
+// compared against it, so silent data corruption (a fault that slipped past
+// parity/ECC/replicas) is counted, not just modelled.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/icr_cache.h"
+#include "src/cpu/branch_predictor.h"
+#include "src/cpu/functional_units.h"
+#include "src/cpu/lsq.h"
+#include "src/cpu/ruu.h"
+#include "src/fault/fault_injector.h"
+#include "src/mem/memory_hierarchy.h"
+#include "src/trace/instruction.h"
+
+namespace icr::cpu {
+
+struct PipelineConfig {
+  std::uint32_t fetch_width = 4;
+  std::uint32_t decode_width = 4;
+  std::uint32_t issue_width = 4;
+  std::uint32_t commit_width = 4;
+  std::uint32_t ruu_size = 16;
+  std::uint32_t lsq_size = 8;
+  std::uint32_t fetch_queue_size = 16;
+  std::uint32_t mispredict_penalty = 3;
+  FuConfig fus;
+  BranchPredictorConfig branch;
+};
+
+struct PipelineStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t mispredicted_branches = 0;
+  std::uint64_t forwarded_loads = 0;
+  std::uint64_t fetch_stall_cycles = 0;
+  // Loads that delivered a wrong value with no error indication at all.
+  std::uint64_t silent_corrupt_loads = 0;
+  // Loads flagged unrecoverable by the cache (error seen, data lost).
+  std::uint64_t unrecoverable_loads = 0;
+
+  [[nodiscard]] double ipc() const noexcept {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(committed) /
+                             static_cast<double>(cycles);
+  }
+};
+
+class Pipeline {
+ public:
+  Pipeline(PipelineConfig config, trace::TraceSource& source,
+           core::IcrCache& dl1, mem::MemoryHierarchy& hierarchy,
+           fault::FaultInjector* injector = nullptr);
+
+  // Runs until `instruction_count` instructions commit; returns the stats.
+  // `max_cycles` guards against model deadlock (0 = 10000 * instructions).
+  const PipelineStats& run(std::uint64_t instruction_count,
+                           std::uint64_t max_cycles = 0);
+
+  [[nodiscard]] const PipelineStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const BranchPredictor& branch_predictor() const noexcept {
+    return predictor_;
+  }
+  [[nodiscard]] std::uint64_t cycle() const noexcept { return cycle_; }
+
+ private:
+  struct FetchSlot {
+    trace::Instruction instr;
+    std::uint64_t seq = 0;
+    bool mispredicted = false;
+  };
+
+  void do_commit();
+  void do_writeback();
+  void do_issue();
+  void do_dispatch();
+  void do_fetch();
+
+  [[nodiscard]] bool operands_ready(const RuuEntry& entry) noexcept;
+  void verify_load(std::uint64_t addr,
+                   const core::IcrCache::AccessOutcome& outcome);
+
+  PipelineConfig config_;
+  trace::TraceSource& source_;
+  core::IcrCache& dl1_;
+  mem::MemoryHierarchy& hierarchy_;
+  fault::FaultInjector* injector_;
+
+  BranchPredictor predictor_;
+  FunctionalUnits fus_;
+  Ruu ruu_;
+  Lsq lsq_;
+  std::vector<FetchSlot> fetch_queue_;  // FIFO, bounded
+
+  std::uint64_t cycle_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t fetch_blocked_until_ = 0;   // icache miss / mispredict bubble
+  std::uint64_t mispredict_wait_seq_ = 0;   // branch fetch waits on
+  std::uint64_t commit_blocked_until_ = 0;  // write-buffer stalls
+  std::uint64_t current_fetch_block_ = ~std::uint64_t{0};
+  std::optional<trace::Instruction> pending_fetch_;  // stalled on icache miss
+
+  // Architectural register file map: last writer's sequence number (0=none).
+  std::uint64_t reg_writer_[trace::Instruction::kNumRegs] = {};
+
+  // Architectural memory truth for end-to-end verification.
+  std::unordered_map<std::uint64_t, std::uint64_t> golden_;
+
+  PipelineStats stats_;
+};
+
+}  // namespace icr::cpu

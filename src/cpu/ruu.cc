@@ -1,0 +1,47 @@
+#include "src/cpu/ruu.h"
+
+#include "src/util/check.h"
+
+namespace icr::cpu {
+
+Ruu::Ruu(std::uint32_t capacity) : ring_(capacity), capacity_(capacity) {
+  ICR_CHECK(capacity > 0);
+}
+
+RuuEntry& Ruu::push() {
+  ICR_CHECK(!full());
+  const std::uint32_t slot = (head_ + count_) % capacity_;
+  ++count_;
+  ring_[slot] = RuuEntry{};
+  return ring_[slot];
+}
+
+RuuEntry& Ruu::head() noexcept {
+  ICR_DCHECK(!empty());
+  return ring_[head_];
+}
+
+void Ruu::pop() noexcept {
+  ICR_DCHECK(!empty());
+  head_ = (head_ + 1) % capacity_;
+  --count_;
+}
+
+RuuEntry& Ruu::at(std::uint32_t i) noexcept {
+  ICR_DCHECK(i < count_);
+  return ring_[(head_ + i) % capacity_];
+}
+
+const RuuEntry& Ruu::at(std::uint32_t i) const noexcept {
+  ICR_DCHECK(i < count_);
+  return ring_[(head_ + i) % capacity_];
+}
+
+RuuEntry* Ruu::find_seq(std::uint64_t seq) noexcept {
+  for (std::uint32_t i = 0; i < count_; ++i) {
+    if (at(i).seq == seq) return &at(i);
+  }
+  return nullptr;
+}
+
+}  // namespace icr::cpu

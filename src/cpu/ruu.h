@@ -1,0 +1,57 @@
+// Register Update Unit: SimpleScalar's combined reorder buffer + reservation
+// stations (paper Table 1: 16 entries). A circular buffer ordered by fetch
+// sequence; instructions dispatch into the tail, issue out of order from the
+// window, and commit in order from the head.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/instruction.h"
+
+namespace icr::cpu {
+
+struct RuuEntry {
+  trace::Instruction instr;
+  std::uint64_t seq = 0;  // global fetch sequence number (1-based)
+  bool issued = false;
+  bool completed = false;
+  std::uint64_t complete_cycle = 0;
+  bool mispredicted = false;  // branch known (at fetch) to mispredict
+  // Sequence numbers of the producers of src1/src2; 0 = no producer.
+  std::uint64_t src_producer[2] = {0, 0};
+};
+
+class Ruu {
+ public:
+  explicit Ruu(std::uint32_t capacity);
+
+  [[nodiscard]] bool full() const noexcept { return count_ == capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::uint32_t size() const noexcept { return count_; }
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+
+  // Appends at the tail; requires !full().
+  RuuEntry& push();
+
+  // Oldest entry; requires !empty().
+  [[nodiscard]] RuuEntry& head() noexcept;
+
+  // Removes the oldest entry; requires !empty().
+  void pop() noexcept;
+
+  // i-th oldest entry, i < size().
+  [[nodiscard]] RuuEntry& at(std::uint32_t i) noexcept;
+  [[nodiscard]] const RuuEntry& at(std::uint32_t i) const noexcept;
+
+  // Entry with sequence number `seq`, or nullptr if it already committed.
+  [[nodiscard]] RuuEntry* find_seq(std::uint64_t seq) noexcept;
+
+ private:
+  std::vector<RuuEntry> ring_;
+  std::uint32_t capacity_;
+  std::uint32_t head_ = 0;
+  std::uint32_t count_ = 0;
+};
+
+}  // namespace icr::cpu

@@ -1,0 +1,18 @@
+#include "src/energy/energy_model.h"
+
+namespace icr::energy {
+
+EnergyBreakdown EnergyModel::evaluate(const EnergyEvents& events) const {
+  EnergyBreakdown out;
+  out.l1_nj = static_cast<double>(events.l1_reads + events.l1_writes) *
+              params_.l1_access_nj;
+  out.l2_nj = static_cast<double>(events.l2_reads + events.l2_writes) *
+              params_.l2_access_nj;
+  out.parity_nj = static_cast<double>(events.parity_computations) *
+                  params_.parity_fraction * params_.l1_access_nj;
+  out.ecc_nj = static_cast<double>(events.ecc_computations) *
+               params_.ecc_fraction * params_.l1_access_nj;
+  return out;
+}
+
+}  // namespace icr::energy

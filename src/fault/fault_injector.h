@@ -1,0 +1,65 @@
+// Transient-fault injection into the dL1 data arrays (paper §5.5).
+//
+// Errors are injected with a constant per-cycle probability; each injection
+// flips real stored bits in a randomly chosen valid line, so detection and
+// recovery are exercised end-to-end by the parity/ECC/replica machinery.
+// The four models follow Kim & Somani's cache error taxonomy as cited by
+// the paper:
+//   kRandom   — one random bit of one random word in the cache
+//   kAdjacent — two horizontally adjacent bits within the same byte/word
+//               (a double-bit burst: parity at byte granularity misses the
+//               pair when both flips fall in one byte; SEC-DED detects but
+//               cannot correct it)
+//   kColumn   — the same bit position in two vertically adjacent ways
+//               (a bitline defect: two independent single-bit errors in two
+//               different lines)
+//   kDirect   — a strike to one fixed "weak cell" column: a single bit flip
+//               whose bit position is constant across injections
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/icr_cache.h"
+#include "src/util/rng.h"
+
+namespace icr::fault {
+
+enum class FaultModel : std::uint8_t { kRandom, kAdjacent, kColumn, kDirect };
+
+[[nodiscard]] const char* to_string(FaultModel model) noexcept;
+
+struct FaultStats {
+  std::uint64_t injections = 0;     // injection events
+  std::uint64_t bits_flipped = 0;   // total bit flips applied
+  std::uint64_t skipped_empty = 0;  // events with no valid line to hit
+};
+
+class FaultInjector {
+ public:
+  // `probability` is the per-cycle chance of one injection event.
+  FaultInjector(FaultModel model, double probability, Rng rng) noexcept;
+
+  // Called once per simulated cycle; possibly injects into `cache`.
+  void tick(core::IcrCache& cache, std::uint64_t cycle);
+
+  // Forces one injection event immediately (test hook / campaigns).
+  void inject_once(core::IcrCache& cache);
+
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] FaultModel model() const noexcept { return model_; }
+  [[nodiscard]] double probability() const noexcept { return probability_; }
+
+ private:
+  // Picks a uniformly random valid (set, way); false if the cache is empty.
+  bool pick_valid_line(const core::IcrCache& cache, std::uint32_t& set,
+                       std::uint32_t& way);
+
+  FaultModel model_;
+  double probability_;
+  Rng rng_;
+  FaultStats stats_;
+  std::uint32_t direct_bit_ = 0;   // fixed column for kDirect
+  std::uint32_t direct_byte_ = 0;  // fixed byte offset for kDirect
+};
+
+}  // namespace icr::fault

@@ -1,0 +1,33 @@
+#include "src/mem/cache_geometry.h"
+
+#include <stdexcept>
+
+#include "src/util/bitops.h"
+
+namespace icr::mem {
+
+void CacheGeometry::validate() const {
+  if (!is_pow2(size_bytes) || !is_pow2(line_bytes) || !is_pow2(associativity)) {
+    throw std::invalid_argument("CacheGeometry: all fields must be powers of 2");
+  }
+  if (line_bytes < 8) {
+    throw std::invalid_argument("CacheGeometry: line must hold >= one word");
+  }
+  if (size_bytes < line_bytes * associativity) {
+    throw std::invalid_argument("CacheGeometry: size < one set");
+  }
+}
+
+CacheGeometry l1d_geometry_default() noexcept {
+  return CacheGeometry{16 * 1024, 64, 4};
+}
+
+CacheGeometry l1i_geometry_default() noexcept {
+  return CacheGeometry{16 * 1024, 32, 1};
+}
+
+CacheGeometry l2_geometry_default() noexcept {
+  return CacheGeometry{256 * 1024, 64, 4};
+}
+
+}  // namespace icr::mem

@@ -1,0 +1,40 @@
+// Cache geometry: sizes, index/tag decomposition, address helpers.
+#pragma once
+
+#include <cstdint>
+
+namespace icr::mem {
+
+// Describes a set-associative cache. All fields must be powers of two and
+// consistent (size = sets * ways * line). Validated by `validate()`.
+struct CacheGeometry {
+  std::uint32_t size_bytes = 16 * 1024;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t associativity = 4;
+
+  // Throws std::invalid_argument if the geometry is malformed.
+  void validate() const;
+
+  [[nodiscard]] std::uint32_t num_sets() const noexcept {
+    return size_bytes / (line_bytes * associativity);
+  }
+  [[nodiscard]] std::uint64_t block_address(std::uint64_t addr) const noexcept {
+    return addr & ~static_cast<std::uint64_t>(line_bytes - 1);
+  }
+  [[nodiscard]] std::uint32_t set_index(std::uint64_t addr) const noexcept {
+    return static_cast<std::uint32_t>((addr / line_bytes) % num_sets());
+  }
+  [[nodiscard]] std::uint32_t line_offset(std::uint64_t addr) const noexcept {
+    return static_cast<std::uint32_t>(addr & (line_bytes - 1));
+  }
+  [[nodiscard]] std::uint32_t words_per_line() const noexcept {
+    return line_bytes / 8;
+  }
+};
+
+// Paper Table 1 geometries.
+[[nodiscard]] CacheGeometry l1d_geometry_default() noexcept;  // 16KB 4-way 64B
+[[nodiscard]] CacheGeometry l1i_geometry_default() noexcept;  // 16KB 1-way 32B
+[[nodiscard]] CacheGeometry l2_geometry_default() noexcept;   // 256KB 4-way 64B
+
+}  // namespace icr::mem

@@ -1,0 +1,63 @@
+#include "src/mem/write_buffer.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace icr::mem {
+
+WriteBuffer::WriteBuffer(std::uint32_t capacity, std::uint32_t drain_latency)
+    : capacity_(capacity), drain_latency_(drain_latency) {
+  ICR_CHECK(capacity > 0);
+  ICR_CHECK(drain_latency > 0);
+}
+
+void WriteBuffer::drain_to(std::uint64_t cycle) {
+  while (!entries_.empty()) {
+    // The head entry's drain completes at next_drain_done_; start it if idle.
+    if (next_drain_done_ == 0) {
+      next_drain_done_ = cycle + drain_latency_;
+    }
+    if (next_drain_done_ > cycle) break;
+    entries_.pop_front();
+    ++drained_writes_;
+    next_drain_done_ =
+        entries_.empty() ? 0 : next_drain_done_ + drain_latency_;
+  }
+}
+
+std::uint32_t WriteBuffer::pending_drain_delay(std::uint64_t cycle) {
+  drain_to(cycle);
+  if (entries_.empty()) return 0;
+  const std::uint64_t backlog_done =
+      next_drain_done_ +
+      (entries_.size() - 1) * static_cast<std::uint64_t>(drain_latency_);
+  return backlog_done > cycle ? static_cast<std::uint32_t>(backlog_done - cycle)
+                              : 0;
+}
+
+std::uint32_t WriteBuffer::push(std::uint64_t block_addr, std::uint64_t cycle) {
+  drain_to(cycle);
+
+  if (std::find(entries_.begin(), entries_.end(), block_addr) !=
+      entries_.end()) {
+    ++coalesced_writes_;
+    return 0;
+  }
+
+  std::uint32_t stall = 0;
+  if (entries_.size() >= capacity_) {
+    // Wait for the in-flight drain to free the head slot.
+    ICR_CHECK(next_drain_done_ > cycle);
+    stall = static_cast<std::uint32_t>(next_drain_done_ - cycle);
+    stall_cycles_ += stall;
+    drain_to(next_drain_done_);
+  }
+  if (entries_.empty() && next_drain_done_ == 0) {
+    next_drain_done_ = cycle + stall + drain_latency_;
+  }
+  entries_.push_back(block_addr);
+  return stall;
+}
+
+}  // namespace icr::mem

@@ -1,0 +1,57 @@
+// Coalescing write buffer between a write-through L1 and the L2.
+//
+// Models the structure the paper's §5.8 comparison assumes (after Skadron &
+// Clark): stores deposit their block into the buffer; one buffered block
+// drains to L2 every `drain_latency` cycles while the buffer is non-empty;
+// a store to a block already buffered coalesces for free; a store arriving
+// at a full buffer stalls the processor until the oldest entry drains.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+namespace icr::mem {
+
+class WriteBuffer {
+ public:
+  // `capacity` entries (paper: 8), each drain occupies L2 for
+  // `drain_latency` cycles (paper: 6, the L2 access latency).
+  WriteBuffer(std::uint32_t capacity, std::uint32_t drain_latency);
+
+  // Offers a store to `block_addr` at time `cycle`; returns the stall cycles
+  // the store suffers (0 on coalesce or free slot).
+  std::uint32_t push(std::uint64_t block_addr, std::uint64_t cycle);
+
+  // Retires every entry whose drain completes at or before `cycle`.
+  void drain_to(std::uint64_t cycle);
+
+  // Cycles a demand miss arriving at `cycle` waits for the L2 port: the
+  // buffer's drains occupy L2 FIFO-fashion and are not preempted (the
+  // pessimistic single-ported model of Skadron & Clark that the paper's
+  // §5.8 write-through slowdown rests on).
+  [[nodiscard]] std::uint32_t pending_drain_delay(std::uint64_t cycle);
+
+  [[nodiscard]] std::size_t occupancy() const noexcept {
+    return entries_.size();
+  }
+  [[nodiscard]] std::uint64_t drained_writes() const noexcept {
+    return drained_writes_;
+  }
+  [[nodiscard]] std::uint64_t coalesced_writes() const noexcept {
+    return coalesced_writes_;
+  }
+  [[nodiscard]] std::uint64_t stall_cycles() const noexcept {
+    return stall_cycles_;
+  }
+
+ private:
+  std::uint32_t capacity_;
+  std::uint32_t drain_latency_;
+  std::deque<std::uint64_t> entries_;  // FIFO of block addresses
+  std::uint64_t next_drain_done_ = 0;  // completion time of in-flight drain
+  std::uint64_t drained_writes_ = 0;
+  std::uint64_t coalesced_writes_ = 0;
+  std::uint64_t stall_cycles_ = 0;
+};
+
+}  // namespace icr::mem

@@ -1,0 +1,15 @@
+#include "src/sim/config.h"
+
+#include <cstdlib>
+
+namespace icr::sim {
+
+std::uint64_t default_instruction_count() {
+  if (const char* env = std::getenv("ICR_SIM_INSTRUCTIONS")) {
+    const std::uint64_t n = std::strtoull(env, nullptr, 10);
+    if (n > 0) return n;
+  }
+  return 1'000'000;
+}
+
+}  // namespace icr::sim

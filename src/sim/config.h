@@ -1,0 +1,38 @@
+// The paper's Table 1 configuration, expressed over all subsystems.
+#pragma once
+
+#include <cstdint>
+
+#include "src/cpu/pipeline.h"
+#include "src/energy/energy_model.h"
+#include "src/fault/fault_injector.h"
+#include "src/mem/cache_geometry.h"
+#include "src/mem/memory_hierarchy.h"
+
+namespace icr::sim {
+
+struct SimConfig {
+  cpu::PipelineConfig pipeline;                       // 4-wide, RUU 16, LSQ 8
+  mem::HierarchyConfig hierarchy;                     // L1I/L2/memory
+  mem::CacheGeometry dl1 = mem::l1d_geometry_default();  // 16KB 4-way 64B
+
+  energy::EnergyParams energy;
+
+  fault::FaultModel fault_model = fault::FaultModel::kRandom;
+  double fault_probability = 0.0;  // per-cycle injection probability
+  std::uint64_t fault_seed = 0x5EED;
+
+  // Kim&Somani duplication-buffer baseline: 0 = disabled, otherwise the
+  // number of word entries in the attached R-Cache.
+  std::uint32_t rcache_entries = 0;
+
+  // The Table-1 defaults (constructed members already match the paper).
+  [[nodiscard]] static SimConfig table1() { return SimConfig{}; }
+};
+
+// Number of instructions benches simulate per (app, scheme) point.
+// Overridable with the ICR_SIM_INSTRUCTIONS environment variable; the paper
+// ran 500M, our synthetic workloads converge within ~1M (see DESIGN.md).
+[[nodiscard]] std::uint64_t default_instruction_count();
+
+}  // namespace icr::sim

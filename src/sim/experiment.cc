@@ -1,0 +1,47 @@
+#include "src/sim/experiment.h"
+
+namespace icr::sim {
+
+RunResult run_one(trace::App app, const core::Scheme& scheme,
+                  const SimConfig& config, std::uint64_t instructions) {
+  if (instructions == 0) instructions = default_instruction_count();
+  Simulator simulator(config, scheme, trace::profile_for(app));
+  return simulator.run(instructions);
+}
+
+std::vector<RunResult> run_all_apps(const core::Scheme& scheme,
+                                    const SimConfig& config,
+                                    std::uint64_t instructions) {
+  std::vector<RunResult> results;
+  for (trace::App app : trace::all_apps()) {
+    results.push_back(run_one(app, scheme, config, instructions));
+  }
+  return results;
+}
+
+std::vector<std::vector<RunResult>> run_matrix(
+    const std::vector<SchemeVariant>& variants,
+    const std::vector<trace::App>& apps, const SimConfig& config,
+    std::uint64_t instructions) {
+  std::vector<std::vector<RunResult>> matrix;
+  matrix.reserve(variants.size());
+  for (const SchemeVariant& variant : variants) {
+    std::vector<RunResult> row;
+    row.reserve(apps.size());
+    for (trace::App app : apps) {
+      row.push_back(run_one(app, variant.scheme, config, instructions));
+      row.back().scheme = variant.label;
+    }
+    matrix.push_back(std::move(row));
+  }
+  return matrix;
+}
+
+std::vector<std::string> app_names(const std::vector<trace::App>& apps) {
+  std::vector<std::string> names;
+  names.reserve(apps.size());
+  for (trace::App app : apps) names.emplace_back(trace::to_string(app));
+  return names;
+}
+
+}  // namespace icr::sim

@@ -1,0 +1,46 @@
+// Experiment runner shared by every bench binary: runs (app x scheme)
+// matrices with the Table-1 configuration and caches nothing — each bench
+// is a standalone reproduction of one paper figure/table.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/scheme.h"
+#include "src/sim/config.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+#include "src/trace/workloads.h"
+
+namespace icr::sim {
+
+// Runs `scheme` on `app` for `instructions` (0 = default_instruction_count).
+[[nodiscard]] RunResult run_one(trace::App app, const core::Scheme& scheme,
+                                const SimConfig& config = SimConfig::table1(),
+                                std::uint64_t instructions = 0);
+
+// Runs `scheme` on every paper application.
+[[nodiscard]] std::vector<RunResult> run_all_apps(
+    const core::Scheme& scheme, const SimConfig& config = SimConfig::table1(),
+    std::uint64_t instructions = 0);
+
+// One column of a figure: a labelled scheme (+config) variant.
+struct SchemeVariant {
+  std::string label;
+  core::Scheme scheme;
+};
+
+// Runs every variant over every app; result[v][a] aligns with inputs.
+[[nodiscard]] std::vector<std::vector<RunResult>> run_matrix(
+    const std::vector<SchemeVariant>& variants,
+    const std::vector<trace::App>& apps,
+    const SimConfig& config = SimConfig::table1(),
+    std::uint64_t instructions = 0);
+
+// Application display names in paper order.
+[[nodiscard]] std::vector<std::string> app_names(
+    const std::vector<trace::App>& apps);
+
+}  // namespace icr::sim

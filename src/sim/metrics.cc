@@ -1,0 +1,25 @@
+#include "src/sim/metrics.h"
+
+namespace icr::sim {
+
+double normalized_cycles(const RunResult& result,
+                         const RunResult& baseline) noexcept {
+  return baseline.cycles == 0 ? 0.0
+                              : static_cast<double>(result.cycles) /
+                                    static_cast<double>(baseline.cycles);
+}
+
+double normalized_energy(const RunResult& result,
+                         const RunResult& baseline) noexcept {
+  const double base = baseline.energy.total_nj();
+  return base == 0.0 ? 0.0 : result.energy.total_nj() / base;
+}
+
+double mean(const std::vector<double>& values) noexcept {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace icr::sim

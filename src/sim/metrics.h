@@ -1,0 +1,55 @@
+// The consolidated result of one simulation run: every metric the paper
+// reports (§4.1) plus the engineering counters behind them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/baselines/rcache.h"
+#include "src/core/icr_cache.h"
+#include "src/cpu/branch_predictor.h"
+#include "src/cpu/pipeline.h"
+#include "src/energy/energy_model.h"
+#include "src/fault/fault_injector.h"
+#include "src/mem/set_assoc_cache.h"
+
+namespace icr::sim {
+
+struct RunResult {
+  std::string scheme;
+  std::string app;
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;  // paper metric: Execution Cycles
+
+  core::IcrStats dl1;
+  mem::CacheStats l1i;
+  mem::CacheStats l2;
+  cpu::PipelineStats pipeline;
+  cpu::BranchPredictorStats branch;
+  fault::FaultStats faults;
+  baselines::RCacheStats rcache;  // all-zero unless an R-Cache is attached
+
+  energy::EnergyEvents energy_events;
+  energy::EnergyBreakdown energy;  // paper metric: Energy (dL1 + L2)
+
+  [[nodiscard]] double ipc() const noexcept {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instructions) /
+                             static_cast<double>(cycles);
+  }
+};
+
+// cycles(result) / cycles(baseline) — the paper's normalized execution
+// cycles (Fig. 9, 11, 12, 15-17).
+[[nodiscard]] double normalized_cycles(const RunResult& result,
+                                       const RunResult& baseline) noexcept;
+
+// energy(result) / energy(baseline).
+[[nodiscard]] double normalized_energy(const RunResult& result,
+                                       const RunResult& baseline) noexcept;
+
+// Arithmetic mean of a metric over per-app values.
+[[nodiscard]] double mean(const std::vector<double>& values) noexcept;
+
+}  // namespace icr::sim

@@ -1,0 +1,58 @@
+#include "src/sim/simulator.h"
+
+namespace icr::sim {
+
+Simulator::Simulator(SimConfig config, core::Scheme scheme,
+                     trace::WorkloadProfile profile)
+    : config_(config), scheme_(std::move(scheme)), app_name_(profile.name) {
+  workload_ = std::make_unique<trace::SyntheticWorkload>(std::move(profile));
+  hierarchy_ = std::make_unique<mem::MemoryHierarchy>(config_.hierarchy);
+  dl1_ = std::make_unique<core::IcrCache>(config_.dl1, scheme_, *hierarchy_);
+  if (config_.rcache_entries > 0) {
+    rcache_ = std::make_unique<baselines::RCache>(config_.rcache_entries);
+    dl1_->attach_rcache(rcache_.get());
+  }
+  if (config_.fault_probability > 0.0) {
+    injector_ = std::make_unique<fault::FaultInjector>(
+        config_.fault_model, config_.fault_probability,
+        Rng(config_.fault_seed));
+  }
+  pipeline_ = std::make_unique<cpu::Pipeline>(
+      config_.pipeline, *workload_, *dl1_, *hierarchy_, injector_.get());
+}
+
+RunResult Simulator::run(std::uint64_t instructions) {
+  pipeline_->run(instructions);
+  return result();
+}
+
+RunResult Simulator::result() const {
+  RunResult r;
+  r.scheme = scheme_.name;
+  r.app = app_name_;
+  r.instructions = pipeline_->stats().committed;
+  r.cycles = pipeline_->stats().cycles;
+  r.dl1 = dl1_->stats();
+  r.l1i = hierarchy_->l1i().stats();
+  r.l2 = hierarchy_->l2().stats();
+  r.pipeline = pipeline_->stats();
+  r.branch = pipeline_->branch_predictor().stats();
+  if (injector_ != nullptr) r.faults = injector_->stats();
+  if (rcache_ != nullptr) r.rcache = rcache_->stats();
+
+  // Paper energy metric: dynamic energy of dL1 + L2 data accesses (§4.1).
+  energy::EnergyEvents& ev = r.energy_events;
+  ev.l1_reads = r.dl1.l1_read_accesses;
+  ev.l1_writes = r.dl1.l1_write_accesses;
+  ev.l2_reads = hierarchy_->l2_read_accesses() - hierarchy_->l2_ifetch_reads();
+  ev.l2_writes = hierarchy_->l2_write_accesses();
+  if (const mem::WriteBuffer* wb = dl1_->write_buffer()) {
+    ev.l2_writes += wb->drained_writes() + wb->occupancy();
+  }
+  ev.parity_computations = r.dl1.parity_computations;
+  ev.ecc_computations = r.dl1.ecc_computations;
+  r.energy = energy::EnergyModel(config_.energy).evaluate(ev);
+  return r;
+}
+
+}  // namespace icr::sim

@@ -1,0 +1,52 @@
+// Wires one complete system — workload, OoO core, ICR dL1, hierarchy,
+// fault injector, energy model — and runs it. This is the library's main
+// entry point; see examples/quickstart.cpp.
+#pragma once
+
+#include <memory>
+
+#include "src/baselines/rcache.h"
+#include "src/core/icr_cache.h"
+#include "src/core/scheme.h"
+#include "src/cpu/pipeline.h"
+#include "src/fault/fault_injector.h"
+#include "src/mem/memory_hierarchy.h"
+#include "src/sim/config.h"
+#include "src/sim/metrics.h"
+#include "src/trace/workloads.h"
+
+namespace icr::sim {
+
+class Simulator {
+ public:
+  Simulator(SimConfig config, core::Scheme scheme,
+            trace::WorkloadProfile profile);
+
+  // Runs `instructions` more instructions and returns cumulative results.
+  RunResult run(std::uint64_t instructions);
+
+  [[nodiscard]] core::IcrCache& dl1() noexcept { return *dl1_; }
+  [[nodiscard]] mem::MemoryHierarchy& hierarchy() noexcept {
+    return *hierarchy_;
+  }
+  [[nodiscard]] cpu::Pipeline& pipeline() noexcept { return *pipeline_; }
+  [[nodiscard]] fault::FaultInjector* injector() noexcept {
+    return injector_.get();
+  }
+
+  // Snapshot of all metrics without running further.
+  [[nodiscard]] RunResult result() const;
+
+ private:
+  SimConfig config_;
+  core::Scheme scheme_;
+  std::unique_ptr<trace::SyntheticWorkload> workload_;
+  std::unique_ptr<mem::MemoryHierarchy> hierarchy_;
+  std::unique_ptr<core::IcrCache> dl1_;
+  std::unique_ptr<baselines::RCache> rcache_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<cpu::Pipeline> pipeline_;
+  std::string app_name_;
+};
+
+}  // namespace icr::sim

@@ -1,0 +1,29 @@
+#include "src/trace/instruction.h"
+
+namespace icr::trace {
+
+const char* to_string(OpClass op) noexcept {
+  switch (op) {
+    case OpClass::kIntAlu:
+      return "ialu";
+    case OpClass::kIntMul:
+      return "imul";
+    case OpClass::kIntDiv:
+      return "idiv";
+    case OpClass::kFpAlu:
+      return "falu";
+    case OpClass::kFpMul:
+      return "fmul";
+    case OpClass::kFpDiv:
+      return "fdiv";
+    case OpClass::kLoad:
+      return "load";
+    case OpClass::kStore:
+      return "store";
+    case OpClass::kBranch:
+      return "branch";
+  }
+  return "?";
+}
+
+}  // namespace icr::trace

@@ -1,0 +1,130 @@
+#include "src/trace/trace_file.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace icr::trace {
+namespace {
+
+constexpr char kMagic[4] = {'I', 'C', 'R', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+// On-disk record layout (packed manually for portability).
+struct RawRecord {
+  std::uint64_t pc;
+  std::uint64_t mem_addr;
+  std::uint64_t store_value;
+  std::uint64_t next_pc;
+  std::uint8_t op;
+  std::uint8_t branch_taken;
+  std::int16_t dest;
+  std::int16_t src1;
+  std::int16_t src2;
+};
+static_assert(sizeof(RawRecord) == 40, "trace record layout drifted");
+
+RawRecord pack(const Instruction& i) {
+  RawRecord r{};
+  r.pc = i.pc;
+  r.mem_addr = i.mem_addr;
+  r.store_value = i.store_value;
+  r.next_pc = i.next_pc;
+  r.op = static_cast<std::uint8_t>(i.op);
+  r.branch_taken = i.branch_taken ? 1 : 0;
+  r.dest = i.dest;
+  r.src1 = i.src1;
+  r.src2 = i.src2;
+  return r;
+}
+
+Instruction unpack(const RawRecord& r) {
+  Instruction i;
+  i.pc = r.pc;
+  i.mem_addr = r.mem_addr;
+  i.store_value = r.store_value;
+  i.next_pc = r.next_pc;
+  i.op = static_cast<OpClass>(r.op);
+  i.branch_taken = r.branch_taken != 0;
+  i.dest = r.dest;
+  i.src1 = r.src1;
+  i.src2 = r.src2;
+  return i;
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) {
+    throw std::runtime_error("TraceWriter: cannot open " + path);
+  }
+  // Placeholder header; count is patched in close().
+  out_.write(kMagic, sizeof kMagic);
+  out_.write(reinterpret_cast<const char*>(&kVersion), sizeof kVersion);
+  const std::uint64_t zero = 0;
+  out_.write(reinterpret_cast<const char*>(&zero), sizeof zero);
+}
+
+TraceWriter::~TraceWriter() { close(); }
+
+void TraceWriter::write(const Instruction& instruction) {
+  const RawRecord r = pack(instruction);
+  out_.write(reinterpret_cast<const char*>(&r), sizeof r);
+  ++count_;
+}
+
+void TraceWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  out_.seekp(8);
+  out_.write(reinterpret_cast<const char*>(&count_), sizeof count_);
+  out_.close();
+}
+
+FileTraceSource::FileTraceSource(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("FileTraceSource: cannot open " + path);
+  }
+  char magic[4];
+  std::uint32_t version = 0;
+  std::uint64_t count = 0;
+  in.read(magic, sizeof magic);
+  in.read(reinterpret_cast<char*>(&version), sizeof version);
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("FileTraceSource: bad magic in " + path);
+  }
+  if (version != kVersion) {
+    throw std::runtime_error("FileTraceSource: unsupported version");
+  }
+  if (count == 0) {
+    throw std::runtime_error("FileTraceSource: empty trace");
+  }
+  records_.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t n = 0; n < count; ++n) {
+    RawRecord r{};
+    in.read(reinterpret_cast<char*>(&r), sizeof r);
+    if (!in) {
+      throw std::runtime_error("FileTraceSource: truncated trace");
+    }
+    records_.push_back(unpack(r));
+  }
+}
+
+Instruction FileTraceSource::next() {
+  const Instruction i = records_[pos_];
+  pos_ = (pos_ + 1) % records_.size();
+  return i;
+}
+
+void record_trace(TraceSource& source, std::uint64_t count,
+                  const std::string& path) {
+  TraceWriter writer(path);
+  for (std::uint64_t n = 0; n < count; ++n) {
+    writer.write(source.next());
+  }
+  writer.close();
+}
+
+}  // namespace icr::trace

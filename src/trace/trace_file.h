@@ -1,0 +1,67 @@
+// Binary trace capture & replay.
+//
+// Any TraceSource can be recorded to a compact binary file and replayed
+// deterministically later — e.g. to pin a regression trace, to share a
+// workload without sharing its generator, or to feed externally produced
+// traces (a SimpleScalar/gem5 converter only needs to emit this format).
+//
+// Format: a 16-byte header (magic "ICRT", u32 version, u64 record count)
+// followed by fixed-size little-endian records. Replays loop at the end of
+// file, matching the infinite-stream contract of TraceSource.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/trace/instruction.h"
+
+namespace icr::trace {
+
+class TraceWriter {
+ public:
+  // Creates/truncates `path`; throws std::runtime_error if unwritable.
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void write(const Instruction& instruction);
+
+  // Finalizes the header; called automatically by the destructor.
+  void close();
+
+  [[nodiscard]] std::uint64_t written() const noexcept { return count_; }
+
+ private:
+  std::ofstream out_;
+  std::uint64_t count_ = 0;
+  bool closed_ = false;
+};
+
+// Replays a recorded trace as an infinite stream (loops at EOF).
+class FileTraceSource final : public TraceSource {
+ public:
+  // Loads the whole trace into memory (traces for this simulator are small
+  // — tens of MB for millions of instructions); throws std::runtime_error
+  // on a missing/corrupt file.
+  explicit FileTraceSource(const std::string& path);
+
+  Instruction next() override;
+
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return static_cast<std::uint64_t>(records_.size());
+  }
+
+ private:
+  std::vector<Instruction> records_;
+  std::size_t pos_ = 0;
+};
+
+// Convenience: records `count` instructions of `source` into `path`.
+void record_trace(TraceSource& source, std::uint64_t count,
+                  const std::string& path);
+
+}  // namespace icr::trace

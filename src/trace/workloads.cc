@@ -1,0 +1,344 @@
+#include "src/trace/workloads.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace icr::trace {
+
+const char* to_string(App app) noexcept {
+  switch (app) {
+    case App::kGzip:
+      return "gzip";
+    case App::kVpr:
+      return "vpr";
+    case App::kGcc:
+      return "gcc";
+    case App::kMcf:
+      return "mcf";
+    case App::kParser:
+      return "parser";
+    case App::kMesa:
+      return "mesa";
+    case App::kVortex:
+      return "vortex";
+    case App::kBzip2:
+      return "bzip2";
+  }
+  return "?";
+}
+
+std::vector<App> all_apps() {
+  return {App::kGzip, App::kVpr,  App::kGcc,    App::kMcf,
+          App::kParser, App::kMesa, App::kVortex, App::kBzip2};
+}
+
+namespace {
+
+PatternSpec zipf(double w, std::uint64_t region, double theta) {
+  PatternSpec p;
+  p.kind = PatternSpec::Kind::kZipf;
+  p.weight = w;
+  p.region_bytes = region;
+  p.zipf_theta = theta;
+  return p;
+}
+
+PatternSpec seq(double w, std::uint64_t region, std::uint32_t stride = 8) {
+  PatternSpec p;
+  p.kind = PatternSpec::Kind::kSequential;
+  p.weight = w;
+  p.region_bytes = region;
+  p.stride_bytes = stride;
+  return p;
+}
+
+PatternSpec stride(double w, std::uint64_t region, std::uint32_t step) {
+  PatternSpec p;
+  p.kind = PatternSpec::Kind::kStride;
+  p.weight = w;
+  p.region_bytes = region;
+  p.stride_bytes = step;
+  return p;
+}
+
+PatternSpec chase(double w, std::uint64_t region,
+                  std::uint32_t node_bytes = 64) {
+  PatternSpec p;
+  p.kind = PatternSpec::Kind::kChase;
+  p.weight = w;
+  p.region_bytes = region;
+  p.node_bytes = node_bytes;
+  return p;
+}
+
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * 1024;
+
+}  // namespace
+
+WorkloadProfile profile_for(App app) {
+  WorkloadProfile p;
+  p.name = to_string(app);
+  switch (app) {
+    case App::kGzip:
+      // Streaming compressor: linear input scan + hot dictionary/huffman
+      // tables; very predictable inner loops.
+      p.load_frac = 0.33;
+      p.store_frac = 0.11;
+      p.branch_frac = 0.13;
+      p.patterns = {seq(0.15, 512 * KiB), zipf(0.85, 14 * KiB, 1.30)};
+      p.hard_branch_frac = 0.05;
+      p.code_footprint_bytes = 8 * KiB;
+      p.seed = 0x671Au;
+      break;
+    case App::kVpr:
+      // Place & route: medium working set with good locality, a strided
+      // routing-grid component, moderately hard branches.
+      p.load_frac = 0.33;
+      p.store_frac = 0.12;
+      p.branch_frac = 0.14;
+      p.fp_alu_frac = 0.08;
+      p.patterns = {zipf(0.90, 14 * KiB, 1.30), stride(0.10, 6 * KiB, 136)};
+      p.hard_branch_frac = 0.10;
+      p.code_footprint_bytes = 12 * KiB;
+      p.seed = 0x4412u;
+      break;
+    case App::kGcc:
+      // Compiler: large data and code footprints, pointer-linked IR,
+      // branchy and moderately unpredictable.
+      p.load_frac = 0.32;
+      p.store_frac = 0.13;
+      p.branch_frac = 0.18;
+      p.patterns = {zipf(0.86, 16 * KiB, 1.35), seq(0.08, 256 * KiB),
+                    chase(0.06, 48 * KiB)};
+      p.dependent_load_frac = 0.25;
+      p.hard_branch_frac = 0.10;
+      p.code_footprint_bytes = 48 * KiB;
+      p.seed = 0x6CCu;
+      break;
+    case App::kMcf:
+      // Network-simplex: dominated by a pointer chase over a region far
+      // larger than any cache; a tiny hot set (node headers) is nearly the
+      // only reuse — which ICR replicates almost completely (paper §5.2).
+      p.load_frac = 0.36;
+      p.store_frac = 0.08;
+      p.branch_frac = 0.12;
+      p.patterns = {chase(0.35, 2 * MiB), zipf(0.65, 8 * KiB, 1.20)};
+      p.dependent_load_frac = 0.70;
+      p.hard_branch_frac = 0.12;
+      p.code_footprint_bytes = 4 * KiB;
+      p.seed = 0x3CFu;
+      break;
+    case App::kParser:
+      // Link-grammar parser: pointer-heavy dictionary walks plus a medium
+      // hot set.
+      p.load_frac = 0.33;
+      p.store_frac = 0.12;
+      p.branch_frac = 0.16;
+      p.patterns = {chase(0.04, 128 * KiB), zipf(0.88, 12 * KiB, 1.35),
+                    seq(0.08, 64 * KiB)};
+      p.dependent_load_frac = 0.35;
+      p.hard_branch_frac = 0.10;
+      p.code_footprint_bytes = 24 * KiB;
+      p.seed = 0x9A55u;
+      break;
+    case App::kMesa:
+      // Software renderer: FP heavy, streaming vertex/span walks over a
+      // working set that just about fits the dL1 — extra evictions from
+      // replication visibly raise its miss rate (paper Fig. 4).
+      p.load_frac = 0.31;
+      p.store_frac = 0.08;
+      p.branch_frac = 0.08;
+      p.fp_alu_frac = 0.20;
+      p.fp_mul_frac = 0.08;
+      p.patterns = {seq(0.45, 6 * KiB), stride(0.20, 6 * KiB, 264),
+                    zipf(0.35, 8 * KiB, 1.10)};
+      p.hard_branch_frac = 0.04;
+      p.code_footprint_bytes = 16 * KiB;
+      p.seed = 0x3E5Au;
+      break;
+    case App::kVortex:
+      // OO database: skewed object accesses, index chases, sizable stores.
+      p.load_frac = 0.33;
+      p.store_frac = 0.15;
+      p.branch_frac = 0.14;
+      p.patterns = {zipf(0.89, 14 * KiB, 1.35), chase(0.03, 96 * KiB),
+                    seq(0.08, 128 * KiB)};
+      p.dependent_load_frac = 0.20;
+      p.hard_branch_frac = 0.08;
+      p.code_footprint_bytes = 32 * KiB;
+      p.seed = 0x0F0Fu;
+      break;
+    case App::kBzip2:
+      // Block-sorting compressor: long sequential scans over large blocks
+      // plus a hot bucket table.
+      p.load_frac = 0.33;
+      p.store_frac = 0.11;
+      p.branch_frac = 0.11;
+      p.patterns = {seq(0.18, 1 * MiB), zipf(0.82, 14 * KiB, 1.30)};
+      p.hard_branch_frac = 0.07;
+      p.code_footprint_bytes = 8 * KiB;
+      p.seed = 0xB21Bu;
+      break;
+  }
+  return p;
+}
+
+SyntheticWorkload::SyntheticWorkload(WorkloadProfile profile)
+    : profile_(std::move(profile)), rng_(profile_.seed) {
+  ICR_CHECK(!profile_.patterns.empty());
+  memory_ = std::make_unique<MixturePattern>();
+  std::uint64_t base = 0x1000'0000ULL;
+  for (const PatternSpec& spec : profile_.patterns) {
+    std::unique_ptr<AddressPattern> pattern;
+    switch (spec.kind) {
+      case PatternSpec::Kind::kZipf:
+        pattern = std::make_unique<ZipfBlocks>(base, spec.region_bytes,
+                                               spec.zipf_theta);
+        is_chase_component_.push_back(false);
+        break;
+      case PatternSpec::Kind::kSequential:
+      case PatternSpec::Kind::kStride:
+        pattern = std::make_unique<SequentialStream>(base, spec.region_bytes,
+                                                     spec.stride_bytes);
+        is_chase_component_.push_back(false);
+        break;
+      case PatternSpec::Kind::kChase:
+        pattern = std::make_unique<PointerChase>(base, spec.region_bytes,
+                                                 spec.node_bytes, rng_);
+        is_chase_component_.push_back(true);
+        break;
+    }
+    memory_->add(spec.weight, std::move(pattern));
+    base += 0x1000'0000ULL;  // disjoint data regions
+  }
+  code_base_ = 0x0040'0000ULL;
+  pc_ = code_base_;
+  recent_dests_.assign(16, 1);
+  site_visits_.assign(profile_.code_footprint_bytes / 4, 0);
+}
+
+OpClass SyntheticWorkload::pick_op() {
+  double u = rng_.next_double();
+  const WorkloadProfile& p = profile_;
+  if ((u -= p.load_frac) < 0) return OpClass::kLoad;
+  if ((u -= p.store_frac) < 0) return OpClass::kStore;
+  if ((u -= p.branch_frac) < 0) return OpClass::kBranch;
+  if ((u -= p.fp_alu_frac) < 0) return OpClass::kFpAlu;
+  if ((u -= p.fp_mul_frac) < 0) return OpClass::kFpMul;
+  if ((u -= p.int_mul_frac) < 0) return OpClass::kIntMul;
+  return OpClass::kIntAlu;
+}
+
+std::int16_t SyntheticWorkload::pick_source() {
+  // A quarter of the operands come from the immediately preceding producer
+  // (tight dependence chains); the rest are drawn uniformly from a 16-deep
+  // producer window, leaving the out-of-order core ILP to extract.
+  const std::size_t n = recent_dests_.size();
+  if (rng_.bernoulli(0.25)) return recent_dests_[n - 1];
+  return recent_dests_[static_cast<std::size_t>(rng_.next_below(n))];
+}
+
+void SyntheticWorkload::advance_pc(Instruction& instr) {
+  const std::uint64_t footprint = profile_.code_footprint_bytes;
+  auto wrap = [&](std::uint64_t pc) {
+    return code_base_ + ((pc - code_base_) % footprint);
+  };
+
+  if (!instr.is_branch()) {
+    instr.next_pc = wrap(instr.pc + 4);
+    pc_ = instr.next_pc;
+    return;
+  }
+
+  const std::size_t site = static_cast<std::size_t>(
+      ((instr.pc - code_base_) / 4) % site_visits_.size());
+  const bool hard = rng_.bernoulli(profile_.hard_branch_frac);
+  bool taken;
+  if (hard) {
+    taken = rng_.bernoulli(profile_.hard_branch_taken);
+  } else {
+    // Loop-end branch: taken (trip-1) times, then falls through — a
+    // periodic pattern the two-level predictor can learn.
+    const std::uint16_t trip =
+        static_cast<std::uint16_t>(8 + (mix64(instr.pc) % 24));
+    taken = (site_visits_[site] % trip) != trip - 1u;
+  }
+  ++site_visits_[site];
+
+  instr.branch_taken = taken;
+  if (taken) {
+    // Backward loop target derived deterministically from the site, so the
+    // BTB sees a stable target.
+    const std::uint64_t loop_len = 16 + (mix64(instr.pc ^ 0xB5) % 48) * 4;
+    instr.next_pc =
+        instr.pc >= code_base_ + loop_len ? instr.pc - loop_len
+                                          : wrap(instr.pc + 4 + loop_len);
+  } else {
+    instr.next_pc = wrap(instr.pc + 4);
+  }
+  pc_ = instr.next_pc;
+}
+
+Instruction SyntheticWorkload::next() {
+  Instruction instr;
+  instr.pc = pc_;
+  instr.op = pick_op();
+  ++seq_;
+
+  const std::int16_t dest = static_cast<std::int16_t>(1 + (seq_ % 48));
+
+  // Loads always join the spine — address arithmetic feeding loads feeding
+  // consumers is the canonical dependence shape that puts dL1 hit latency on
+  // the critical path — while other ops join with probability spine_frac.
+  const bool on_spine =
+      instr.op == OpClass::kLoad || rng_.bernoulli(profile_.spine_frac);
+
+  switch (instr.op) {
+    case OpClass::kLoad: {
+      instr.mem_addr = memory_->next(rng_);
+      const bool chase_ref =
+          is_chase_component_[memory_->last_component()];
+      instr.dest = dest;
+      if (chase_ref && last_load_dest_ >= 0 &&
+          rng_.bernoulli(profile_.dependent_load_frac)) {
+        instr.src1 = last_load_dest_;  // serialized pointer chase
+      } else if (on_spine) {
+        instr.src1 = spine_reg_;
+      } else {
+        instr.src1 = pick_source();
+      }
+      last_load_dest_ = dest;
+      if (on_spine) spine_reg_ = dest;
+      break;
+    }
+    case OpClass::kStore: {
+      instr.mem_addr = memory_->next(rng_);
+      instr.store_value = mix64(seq_ ^ instr.mem_addr);
+      instr.src1 = on_spine ? spine_reg_ : pick_source();  // data
+      instr.src2 = pick_source();                          // address base
+      break;
+    }
+    case OpClass::kBranch: {
+      instr.src1 = on_spine ? spine_reg_ : pick_source();
+      break;
+    }
+    default: {
+      instr.dest = dest;
+      instr.src1 = on_spine ? spine_reg_ : pick_source();
+      if (rng_.bernoulli(0.6)) instr.src2 = pick_source();
+      if (on_spine) spine_reg_ = dest;
+      break;
+    }
+  }
+
+  if (instr.dest >= 0) {
+    recent_dests_.erase(recent_dests_.begin());
+    recent_dests_.push_back(instr.dest);
+  }
+  advance_pc(instr);
+  return instr;
+}
+
+}  // namespace icr::trace

@@ -1,0 +1,31 @@
+// Lightweight invariant checking.
+//
+// ICR_CHECK is always on (simulation correctness beats the negligible cost);
+// ICR_DCHECK compiles out in NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace icr::internal {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  std::fprintf(stderr, "ICR_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace icr::internal
+
+#define ICR_CHECK(expr)                                          \
+  do {                                                           \
+    if (!(expr)) ::icr::internal::check_failed(#expr, __FILE__, __LINE__); \
+  } while (false)
+
+#ifdef NDEBUG
+#define ICR_DCHECK(expr) \
+  do {                   \
+  } while (false)
+#else
+#define ICR_DCHECK(expr) ICR_CHECK(expr)
+#endif

@@ -1,0 +1,51 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// All stochastic behaviour in the library (workload generation, fault
+// injection, tie-breaking) flows through Rng so that every experiment is
+// exactly reproducible from its seed. The generator is xoshiro256**, seeded
+// via SplitMix64, which is both fast and statistically strong enough for
+// simulation workloads.
+#pragma once
+
+#include <cstdint>
+
+namespace icr {
+
+// SplitMix64 step; used for seeding and as a cheap stateless hash.
+[[nodiscard]] std::uint64_t split_mix64(std::uint64_t& state) noexcept;
+
+// Stateless 64-bit mix of a value (finalizer of SplitMix64). Useful for
+// deriving deterministic "data" from an address.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t value) noexcept;
+
+// xoshiro256** PRNG. Copyable value type; cheap to fork for sub-streams.
+class Rng {
+ public:
+  // Seeds the four state words from `seed` via SplitMix64. A zero seed is
+  // remapped internally so the state is never all-zero.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  // Uniform in [0, 2^64).
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  // Uniform in [0, bound). bound == 0 returns 0. Uses Lemire's method.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::uint64_t next_range(std::uint64_t lo,
+                                         std::uint64_t hi) noexcept;
+
+  // Uniform double in [0, 1).
+  [[nodiscard]] double next_double() noexcept;
+
+  // True with probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  // A new generator whose stream is decorrelated from this one.
+  [[nodiscard]] Rng fork() noexcept;
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace icr

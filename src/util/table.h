@@ -1,0 +1,41 @@
+// Plain-text table rendering for bench harnesses and examples.
+//
+// Every bench binary reproduces one of the paper's tables/figures as an
+// aligned text table (rows = benchmarks or schemes, columns = series), so
+// results can be eyeballed against the paper and diffed between runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace icr {
+
+class TextTable {
+ public:
+  // `title` is printed above the table; `columns` are the header cells.
+  TextTable(std::string title, std::vector<std::string> columns);
+
+  // Adds a row; missing cells render empty, extra cells are an error.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: first cell is a label, the rest are numbers formatted with
+  // `precision` decimal digits.
+  void add_numeric_row(const std::string& label,
+                       const std::vector<double>& values, int precision = 3);
+
+  // Renders with column alignment and a rule under the header.
+  [[nodiscard]] std::string render() const;
+
+  // render() + fputs to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with fixed precision.
+[[nodiscard]] std::string format_double(double value, int precision = 3);
+
+}  // namespace icr

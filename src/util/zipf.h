@@ -1,0 +1,33 @@
+// Zipf-distributed sampling over a fixed universe of items.
+//
+// Workload generators use Zipf skew to model "hot" data: the small set of
+// blocks in high demand that ICR automatically replicates (paper §5.2). The
+// sampler precomputes the CDF once and answers each draw with a binary
+// search, so large universes stay cheap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace icr {
+
+class ZipfSampler {
+ public:
+  // Distribution over {0, ..., n-1} with P(k) proportional to 1/(k+1)^theta.
+  // theta == 0 degenerates to uniform. Requires n >= 1.
+  ZipfSampler(std::uint64_t n, double theta);
+
+  [[nodiscard]] std::uint64_t sample(Rng& rng) const noexcept;
+
+  [[nodiscard]] std::uint64_t universe() const noexcept { return n_; }
+  [[nodiscard]] double theta() const noexcept { return theta_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace icr

@@ -1,0 +1,50 @@
+#include "src/mem/backing_store.h"
+
+#include <gtest/gtest.h>
+
+namespace icr::mem {
+namespace {
+
+TEST(BackingStore, UntouchedWordsAreDeterministic) {
+  BackingStore a, b;
+  for (std::uint64_t addr = 0; addr < 1024; addr += 8) {
+    EXPECT_EQ(a.read_word(addr), b.read_word(addr));
+    EXPECT_EQ(a.read_word(addr), BackingStore::initial_word(addr));
+  }
+  EXPECT_EQ(a.touched_words(), 0u);
+}
+
+TEST(BackingStore, DifferentWordsDifferentValues) {
+  BackingStore s;
+  EXPECT_NE(s.read_word(0), s.read_word(8));
+}
+
+TEST(BackingStore, WriteReadRoundTrip) {
+  BackingStore s;
+  s.write_word(0x1000, 0xDEADBEEF);
+  EXPECT_EQ(s.read_word(0x1000), 0xDEADBEEFu);
+  EXPECT_EQ(s.touched_words(), 1u);
+  s.write_word(0x1000, 42);
+  EXPECT_EQ(s.read_word(0x1000), 42u);
+  EXPECT_EQ(s.touched_words(), 1u);
+}
+
+TEST(BackingStore, UnalignedAccessRoundsDown) {
+  BackingStore s;
+  s.write_word(0x1003, 99);  // lands on word 0x1000
+  EXPECT_EQ(s.read_word(0x1000), 99u);
+  EXPECT_EQ(s.read_word(0x1007), 99u);
+  EXPECT_NE(s.read_word(0x1008), 99u);
+}
+
+TEST(BackingStore, WritesDoNotLeakToNeighbours) {
+  BackingStore s;
+  const std::uint64_t before_lo = s.read_word(0x2000 - 8);
+  const std::uint64_t before_hi = s.read_word(0x2000 + 8);
+  s.write_word(0x2000, 7);
+  EXPECT_EQ(s.read_word(0x2000 - 8), before_lo);
+  EXPECT_EQ(s.read_word(0x2000 + 8), before_hi);
+}
+
+}  // namespace
+}  // namespace icr::mem

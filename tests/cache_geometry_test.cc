@@ -1,0 +1,69 @@
+#include "src/mem/cache_geometry.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace icr::mem {
+namespace {
+
+TEST(CacheGeometry, PaperDefaults) {
+  const CacheGeometry dl1 = l1d_geometry_default();
+  EXPECT_EQ(dl1.size_bytes, 16u * 1024);
+  EXPECT_EQ(dl1.line_bytes, 64u);
+  EXPECT_EQ(dl1.associativity, 4u);
+  EXPECT_EQ(dl1.num_sets(), 64u);
+  EXPECT_EQ(dl1.words_per_line(), 8u);
+
+  const CacheGeometry l1i = l1i_geometry_default();
+  EXPECT_EQ(l1i.associativity, 1u);
+  EXPECT_EQ(l1i.line_bytes, 32u);
+  EXPECT_EQ(l1i.num_sets(), 512u);
+
+  const CacheGeometry l2 = l2_geometry_default();
+  EXPECT_EQ(l2.size_bytes, 256u * 1024);
+  EXPECT_EQ(l2.num_sets(), 1024u);
+}
+
+TEST(CacheGeometry, AddressDecomposition) {
+  const CacheGeometry g{16 * 1024, 64, 4};
+  const std::uint64_t addr = 0x12345678;
+  EXPECT_EQ(g.block_address(addr), addr & ~63ULL);
+  EXPECT_EQ(g.line_offset(addr), addr & 63ULL);
+  EXPECT_LT(g.set_index(addr), g.num_sets());
+  // Consecutive blocks map to consecutive sets.
+  EXPECT_EQ((g.set_index(0) + 1) % g.num_sets(), g.set_index(64));
+}
+
+TEST(CacheGeometry, ValidationRejectsNonPow2) {
+  CacheGeometry g{16 * 1024, 48, 4};
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+  g = {15000, 64, 4};
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+  g = {16 * 1024, 64, 3};
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(CacheGeometry, ValidationRejectsTinyLines) {
+  CacheGeometry g{1024, 4, 1};
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(CacheGeometry, ValidationRejectsSizeSmallerThanOneSet) {
+  CacheGeometry g{128, 64, 4};  // one set needs 256 bytes
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(CacheGeometry, FullyAssociativeAndDirectMapped) {
+  CacheGeometry direct{8 * 1024, 64, 1};
+  direct.validate();
+  EXPECT_EQ(direct.num_sets(), 128u);
+
+  CacheGeometry fully{4 * 1024, 64, 64};
+  fully.validate();
+  EXPECT_EQ(fully.num_sets(), 1u);
+  EXPECT_EQ(fully.set_index(0xABCDEF00), 0u);
+}
+
+}  // namespace
+}  // namespace icr::mem

@@ -1,0 +1,73 @@
+#include "src/core/dead_block_predictor.h"
+
+#include <gtest/gtest.h>
+
+namespace icr::core {
+namespace {
+
+TEST(DeadBlockPredictor, AggressiveWindowZero) {
+  DeadBlockPredictor dbp(0);
+  // Dead as soon as the access is complete (any later cycle).
+  EXPECT_FALSE(dbp.is_dead(100, 100));
+  EXPECT_TRUE(dbp.is_dead(100, 101));
+  EXPECT_EQ(dbp.counter_value(100, 100), 0u);
+  EXPECT_EQ(dbp.counter_value(100, 101), DeadBlockPredictor::kSaturated);
+}
+
+TEST(DeadBlockPredictor, CounterTicksWithGlobalTimer) {
+  DeadBlockPredictor dbp(1000);  // tick every 250 cycles
+  EXPECT_EQ(dbp.tick_period(), 250u);
+  // Accessed at cycle 0: counter counts the global ticks since.
+  EXPECT_EQ(dbp.counter_value(0, 0), 0u);
+  EXPECT_EQ(dbp.counter_value(0, 249), 0u);
+  EXPECT_EQ(dbp.counter_value(0, 250), 1u);
+  EXPECT_EQ(dbp.counter_value(0, 749), 2u);
+  EXPECT_EQ(dbp.counter_value(0, 999), 3u);
+  EXPECT_EQ(dbp.counter_value(0, 1000), 4u);
+  EXPECT_EQ(dbp.counter_value(0, 100000), 4u);  // saturates
+}
+
+TEST(DeadBlockPredictor, DeadAfterWindowElapses) {
+  DeadBlockPredictor dbp(1000);
+  EXPECT_FALSE(dbp.is_dead(0, 999));
+  EXPECT_TRUE(dbp.is_dead(0, 1000));
+  // An access mid-way resets the horizon. The counter ticks at global
+  // multiples of 250, so a block accessed at 600 sees ticks at 750, 1000,
+  // 1250, 1500 and dies at the fourth.
+  EXPECT_FALSE(dbp.is_dead(600, 1499));
+  EXPECT_TRUE(dbp.is_dead(600, 1500));
+}
+
+TEST(DeadBlockPredictor, TickAlignmentMatchesMaterializedCounters) {
+  // The lazy formula must equal an explicit simulation of a 2-bit counter
+  // incremented at every multiple of the tick period and reset on access.
+  const std::uint64_t window = 800;  // tick = 200
+  DeadBlockPredictor dbp(window);
+  const std::uint64_t tick = dbp.tick_period();
+  for (std::uint64_t last_access : {0ULL, 37ULL, 199ULL, 200ULL, 401ULL}) {
+    std::uint32_t counter = 0;
+    for (std::uint64_t now = last_access; now < last_access + 3000; ++now) {
+      if (now > last_access && now % tick == 0 &&
+          counter < DeadBlockPredictor::kSaturated) {
+        ++counter;
+      }
+      ASSERT_EQ(dbp.counter_value(last_access, now), counter)
+          << "last=" << last_access << " now=" << now;
+    }
+  }
+}
+
+TEST(DeadBlockPredictor, NeverDeadBeforeAccessTime) {
+  DeadBlockPredictor dbp(100);
+  EXPECT_FALSE(dbp.is_dead(500, 500));
+  EXPECT_FALSE(dbp.is_dead(500, 400));  // time travel guard
+}
+
+TEST(DeadBlockPredictor, LargeWindowKeepsBlocksAlive) {
+  DeadBlockPredictor dbp(1'000'000);
+  EXPECT_FALSE(dbp.is_dead(0, 999'999));
+  EXPECT_TRUE(dbp.is_dead(0, 1'000'000));
+}
+
+}  // namespace
+}  // namespace icr::core

@@ -1,0 +1,73 @@
+#include "src/energy/energy_model.h"
+
+#include <gtest/gtest.h>
+
+namespace icr::energy {
+namespace {
+
+TEST(EnergyModel, ZeroEventsZeroEnergy) {
+  EnergyModel m;
+  EXPECT_DOUBLE_EQ(m.evaluate({}).total_nj(), 0.0);
+}
+
+TEST(EnergyModel, LinearInAccessCounts) {
+  EnergyModel m;
+  EnergyEvents e;
+  e.l1_reads = 100;
+  e.l1_writes = 50;
+  const double one = m.evaluate(e).l1_nj;
+  e.l1_reads = 200;
+  e.l1_writes = 100;
+  EXPECT_DOUBLE_EQ(m.evaluate(e).l1_nj, 2 * one);
+}
+
+TEST(EnergyModel, DefaultRatiosMatchCacti) {
+  const EnergyParams p;
+  // L2 access ~10x an L1 access for these geometries (CACTI 3.0, 0.18um).
+  EXPECT_NEAR(p.l2_access_nj / p.l1_access_nj, 10.0, 1.0);
+  // ECC check twice the parity check (paper's conservative assumption).
+  EXPECT_DOUBLE_EQ(p.ecc_fraction / p.parity_fraction, 2.0);
+}
+
+TEST(EnergyModel, CheckEnergiesScaleWithL1Access) {
+  EnergyParams p;
+  p.l1_access_nj = 1.0;
+  p.parity_fraction = 0.10;
+  p.ecc_fraction = 0.30;
+  EnergyModel m(p);
+  EnergyEvents e;
+  e.parity_computations = 10;
+  e.ecc_computations = 10;
+  const auto b = m.evaluate(e);
+  EXPECT_DOUBLE_EQ(b.parity_nj, 1.0);
+  EXPECT_DOUBLE_EQ(b.ecc_nj, 3.0);
+  EXPECT_DOUBLE_EQ(b.total_nj(), 4.0);
+}
+
+TEST(EnergyModel, BreakdownSumsToTotal) {
+  EnergyModel m;
+  EnergyEvents e;
+  e.l1_reads = 3;
+  e.l2_writes = 2;
+  e.parity_computations = 5;
+  e.ecc_computations = 7;
+  const auto b = m.evaluate(e);
+  EXPECT_DOUBLE_EQ(b.total_nj(), b.l1_nj + b.l2_nj + b.parity_nj + b.ecc_nj);
+  EXPECT_GT(b.total_nj(), 0.0);
+}
+
+TEST(EnergyModel, WriteThroughCostsMoreL2) {
+  // The Fig. 16(b) mechanism in miniature: the same store stream costs far
+  // more when every store becomes an L2 write.
+  EnergyModel m;
+  EnergyEvents wb;
+  wb.l1_writes = 1000;
+  wb.l2_writes = 50;  // write-back: only dirty evictions
+  EnergyEvents wt = wb;
+  wt.l2_writes = 800;  // write-through: most stores drain
+  EXPECT_GT(m.evaluate(wt).total_nj(), 2 * m.evaluate(wb).l2_nj);
+  EXPECT_GT(m.evaluate(wt).total_nj(), m.evaluate(wb).total_nj());
+}
+
+}  // namespace
+}  // namespace icr::energy

@@ -1,0 +1,203 @@
+// Error detection & recovery: the reliability half of the paper, exercised
+// end-to-end on real stored bits.
+#include <gtest/gtest.h>
+
+#include "src/core/icr_cache.h"
+#include "tests/test_util.h"
+
+namespace icr::core {
+namespace {
+
+using test::CacheFixture;
+using test::addr_for;
+
+// Locates (set, way) of the primary copy of `addr`.
+bool find_primary(const IcrCache& c, std::uint64_t addr, std::uint32_t& set,
+                  std::uint32_t& way) {
+  const auto& g = c.geometry();
+  set = g.set_index(addr);
+  for (std::uint32_t w = 0; w < g.associativity; ++w) {
+    const IcrLine& l = c.line(set, w);
+    if (l.valid && !l.replica && l.block_addr == g.block_address(addr)) {
+      way = w;
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(Recovery, ParityDetectsFlipAndRefetchesCleanBlock) {
+  CacheFixture f(Scheme::BaseP());
+  const std::uint64_t addr = 0x4000;
+  f.dl1->load(addr, 0);  // clean block resident
+  std::uint32_t set = 0, way = 0;
+  ASSERT_TRUE(find_primary(*f.dl1, addr, set, way));
+  f.dl1->flip_data_bit(set, way, 0, 3);
+
+  const auto r = f.dl1->load(addr, 1);
+  EXPECT_TRUE(r.error_detected);
+  EXPECT_TRUE(r.error_recovered);
+  EXPECT_FALSE(r.unrecoverable);
+  EXPECT_EQ(r.value, mem::BackingStore::initial_word(addr));
+  EXPECT_GT(r.latency, 2u);  // paid an L2 trip
+  EXPECT_EQ(f.dl1->stats().errors_refetched_from_l2, 1u);
+}
+
+TEST(Recovery, ParityCannotRecoverDirtyUnreplicatedBlock) {
+  CacheFixture f(Scheme::BaseP());
+  const std::uint64_t addr = 0x4000;
+  f.dl1->store(addr, 42, 0);  // dirty, no replica under BaseP
+  std::uint32_t set = 0, way = 0;
+  ASSERT_TRUE(find_primary(*f.dl1, addr, set, way));
+  f.dl1->flip_data_bit(set, way, 0, 0);
+
+  const auto r = f.dl1->load(addr, 1);
+  EXPECT_TRUE(r.error_detected);
+  EXPECT_TRUE(r.unrecoverable);
+  EXPECT_NE(r.value, 42u);  // the corrupted value
+  EXPECT_EQ(f.dl1->stats().unrecoverable_loads, 1u);
+}
+
+TEST(Recovery, ReplicaRecoversDirtyBlock) {
+  CacheFixture f(Scheme::IcrPPS_S());
+  const std::uint64_t addr = 0x4000;
+  f.dl1->store(addr, 42, 0);  // dirty + replicated
+  std::uint32_t set = 0, way = 0;
+  ASSERT_TRUE(find_primary(*f.dl1, addr, set, way));
+  f.dl1->flip_data_bit(set, way, 0, 0);
+
+  const auto r = f.dl1->load(addr, 1);
+  EXPECT_TRUE(r.error_detected);
+  EXPECT_TRUE(r.error_recovered);
+  EXPECT_EQ(r.value, 42u);  // repaired from the replica
+  EXPECT_EQ(r.latency, 2u);  // 1-cycle hit + 1-cycle serial replica probe
+  EXPECT_EQ(f.dl1->stats().errors_corrected_by_replica, 1u);
+  // The primary has been repaired: the next load is clean and 1 cycle.
+  const auto r2 = f.dl1->load(addr, 2);
+  EXPECT_FALSE(r2.error_detected);
+  EXPECT_EQ(r2.latency, 1u);
+}
+
+TEST(Recovery, ParallelLookupPaysNoExtraProbeCycle) {
+  CacheFixture f(Scheme::IcrPPP_S());
+  const std::uint64_t addr = 0x4000;
+  f.dl1->store(addr, 42, 0);
+  std::uint32_t set = 0, way = 0;
+  ASSERT_TRUE(find_primary(*f.dl1, addr, set, way));
+  f.dl1->flip_data_bit(set, way, 0, 0);
+  const auto r = f.dl1->load(addr, 1);
+  EXPECT_TRUE(r.error_recovered);
+  EXPECT_EQ(r.latency, 2u);  // already 2 cycles, replica came for free
+}
+
+TEST(Recovery, CorruptReplicaFallsBackToUnrecoverable) {
+  CacheFixture f(Scheme::IcrPPS_S());
+  const auto& g = f.dl1->geometry();
+  const std::uint64_t addr = addr_for(g, 1, 1);
+  f.dl1->store(addr, 42, 0);
+  // Corrupt the primary word AND the replica word.
+  std::uint32_t set = 0, way = 0;
+  ASSERT_TRUE(find_primary(*f.dl1, addr, set, way));
+  f.dl1->flip_data_bit(set, way, 0, 0);
+  const std::uint32_t rset = (1 + g.num_sets() / 2) % g.num_sets();
+  for (std::uint32_t w = 0; w < g.associativity; ++w) {
+    const IcrLine& l = f.dl1->line(rset, w);
+    if (l.valid && l.replica) f.dl1->flip_check_bit(rset, w, 0, 1, false);
+  }
+  const auto r = f.dl1->load(addr, 1);
+  EXPECT_TRUE(r.error_detected);
+  EXPECT_TRUE(r.unrecoverable);  // dirty, parity-only, both copies bad
+}
+
+TEST(Recovery, EccCorrectsSingleBitOnDirtyBlock) {
+  CacheFixture f(Scheme::BaseECC());
+  const std::uint64_t addr = 0x4000;
+  f.dl1->store(addr, 42, 0);
+  std::uint32_t set = 0, way = 0;
+  ASSERT_TRUE(find_primary(*f.dl1, addr, set, way));
+  f.dl1->flip_data_bit(set, way, 5, 7);
+  const auto r = f.dl1->load(addr, 1);
+  EXPECT_TRUE(r.error_detected);
+  EXPECT_TRUE(r.error_recovered);
+  EXPECT_EQ(r.value, 42u);
+  EXPECT_EQ(f.dl1->stats().errors_corrected_by_ecc, 1u);
+}
+
+TEST(Recovery, EccDoubleBitOnDirtyBlockIsUnrecoverable) {
+  CacheFixture f(Scheme::BaseECC());
+  const std::uint64_t addr = 0x4000;
+  f.dl1->store(addr, 42, 0);
+  std::uint32_t set = 0, way = 0;
+  ASSERT_TRUE(find_primary(*f.dl1, addr, set, way));
+  f.dl1->flip_data_bit(set, way, 0, 0);
+  f.dl1->flip_data_bit(set, way, 1, 1);  // two bits in the accessed word
+  const auto r = f.dl1->load(addr, 1);
+  EXPECT_TRUE(r.error_detected);
+  EXPECT_TRUE(r.unrecoverable);
+}
+
+TEST(Recovery, EccDoubleBitOnCleanBlockRefetches) {
+  CacheFixture f(Scheme::BaseECC());
+  const std::uint64_t addr = 0x4000;
+  f.dl1->load(addr, 0);
+  std::uint32_t set = 0, way = 0;
+  ASSERT_TRUE(find_primary(*f.dl1, addr, set, way));
+  f.dl1->flip_data_bit(set, way, 0, 0);
+  f.dl1->flip_data_bit(set, way, 0, 1);
+  const auto r = f.dl1->load(addr, 1);
+  EXPECT_TRUE(r.error_recovered);
+  EXPECT_EQ(r.value, mem::BackingStore::initial_word(addr));
+}
+
+TEST(Recovery, IcrEccUsesParityOnReplicatedLines) {
+  // ICR-ECC-PS: a replicated line is parity-protected and loads in 1 cycle;
+  // an unreplicated line pays the 2-cycle ECC check.
+  CacheFixture f(Scheme::IcrEccPS_S());
+  const std::uint64_t hot = 0x4000;
+  f.dl1->store(hot, 1, 0);  // replicated
+  EXPECT_EQ(f.dl1->load(hot, 1).latency, 1u);
+
+  const std::uint64_t cold = 0x8000;
+  f.dl1->load(cold, 2);  // filled, never stored -> unreplicated
+  EXPECT_EQ(f.dl1->load(cold, 3).latency, 2u);
+}
+
+TEST(Recovery, IcrEccRecoversDirtyViaReplicaWithoutEcc) {
+  CacheFixture f(Scheme::IcrEccPS_S());
+  const std::uint64_t addr = 0x4000;
+  f.dl1->store(addr, 42, 0);
+  std::uint32_t set = 0, way = 0;
+  ASSERT_TRUE(find_primary(*f.dl1, addr, set, way));
+  f.dl1->flip_data_bit(set, way, 0, 2);
+  const auto r = f.dl1->load(addr, 1);
+  EXPECT_TRUE(r.error_recovered);
+  EXPECT_EQ(r.value, 42u);
+  EXPECT_EQ(f.dl1->stats().errors_corrected_by_replica, 1u);
+  EXPECT_EQ(f.dl1->stats().errors_corrected_by_ecc, 0u);
+}
+
+TEST(Recovery, ErrorInUnaccessedWordIsInvisible) {
+  CacheFixture f(Scheme::BaseP());
+  f.dl1->load(0x4000, 0);
+  std::uint32_t set = 0, way = 0;
+  ASSERT_TRUE(find_primary(*f.dl1, 0x4000, set, way));
+  f.dl1->flip_data_bit(set, way, /*byte=*/32, 0);  // word 4
+  const auto r = f.dl1->load(0x4000, 1);  // word 0: clean
+  EXPECT_FALSE(r.error_detected);
+  const auto r2 = f.dl1->load(0x4020, 2);  // word 4: detected
+  EXPECT_TRUE(r2.error_detected);
+}
+
+TEST(Recovery, CheckBitFlipDetectedByParityRegime) {
+  CacheFixture f(Scheme::BaseP());
+  f.dl1->load(0x4000, 0);
+  std::uint32_t set = 0, way = 0;
+  ASSERT_TRUE(find_primary(*f.dl1, 0x4000, set, way));
+  f.dl1->flip_check_bit(set, way, 0, 0, /*ecc_array=*/false);
+  const auto r = f.dl1->load(0x4000, 1);
+  EXPECT_TRUE(r.error_detected);
+  EXPECT_TRUE(r.error_recovered);  // clean block: refetched
+}
+
+}  // namespace
+}  // namespace icr::core

@@ -1,0 +1,108 @@
+// Pins the load/store latency contract of every §3.2 scheme (the numbers
+// the whole performance evaluation rests on):
+//
+//   scheme          unreplicated-hit   replicated-hit   store
+//   BaseP                  1                 n/a          1
+//   BaseECC                2                 n/a          1
+//   BaseECC-spec           1                 n/a          1
+//   ICR-P-PS               1                  1           1
+//   ICR-P-PP               1                  2           1
+//   ICR-ECC-PS             2                  1           1
+//   ICR-ECC-PP             2                  2           1
+#include <gtest/gtest.h>
+
+#include "src/core/icr_cache.h"
+#include "tests/test_util.h"
+
+namespace icr::core {
+namespace {
+
+using test::CacheFixture;
+
+struct LatencyCase {
+  Scheme scheme;
+  std::uint32_t unreplicated_hit;
+  std::uint32_t replicated_hit;  // 0 = scheme never replicates
+};
+
+class LatencyContract : public ::testing::TestWithParam<int> {
+ public:
+  static std::vector<LatencyCase> cases() {
+    return {
+        {Scheme::BaseP(), 1, 0},
+        {Scheme::BaseECC(), 2, 0},
+        {Scheme::BaseECCSpeculative(), 1, 0},
+        {Scheme::IcrPPS_S(), 1, 1},
+        {Scheme::IcrPPS_LS(), 1, 1},
+        {Scheme::IcrPPP_S(), 1, 2},
+        {Scheme::IcrPPP_LS(), 1, 2},
+        {Scheme::IcrEccPS_S(), 2, 1},
+        {Scheme::IcrEccPS_LS(), 2, 1},
+        {Scheme::IcrEccPP_S(), 2, 2},
+        {Scheme::IcrEccPP_LS(), 2, 2},
+    };
+  }
+};
+
+TEST_P(LatencyContract, HitAndStoreLatencies) {
+  const LatencyCase c = cases()[GetParam()];
+  CacheFixture f(c.scheme);
+
+  // Unreplicated line: fill via load (never replicated under S; under LS a
+  // load miss does replicate, so probe a line made unreplicated by using a
+  // block whose replica site gets displaced... simpler: for LS schemes the
+  // loaded line IS replicated, so only check the S/Base schemes here).
+  const bool ls = c.scheme.replication_enabled &&
+                  c.scheme.trigger == ReplicateOn::kLoadsAndStores;
+  f.dl1->load(0x7000, 0);
+  if (!ls) {
+    const auto r = f.dl1->load(0x7000, 1);
+    ASSERT_TRUE(r.hit);
+    EXPECT_EQ(r.latency, c.unreplicated_hit) << c.scheme.name;
+  }
+
+  // Store latency is always 1 (buffered), hit or miss.
+  EXPECT_EQ(f.dl1->store(0x7000, 1, 2).latency, 1u) << c.scheme.name;
+  EXPECT_EQ(f.dl1->store(0x9000, 1, 3).latency, 1u) << c.scheme.name;
+
+  // Replicated line (ICR schemes): the store above created the replica.
+  if (c.replicated_hit != 0) {
+    const auto r = f.dl1->load(0x7000, 4);
+    ASSERT_TRUE(r.hit);
+    EXPECT_EQ(r.latency, c.replicated_hit) << c.scheme.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, LatencyContract,
+                         ::testing::Range(0, 11), [](const auto& info) {
+                           std::string n =
+                               LatencyContract::cases()[info.param]
+                                   .scheme.name;
+                           for (char& ch : n) {
+                             if (!isalnum(static_cast<unsigned char>(ch))) {
+                               ch = '_';
+                             }
+                           }
+                           return n;
+                         });
+
+TEST(LatencyContract, MissPaysMemoryHierarchy) {
+  CacheFixture f(Scheme::BaseP());
+  // Cold load: L1 miss + L2 miss => 1 + 6 + 100.
+  EXPECT_EQ(f.dl1->load(0xA000, 0).latency, 107u);
+  // A different block, same L2 block? L2 lines are 64B too; new block,
+  // previously fetched into L2? No — fresh block: 107 again.
+  EXPECT_EQ(f.dl1->load(0xB000, 1).latency, 107u);
+  // Evicted-from-L1 but L2-resident block costs 1 + 6.
+  // (Fill enough conflicting blocks to evict 0xA000 from L1 set.)
+  const auto& g = f.dl1->geometry();
+  for (std::uint32_t t = 1; t <= g.associativity; ++t) {
+    f.dl1->load(0xA000 + static_cast<std::uint64_t>(t) * g.num_sets() *
+                             g.line_bytes,
+                1 + t);
+  }
+  EXPECT_EQ(f.dl1->load(0xA000, 100).latency, 7u);
+}
+
+}  // namespace
+}  // namespace icr::core

@@ -1,0 +1,69 @@
+#include "src/mem/memory_hierarchy.h"
+
+#include <gtest/gtest.h>
+
+namespace icr::mem {
+namespace {
+
+TEST(MemoryHierarchy, IfetchLatencies) {
+  MemoryHierarchy h;
+  // Cold fetch: L1I miss + L2 miss -> 1 + 6 + 100.
+  EXPECT_EQ(h.ifetch(0x400000, 0), 107u);
+  // Same block again: L1I hit -> 1.
+  EXPECT_EQ(h.ifetch(0x400004, 1), 1u);
+  // Different L1I block, same L2 block (L1I has 32B lines, L2 64B):
+  EXPECT_EQ(h.ifetch(0x400020, 2), 7u);
+}
+
+TEST(MemoryHierarchy, DataFetchLatencies) {
+  MemoryHierarchy h;
+  EXPECT_EQ(h.fetch_block(0x10000, 0), 106u);  // L2 miss -> 6 + 100
+  EXPECT_EQ(h.fetch_block(0x10000, 1), 6u);    // L2 hit
+  EXPECT_EQ(h.memory_accesses(), 1u);
+  EXPECT_EQ(h.l2_read_accesses(), 2u);
+}
+
+TEST(MemoryHierarchy, WritebackAllocatesInL2) {
+  MemoryHierarchy h;
+  EXPECT_EQ(h.write_back_block(0x20000, 0), 6u);
+  EXPECT_EQ(h.l2_write_accesses(), 1u);
+  // The block now hits in L2.
+  EXPECT_EQ(h.fetch_block(0x20000, 1), 6u);
+}
+
+TEST(MemoryHierarchy, IfetchReadsTrackedSeparately) {
+  MemoryHierarchy h;
+  h.ifetch(0x400000, 0);            // L2 read on behalf of L1I
+  h.fetch_block(0x10000, 1);        // data-side L2 read
+  EXPECT_EQ(h.l2_read_accesses(), 2u);
+  EXPECT_EQ(h.l2_ifetch_reads(), 1u);
+}
+
+TEST(MemoryHierarchy, WriteThroughDrainCounting) {
+  MemoryHierarchy h;
+  h.count_write_through_drain(5);
+  EXPECT_EQ(h.l2_write_accesses(), 5u);
+}
+
+TEST(MemoryHierarchy, CustomLatencies) {
+  HierarchyConfig cfg;
+  cfg.l2_latency = 10;
+  cfg.memory_latency = 50;
+  MemoryHierarchy h(cfg);
+  EXPECT_EQ(h.fetch_block(0x0, 0), 60u);
+  EXPECT_EQ(h.fetch_block(0x0, 1), 10u);
+}
+
+TEST(MemoryHierarchy, DirtyL2EvictionReachesMemory) {
+  MemoryHierarchy h;
+  // Fill one L2 set (4 ways) with dirty blocks, then evict.
+  const std::uint64_t stride =
+      static_cast<std::uint64_t>(h.l2().geometry().num_sets()) * 64;
+  for (int i = 0; i < 4; ++i) h.write_back_block(i * stride, i);
+  const auto mem_before = h.memory_accesses();
+  h.write_back_block(4 * stride, 5);  // evicts a dirty line
+  EXPECT_EQ(h.memory_accesses(), mem_before + 1);
+}
+
+}  // namespace
+}  // namespace icr::mem

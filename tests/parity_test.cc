@@ -1,0 +1,69 @@
+#include "src/coding/parity.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace icr {
+namespace {
+
+TEST(Parity, ZeroWordHasZeroParity) {
+  EXPECT_EQ(byte_parity(0), 0);
+  EXPECT_TRUE(parity_ok(0, 0));
+}
+
+TEST(Parity, KnownPatterns) {
+  // One set bit in byte 0 -> parity bit 0 set.
+  EXPECT_EQ(byte_parity(0x01), 0x01);
+  // One set bit in byte 7 -> parity bit 7 set.
+  EXPECT_EQ(byte_parity(0x0100000000000000ULL), 0x80);
+  // Two bits in one byte -> even parity for that byte.
+  EXPECT_EQ(byte_parity(0x03), 0x00);
+  // 0xFF has eight set bits -> even.
+  EXPECT_EQ(byte_parity(0xFF), 0x00);
+  // 0x7F has seven -> odd.
+  EXPECT_EQ(byte_parity(0x7F), 0x01);
+}
+
+TEST(Parity, DetectsEverySingleBitFlip) {
+  Rng rng(123);
+  for (int trial = 0; trial < 64; ++trial) {
+    const std::uint64_t word = rng.next_u64();
+    const std::uint8_t stored = byte_parity(word);
+    for (unsigned bit = 0; bit < 64; ++bit) {
+      const std::uint64_t corrupted = word ^ (1ULL << bit);
+      EXPECT_FALSE(parity_ok(corrupted, stored))
+          << "bit " << bit << " of " << word;
+      // The mismatch mask points at exactly the affected byte.
+      EXPECT_EQ(parity_mismatch(corrupted, stored), 1u << (bit / 8));
+    }
+  }
+}
+
+TEST(Parity, MissesDoubleFlipInSameByte) {
+  // Byte parity is blind to an even number of flips within one byte — the
+  // documented limitation that motivates SEC-DED / replicas.
+  const std::uint64_t word = 0xDEADBEEFCAFEF00DULL;
+  const std::uint8_t stored = byte_parity(word);
+  const std::uint64_t corrupted = word ^ 0x3;  // bits 0 and 1, same byte
+  EXPECT_TRUE(parity_ok(corrupted, stored));
+}
+
+TEST(Parity, DetectsDoubleFlipAcrossBytes) {
+  const std::uint64_t word = 0x0123456789ABCDEFULL;
+  const std::uint8_t stored = byte_parity(word);
+  const std::uint64_t corrupted = word ^ 0x0101;  // bytes 0 and 1
+  EXPECT_FALSE(parity_ok(corrupted, stored));
+  EXPECT_EQ(parity_mismatch(corrupted, stored), 0x03);
+}
+
+TEST(Parity, RandomWordsRoundTrip) {
+  Rng rng(77);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t word = rng.next_u64();
+    EXPECT_TRUE(parity_ok(word, byte_parity(word)));
+  }
+}
+
+}  // namespace
+}  // namespace icr

@@ -1,0 +1,111 @@
+#include "src/trace/patterns.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace icr::trace {
+namespace {
+
+TEST(SequentialStream, WalksAndWraps) {
+  SequentialStream s(0x1000, 64, 8);
+  Rng rng(1);
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      EXPECT_EQ(s.next(rng), 0x1000 + i * 8);
+    }
+  }
+}
+
+TEST(SequentialStream, StrideVariant) {
+  SequentialStream s(0x2000, 1024, 136);
+  Rng rng(1);
+  EXPECT_EQ(s.next(rng), 0x2000u);
+  EXPECT_EQ(s.next(rng), 0x2000u + 136 - 136 % 8);  // aligned down
+}
+
+TEST(SequentialStream, AddressesAreWordAligned) {
+  SequentialStream s(0x3001, 999, 7);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(s.next(rng) % 8, 0u);
+  }
+}
+
+TEST(ZipfBlocks, StaysInRegion) {
+  ZipfBlocks z(0x10000, 4096, 1.0);  // 64 blocks
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t a = z.next(rng);
+    EXPECT_GE(a, 0x10000u);
+    EXPECT_LT(a, 0x10000u + 4096);
+    EXPECT_EQ(a % 8, 0u);
+  }
+}
+
+TEST(ZipfBlocks, HotBlocksAreSpreadBySuffle) {
+  // The most frequent block should not always be the first block of the
+  // region (the shuffle decorrelates rank from layout).
+  ZipfBlocks z(0x10000, 64 * 1024, 1.3);
+  Rng rng(3);
+  std::uint64_t first_block_hits = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (z.next(rng) / 64 == 0x10000 / 64) ++first_block_hits;
+  }
+  EXPECT_LT(first_block_hits, 2500u);
+}
+
+TEST(PointerChase, VisitsEveryNodeBeforeRepeating) {
+  Rng rng(4);
+  const std::uint32_t nodes = 32;
+  PointerChase p(0x20000, nodes * 64, 64, rng);
+  std::set<std::uint64_t> seen;
+  Rng walk(5);
+  for (std::uint32_t i = 0; i < nodes; ++i) {
+    seen.insert(p.next(walk) / 64);
+  }
+  EXPECT_EQ(seen.size(), nodes);  // a single Hamiltonian cycle
+  // The next reference repeats the cycle.
+  EXPECT_NE(seen.find(p.next(walk) / 64), seen.end());
+}
+
+TEST(PointerChase, OrderIsNotSequential) {
+  Rng rng(6);
+  PointerChase p(0, 256 * 64, 64, rng);
+  Rng walk(7);
+  int sequential_steps = 0;
+  std::uint64_t prev = p.next(walk);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t cur = p.next(walk);
+    if (cur == prev + 64) ++sequential_steps;
+    prev = cur;
+  }
+  EXPECT_LT(sequential_steps, 20);
+}
+
+TEST(MixturePattern, RespectsWeights) {
+  MixturePattern m;
+  m.add(0.9, std::make_unique<SequentialStream>(0x0, 1 << 20, 8));
+  m.add(0.1, std::make_unique<SequentialStream>(0x4000'0000, 1 << 20, 8));
+  Rng rng(8);
+  int high = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (m.next(rng) >= 0x4000'0000) ++high;
+  }
+  EXPECT_NEAR(static_cast<double>(high) / kDraws, 0.1, 0.02);
+}
+
+TEST(MixturePattern, TracksLastComponent) {
+  MixturePattern m;
+  m.add(1.0, std::make_unique<SequentialStream>(0x0, 64, 8));
+  m.add(1.0, std::make_unique<SequentialStream>(0x4000'0000, 64, 8));
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t a = m.next(rng);
+    EXPECT_EQ(m.last_component(), a >= 0x4000'0000 ? 1u : 0u);
+  }
+}
+
+}  // namespace
+}  // namespace icr::trace

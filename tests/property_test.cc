@@ -1,0 +1,187 @@
+// Parameterized property sweeps across schemes, geometries, policies and
+// distances — the invariants must hold for every point in the design space.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+
+#include "src/coding/parity.h"
+#include "src/coding/secded.h"
+#include "src/core/icr_cache.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace icr::core {
+namespace {
+
+using test::CacheFixture;
+
+// ---------------------------------------------------------------------------
+// Every paper scheme preserves structural invariants and architectural data
+// under a random mixed workload.
+// ---------------------------------------------------------------------------
+class SchemeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchemeProperty, InvariantsAndDataIntegrity) {
+  const Scheme scheme = Scheme::all_paper_schemes()[GetParam()];
+  CacheFixture f(scheme);
+  Rng rng(1000 + GetParam());
+  std::unordered_map<std::uint64_t, std::uint64_t> golden;
+
+  for (std::uint64_t cycle = 0; cycle < 6000; ++cycle) {
+    const std::uint64_t addr = rng.next_below(4096) * 8;
+    if (rng.bernoulli(0.35)) {
+      const std::uint64_t value = rng.next_u64();
+      f.dl1->store(addr, value, cycle);
+      golden[addr] = value;
+    } else {
+      const auto r = f.dl1->load(addr, cycle);
+      const auto it = golden.find(addr);
+      const std::uint64_t expected =
+          it != golden.end() ? it->second
+                             : mem::BackingStore::initial_word(addr);
+      ASSERT_EQ(r.value, expected) << scheme.name << " @" << addr;
+      ASSERT_FALSE(r.error_detected);  // no injector in this test
+    }
+  }
+  f.dl1->check_invariants();
+  // Latency sanity for every scheme: stores 1 cycle, loads bounded.
+  EXPECT_EQ(f.dl1->store(8, 1, 7000).latency, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaperSchemes, SchemeProperty,
+                         ::testing::Range(0, 10),
+                         [](const auto& info) {
+                           std::string n =
+                               Scheme::all_paper_schemes()[info.param].name;
+                           for (char& c : n) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return n;
+                         });
+
+// ---------------------------------------------------------------------------
+// Geometry sweep: the ICR cache works for any power-of-two geometry.
+// ---------------------------------------------------------------------------
+class GeometryProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GeometryProperty, ReplicationWorksAcrossGeometries) {
+  const auto [size_kb, line, ways] = GetParam();
+  mem::CacheGeometry g{static_cast<std::uint32_t>(size_kb * 1024),
+                       static_cast<std::uint32_t>(line),
+                       static_cast<std::uint32_t>(ways)};
+  CacheFixture f(Scheme::IcrPPS_S(), g);
+  Rng rng(7 * size_kb + line + ways);
+  for (std::uint64_t cycle = 0; cycle < 3000; ++cycle) {
+    const std::uint64_t addr = rng.next_below(8192) * 8;
+    if (rng.bernoulli(0.4)) {
+      f.dl1->store(addr, rng.next_u64(), cycle);
+    } else {
+      f.dl1->load(addr, cycle);
+    }
+  }
+  f.dl1->check_invariants();
+  EXPECT_GT(f.dl1->stats().replicas_created, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometryProperty,
+    ::testing::Combine(::testing::Values(4, 8, 16, 32),   // KB
+                       ::testing::Values(32, 64),         // line bytes
+                       ::testing::Values(1, 2, 4, 8)));   // ways
+
+// ---------------------------------------------------------------------------
+// Distance sweep: replicas land at the configured distance and remain
+// consistent, for every distance including the degenerate horizontal case.
+// ---------------------------------------------------------------------------
+class DistanceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistanceProperty, ReplicaAlwaysAtConfiguredDistance) {
+  ReplicationConfig rep;
+  rep.first_distance = Distance::absolute(GetParam());
+  CacheFixture f(Scheme::IcrPPS_S().with_replication(rep));
+  const auto& g = f.dl1->geometry();
+  Rng rng(GetParam());
+  for (std::uint64_t cycle = 0; cycle < 2000; ++cycle) {
+    f.dl1->store(rng.next_below(2048) * 8, rng.next_u64(), cycle);
+  }
+  // check_invariants verifies every replica sits at a candidate distance.
+  f.dl1->check_invariants();
+  // And at least some replication happened.
+  EXPECT_GT(f.dl1->stats().replicas_created, 0u);
+  (void)g;
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, DistanceProperty,
+                         ::testing::Values(0, 1, 7, 16, 32, 63));
+
+// ---------------------------------------------------------------------------
+// Victim-policy sweep under both decay regimes.
+// ---------------------------------------------------------------------------
+class VictimPolicyProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(VictimPolicyProperty, NoLivePrimaryEverDisplacedByReplica) {
+  const auto [policy_idx, window] = GetParam();
+  const auto policy = static_cast<ReplicaVictimPolicy>(policy_idx);
+  CacheFixture f(
+      Scheme::IcrPPS_S().with_victim_policy(policy).with_decay_window(window));
+  const auto& g = f.dl1->geometry();
+  Rng rng(policy_idx * 31 + 7);
+
+  // Working set that fits: every block stays live under a large window.
+  for (std::uint64_t cycle = 0; cycle < 3000; ++cycle) {
+    const std::uint64_t addr = rng.next_below(128) * 8;  // 16 blocks
+    if (rng.bernoulli(0.5)) {
+      f.dl1->store(addr, cycle, cycle);
+    } else {
+      f.dl1->load(addr, cycle);
+    }
+    // The 16 hot blocks must never miss once resident (they are live;
+    // replicas may never displace them). Spot-check with probes.
+  }
+  f.dl1->check_invariants();
+  // All 16 blocks resident at the end: load each and expect a hit.
+  for (std::uint64_t b = 0; b < 16; ++b) {
+    EXPECT_TRUE(f.dl1->load(b * 64, 4000 + b).hit)
+        << to_string(policy) << " window=" << window;
+  }
+  (void)g;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndWindows, VictimPolicyProperty,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(std::uint64_t{0},
+                                         std::uint64_t{1000},
+                                         std::uint64_t{100000})));
+
+// ---------------------------------------------------------------------------
+// Coding properties on random words.
+// ---------------------------------------------------------------------------
+class CodingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodingProperty, SecDedAndParityRoundTrip) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t word = rng.next_u64();
+    ASSERT_TRUE(parity_ok(word, byte_parity(word)));
+    ASSERT_EQ(secded_decode(word, secded_encode(word)).status,
+              SecDedStatus::kClean);
+    // Random single flip: always corrected back to the original.
+    const unsigned bit = static_cast<unsigned>(rng.next_below(64));
+    const SecDedResult r =
+        secded_decode(word ^ (1ULL << bit), secded_encode(word));
+    ASSERT_EQ(r.status, SecDedStatus::kCorrectedData);
+    ASSERT_EQ(r.data, word);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodingProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace icr::core

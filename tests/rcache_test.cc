@@ -1,0 +1,98 @@
+#include "src/baselines/rcache.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/icr_cache.h"
+#include "tests/test_util.h"
+
+namespace icr::baselines {
+namespace {
+
+using core::Scheme;
+using test::CacheFixture;
+
+TEST(RCache, RecordAndLookup) {
+  RCache rc(4);
+  rc.record(0x100, 42);
+  const auto v = rc.lookup(0x100, false);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42u);
+  EXPECT_FALSE(rc.lookup(0x200, false).has_value());
+  EXPECT_EQ(rc.stats().writes, 1u);
+  EXPECT_EQ(rc.stats().lookups, 2u);
+  EXPECT_EQ(rc.stats().hits, 1u);
+}
+
+TEST(RCache, WordGranularity) {
+  RCache rc(4);
+  rc.record(0x104, 7);  // lands on word 0x100
+  EXPECT_TRUE(rc.lookup(0x100, false).has_value());
+  EXPECT_FALSE(rc.lookup(0x108, false).has_value());
+}
+
+TEST(RCache, UpdatesInPlace) {
+  RCache rc(2);
+  rc.record(0x100, 1);
+  rc.record(0x100, 2);
+  EXPECT_EQ(*rc.lookup(0x100, false), 2u);
+}
+
+TEST(RCache, LruEviction) {
+  RCache rc(2);
+  rc.record(0x100, 1);
+  rc.record(0x200, 2);
+  (void)rc.lookup(0x100, false);  // refresh 0x100
+  rc.record(0x300, 3);            // evicts 0x200
+  EXPECT_TRUE(rc.lookup(0x100, false).has_value());
+  EXPECT_FALSE(rc.lookup(0x200, false).has_value());
+  EXPECT_TRUE(rc.lookup(0x300, false).has_value());
+}
+
+TEST(RCache, Invalidate) {
+  RCache rc(2);
+  rc.record(0x100, 1);
+  rc.invalidate(0x104);
+  EXPECT_FALSE(rc.lookup(0x100, false).has_value());
+}
+
+TEST(RCache, RecoversDirtyParityErrorInBaseP) {
+  CacheFixture f(Scheme::BaseP());
+  RCache rc(64);
+  f.dl1->attach_rcache(&rc);
+
+  f.dl1->store(0x4000, 42, 0);
+  // Corrupt the stored word in the dL1.
+  const auto& g = f.dl1->geometry();
+  const std::uint32_t set = g.set_index(0x4000);
+  for (std::uint32_t w = 0; w < g.associativity; ++w) {
+    if (f.dl1->line(set, w).valid) f.dl1->flip_data_bit(set, w, 0, 0);
+  }
+  const auto r = f.dl1->load(0x4000, 1);
+  EXPECT_TRUE(r.error_detected);
+  EXPECT_TRUE(r.error_recovered);
+  EXPECT_EQ(r.value, 42u);
+  EXPECT_EQ(f.dl1->stats().errors_corrected_by_rcache, 1u);
+  EXPECT_EQ(f.dl1->stats().unrecoverable_loads, 0u);
+  EXPECT_EQ(rc.stats().recoveries, 1u);
+}
+
+TEST(RCache, MissStillMeansUnrecoverable) {
+  CacheFixture f(Scheme::BaseP());
+  RCache rc(1);  // tiny: first store displaced by second
+  f.dl1->attach_rcache(&rc);
+  f.dl1->store(0x4000, 42, 0);
+  f.dl1->store(0x8000, 43, 1);  // evicts 0x4000 from the R-Cache
+
+  const auto& g = f.dl1->geometry();
+  const std::uint32_t set = g.set_index(0x4000);
+  for (std::uint32_t w = 0; w < g.associativity; ++w) {
+    const auto& l = f.dl1->line(set, w);
+    if (l.valid && l.block_addr == 0x4000) f.dl1->flip_data_bit(set, w, 0, 0);
+  }
+  const auto r = f.dl1->load(0x4000, 2);
+  EXPECT_TRUE(r.error_detected);
+  EXPECT_TRUE(r.unrecoverable);
+}
+
+}  // namespace
+}  // namespace icr::baselines

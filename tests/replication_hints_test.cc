@@ -1,0 +1,103 @@
+#include "src/core/replication_hints.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/icr_cache.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace icr::core {
+namespace {
+
+using test::CacheFixture;
+
+TEST(ReplicationHints, EmptyTableCoversNothing) {
+  ReplicationHints h;
+  EXPECT_FALSE(h.quota_for(0x1000).has_value());
+  EXPECT_EQ(h.range_count(), 0u);
+}
+
+TEST(ReplicationHints, RangeLookupIsHalfOpen) {
+  ReplicationHints h;
+  h.add_range(0x1000, 0x2000, 2);
+  EXPECT_FALSE(h.quota_for(0xFFF).has_value());
+  EXPECT_EQ(h.quota_for(0x1000).value_or(99), 2);
+  EXPECT_EQ(h.quota_for(0x1FFF).value_or(99), 2);
+  EXPECT_FALSE(h.quota_for(0x2000).has_value());
+}
+
+TEST(ReplicationHints, LaterRangesWinOnOverlap) {
+  ReplicationHints h;
+  h.add_range(0x0, 0x10000, 1);   // whole heap: 1 replica
+  h.add_range(0x4000, 0x5000, 0); // scratch buffer: never replicate
+  EXPECT_EQ(h.quota_for(0x1000).value_or(99), 1);
+  EXPECT_EQ(h.quota_for(0x4800).value_or(99), 0);
+  EXPECT_EQ(h.quota_for(0x5000).value_or(99), 1);
+}
+
+TEST(ReplicationHints, ClearForgetsRanges) {
+  ReplicationHints h;
+  h.add_range(0, 100, 1);
+  h.clear();
+  EXPECT_FALSE(h.quota_for(50).has_value());
+}
+
+TEST(ReplicationHints, ZeroQuotaSuppressesReplication) {
+  CacheFixture f(Scheme::IcrPPS_S());
+  ReplicationHints hints;
+  hints.add_range(0x0, 0x10000000ULL, 0);
+  f.dl1->set_replication_hints(&hints);
+  f.dl1->store(0x100, 1, 0);
+  f.dl1->store(0x5000, 2, 1);
+  EXPECT_EQ(f.dl1->stats().replicas_created, 0u);
+  // Opted-out data is not a replication opportunity at all.
+  EXPECT_EQ(f.dl1->stats().replication_opportunities, 0u);
+}
+
+TEST(ReplicationHints, QuotaRaisesReplicaCount) {
+  // Scheme configured for 1 replica, but the hint grants 2 for a hot range
+  // (the site list must offer two sites for both to be usable).
+  ReplicationConfig rep;
+  rep.fallback = FallbackStrategy::kMultiAttempt;
+  rep.extra_attempts = {Distance::quarter()};
+  rep.num_replicas = 1;
+  CacheFixture f(Scheme::IcrPPS_S().with_replication(rep));
+  ReplicationHints hints;
+  hints.add_range(0x0, 0x1000, 2);
+  f.dl1->set_replication_hints(&hints);
+
+  f.dl1->store(0x100, 1, 0);    // hinted: up to 2 replicas
+  f.dl1->store(0x20000, 2, 1);  // unhinted: scheme default of 1
+  EXPECT_EQ(f.dl1->resident_replicas(), 3u);
+  f.dl1->check_invariants();
+}
+
+TEST(ReplicationHints, MixedRangesEndToEnd) {
+  CacheFixture f(Scheme::IcrPPS_S());
+  ReplicationHints hints;
+  hints.add_range(0x0, 0x8000, 1);
+  hints.add_range(0x8000, 0x10000, 0);
+  f.dl1->set_replication_hints(&hints);
+  Rng rng(3);
+  for (std::uint64_t cycle = 0; cycle < 2000; ++cycle) {
+    f.dl1->store(rng.next_below(0x2000) * 8, cycle, cycle);
+  }
+  f.dl1->check_invariants();
+  // Replicas exist, and none of them covers the opted-out range.
+  EXPECT_GT(f.dl1->resident_replicas(), 0u);
+  for (std::uint32_t s = 0; s < f.dl1->num_sets(); ++s) {
+    for (std::uint32_t w = 0; w < f.dl1->ways(); ++w) {
+      const IcrLine& l = f.dl1->line(s, w);
+      if (l.valid && l.replica) {
+        EXPECT_LT(l.block_addr, 0x8000u);
+      }
+    }
+  }
+  // Detaching the table restores default behaviour.
+  f.dl1->set_replication_hints(nullptr);
+  f.dl1->store(0x9000, 1, 5000);
+  EXPECT_GT(f.dl1->stats().replication_opportunities, 0u);
+}
+
+}  // namespace
+}  // namespace icr::core

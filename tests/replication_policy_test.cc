@@ -1,0 +1,84 @@
+#include "src/core/replication_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace icr::core {
+namespace {
+
+TEST(Distance, Resolution) {
+  EXPECT_EQ(Distance::half().resolve(64), 32u);
+  EXPECT_EQ(Distance::quarter().resolve(64), 16u);
+  EXPECT_EQ(Distance::zero().resolve(64), 0u);
+  EXPECT_EQ(Distance::absolute(7).resolve(64), 7u);
+  EXPECT_EQ(Distance::absolute(71).resolve(64), 7u);  // wraps mod N
+}
+
+TEST(CandidateDistances, SingleAttempt) {
+  ReplicationConfig cfg;  // defaults: 1 replica, N/2, no fallback
+  const auto d = candidate_distances(cfg, 64);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0], 32u);
+}
+
+TEST(CandidateDistances, MultiAttemptPaperSetting) {
+  // Paper Fig. 1: Distance-N/2 then Distance-N/4.
+  ReplicationConfig cfg;
+  cfg.fallback = FallbackStrategy::kMultiAttempt;
+  cfg.extra_attempts = {Distance::quarter()};
+  const auto d = candidate_distances(cfg, 64);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0], 32u);
+  EXPECT_EQ(d[1], 16u);
+}
+
+TEST(CandidateDistances, Power2Ladder) {
+  // k = N/2 = 32, then 32-16=16, then 16-8=8, ...
+  ReplicationConfig cfg;
+  cfg.fallback = FallbackStrategy::kPower2;
+  cfg.max_attempts = 4;
+  const auto d = candidate_distances(cfg, 64);
+  ASSERT_EQ(d.size(), 4u);
+  EXPECT_EQ(d[0], 32u);
+  EXPECT_EQ(d[1], 16u);
+  EXPECT_EQ(d[2], 8u);
+  EXPECT_EQ(d[3], 4u);
+}
+
+TEST(CandidateDistances, Power2StopsWhenStepVanishes) {
+  ReplicationConfig cfg;
+  cfg.fallback = FallbackStrategy::kPower2;
+  cfg.max_attempts = 10;
+  const auto d = candidate_distances(cfg, 8);  // k=4: 4, 2, 1
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_EQ(d[0], 4u);
+  EXPECT_EQ(d[1], 2u);
+  EXPECT_EQ(d[2], 1u);
+}
+
+TEST(CandidateDistances, DeduplicatesSites) {
+  ReplicationConfig cfg;
+  cfg.fallback = FallbackStrategy::kMultiAttempt;
+  cfg.extra_attempts = {Distance::half(), Distance::quarter(),
+                        Distance::quarter()};
+  const auto d = candidate_distances(cfg, 64);
+  ASSERT_EQ(d.size(), 2u);  // N/2 repeated, N/4 repeated
+}
+
+TEST(CandidateDistances, HorizontalReplication) {
+  ReplicationConfig cfg;
+  cfg.first_distance = Distance::zero();
+  const auto d = candidate_distances(cfg, 64);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0], 0u);
+}
+
+TEST(VictimPolicy, Names) {
+  EXPECT_STREQ(to_string(ReplicaVictimPolicy::kDeadOnly), "dead-only");
+  EXPECT_STREQ(to_string(ReplicaVictimPolicy::kDeadFirst), "dead-first");
+  EXPECT_STREQ(to_string(ReplicaVictimPolicy::kReplicaFirst),
+               "replica-first");
+  EXPECT_STREQ(to_string(ReplicaVictimPolicy::kReplicaOnly), "replica-only");
+}
+
+}  // namespace
+}  // namespace icr::core

@@ -1,0 +1,122 @@
+#include "src/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace icr {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedIsUsable) {
+  Rng r(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(r.next_u64());
+  EXPECT_GT(seen.size(), 95u);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(r.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowZeroReturnsZero) {
+  Rng r(7);
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(Rng, NextBelowCoversSmallRangeUniformly) {
+  Rng r(11);
+  int counts[4] = {};
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) ++counts[r.next_below(4)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 4, kDraws / 40);
+  }
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng r(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = r.next_range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= v == 5;
+    saw_hi |= v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng r(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+    EXPECT_FALSE(r.bernoulli(-0.5));
+    EXPECT_TRUE(r.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng r(17);
+  int hits = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (r.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.02);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng a(21);
+  Rng b = a.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Mix64, DeterministicAndSpreading) {
+  EXPECT_EQ(mix64(12345), mix64(12345));
+  EXPECT_NE(mix64(1), mix64(2));
+  // Adjacent inputs should differ in many bits.
+  const std::uint64_t x = mix64(100) ^ mix64(101);
+  EXPECT_GT(__builtin_popcountll(x), 10);
+}
+
+}  // namespace
+}  // namespace icr

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "src/cpu/lsq.h"
+#include "src/cpu/ruu.h"
+
+namespace icr::cpu {
+namespace {
+
+TEST(Ruu, PushPopOrder) {
+  Ruu ruu(4);
+  EXPECT_TRUE(ruu.empty());
+  for (std::uint64_t s = 1; s <= 4; ++s) ruu.push().seq = s;
+  EXPECT_TRUE(ruu.full());
+  EXPECT_EQ(ruu.head().seq, 1u);
+  ruu.pop();
+  EXPECT_EQ(ruu.head().seq, 2u);
+  ruu.push().seq = 5;  // wraps the ring
+  EXPECT_EQ(ruu.at(0).seq, 2u);
+  EXPECT_EQ(ruu.at(3).seq, 5u);
+}
+
+TEST(Ruu, FindSeq) {
+  Ruu ruu(8);
+  for (std::uint64_t s = 10; s < 14; ++s) ruu.push().seq = s;
+  EXPECT_NE(ruu.find_seq(12), nullptr);
+  EXPECT_EQ(ruu.find_seq(12)->seq, 12u);
+  EXPECT_EQ(ruu.find_seq(99), nullptr);
+  ruu.pop();
+  EXPECT_EQ(ruu.find_seq(10), nullptr);  // committed
+}
+
+TEST(Ruu, PushResetsEntryState) {
+  Ruu ruu(2);
+  RuuEntry& e = ruu.push();
+  e.issued = true;
+  e.completed = true;
+  e.seq = 1;
+  ruu.pop();
+  RuuEntry& e2 = ruu.push();
+  EXPECT_FALSE(e2.issued);
+  EXPECT_FALSE(e2.completed);
+  EXPECT_EQ(e2.seq, 0u);
+}
+
+TEST(Lsq, ForwardsYoungestOlderStore) {
+  Lsq lsq(8);
+  lsq.push(1, true, 0x100, 111);
+  lsq.push(2, true, 0x100, 222);
+  lsq.push(3, true, 0x200, 333);
+  // Load seq 4 at 0x100: sees stores 1 and 2, takes the youngest (222).
+  const auto v = lsq.forward_value(4, 0x100);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 222u);
+}
+
+TEST(Lsq, DoesNotForwardFromYoungerStore) {
+  Lsq lsq(8);
+  lsq.push(5, true, 0x100, 555);
+  EXPECT_FALSE(lsq.forward_value(3, 0x100).has_value());
+}
+
+TEST(Lsq, DoesNotForwardAcrossWords) {
+  Lsq lsq(8);
+  lsq.push(1, true, 0x100, 1);
+  EXPECT_FALSE(lsq.forward_value(2, 0x108).has_value());
+  // Same word, different byte offset: still forwards (word granularity).
+  EXPECT_TRUE(lsq.forward_value(2, 0x104).has_value());
+}
+
+TEST(Lsq, LoadsDoNotForward) {
+  Lsq lsq(8);
+  lsq.push(1, false, 0x100, 0);  // a load entry
+  EXPECT_FALSE(lsq.forward_value(2, 0x100).has_value());
+}
+
+TEST(Lsq, PopIfSeqOnlyMatchesHead) {
+  Lsq lsq(4);
+  lsq.push(1, true, 0x100, 1);
+  lsq.push(2, false, 0x200, 0);
+  lsq.pop_if_seq(2);  // head is seq 1: no-op
+  EXPECT_EQ(lsq.size(), 2u);
+  lsq.pop_if_seq(1);
+  EXPECT_EQ(lsq.size(), 1u);
+  lsq.pop_if_seq(2);
+  EXPECT_TRUE(lsq.empty());
+}
+
+TEST(Lsq, FullBlocksPush) {
+  Lsq lsq(2);
+  lsq.push(1, true, 0, 0);
+  lsq.push(2, true, 64, 0);
+  EXPECT_TRUE(lsq.full());
+}
+
+}  // namespace
+}  // namespace icr::cpu

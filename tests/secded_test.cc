@@ -1,0 +1,117 @@
+#include "src/coding/secded.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/bitops.h"
+#include "src/util/rng.h"
+
+namespace icr {
+namespace {
+
+TEST(SecDed, CleanWordDecodesClean) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t word = rng.next_u64();
+    const std::uint8_t check = secded_encode(word);
+    const SecDedResult r = secded_decode(word, check);
+    EXPECT_EQ(r.status, SecDedStatus::kClean);
+    EXPECT_EQ(r.data, word);
+  }
+}
+
+TEST(SecDed, CorrectsEverySingleDataBitError) {
+  Rng rng(2);
+  for (int trial = 0; trial < 32; ++trial) {
+    const std::uint64_t word = rng.next_u64();
+    const std::uint8_t check = secded_encode(word);
+    for (unsigned bit = 0; bit < 64; ++bit) {
+      const SecDedResult r = secded_decode(word ^ (1ULL << bit), check);
+      EXPECT_EQ(r.status, SecDedStatus::kCorrectedData) << "bit " << bit;
+      EXPECT_EQ(r.data, word) << "bit " << bit;
+    }
+  }
+}
+
+TEST(SecDed, CorrectsEverySingleCheckBitError) {
+  Rng rng(3);
+  for (int trial = 0; trial < 32; ++trial) {
+    const std::uint64_t word = rng.next_u64();
+    const std::uint8_t check = secded_encode(word);
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      const SecDedResult r =
+          secded_decode(word, static_cast<std::uint8_t>(check ^ (1U << bit)));
+      EXPECT_EQ(r.status, SecDedStatus::kCorrectedCheck) << "bit " << bit;
+      EXPECT_EQ(r.data, word) << "bit " << bit;
+    }
+  }
+}
+
+TEST(SecDed, DetectsEveryDoubleDataBitError) {
+  Rng rng(4);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::uint64_t word = rng.next_u64();
+    const std::uint8_t check = secded_encode(word);
+    for (unsigned b1 = 0; b1 < 64; ++b1) {
+      for (unsigned b2 = b1 + 1; b2 < 64; b2 += 7) {  // sampled pairs
+        const SecDedResult r =
+            secded_decode(word ^ (1ULL << b1) ^ (1ULL << b2), check);
+        EXPECT_EQ(r.status, SecDedStatus::kDetectedDouble)
+            << b1 << "," << b2;
+      }
+    }
+  }
+}
+
+TEST(SecDed, DetectsMixedDataCheckDoubleError) {
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t word = rng.next_u64();
+    const std::uint8_t check = secded_encode(word);
+    const unsigned data_bit = static_cast<unsigned>(rng.next_below(64));
+    const unsigned check_bit = static_cast<unsigned>(rng.next_below(8));
+    const SecDedResult r = secded_decode(
+        word ^ (1ULL << data_bit),
+        static_cast<std::uint8_t>(check ^ (1U << check_bit)));
+    EXPECT_EQ(r.status, SecDedStatus::kDetectedDouble);
+  }
+}
+
+TEST(SecDed, DataPositionsSkipPowersOfTwo) {
+  for (unsigned d = 0; d < 64; ++d) {
+    const unsigned pos = secded_internal::data_bit_position(d);
+    EXPECT_GE(pos, 3u);
+    EXPECT_LE(pos, 71u);
+    EXPECT_FALSE(is_pow2(pos)) << "data bit " << d << " at position " << pos;
+  }
+  // Positions are strictly increasing and unique.
+  for (unsigned d = 1; d < 64; ++d) {
+    EXPECT_GT(secded_internal::data_bit_position(d),
+              secded_internal::data_bit_position(d - 1));
+  }
+}
+
+TEST(SecDed, CheckBitsDependOnData) {
+  // Different words should (almost always) get different check bits.
+  int same = 0;
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    if (secded_encode(rng.next_u64()) == secded_encode(rng.next_u64())) {
+      ++same;
+    }
+  }
+  // 8 check bits -> ~1/256 collision chance.
+  EXPECT_LT(same, 20);
+}
+
+TEST(SecDed, AllZerosAndAllOnes) {
+  for (const std::uint64_t word : {0ULL, ~0ULL}) {
+    const std::uint8_t check = secded_encode(word);
+    EXPECT_EQ(secded_decode(word, check).status, SecDedStatus::kClean);
+    const SecDedResult r = secded_decode(word ^ 1ULL, check);
+    EXPECT_EQ(r.status, SecDedStatus::kCorrectedData);
+    EXPECT_EQ(r.data, word);
+  }
+}
+
+}  // namespace
+}  // namespace icr

@@ -1,0 +1,106 @@
+#include "src/mem/set_assoc_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace icr::mem {
+namespace {
+
+CacheGeometry small_geo() { return CacheGeometry{1024, 64, 2}; }  // 8 sets
+
+TEST(SetAssocCache, MissThenHit) {
+  SetAssocCache c(small_geo());
+  EXPECT_FALSE(c.access(0x100, false, 0).hit);
+  EXPECT_TRUE(c.access(0x100, false, 1).hit);
+  EXPECT_TRUE(c.access(0x13F, false, 2).hit);  // same block
+  EXPECT_EQ(c.stats().accesses, 3u);
+  EXPECT_EQ(c.stats().hits, 2u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(SetAssocCache, LruEviction) {
+  SetAssocCache c(small_geo());
+  const std::uint64_t sets = 8, line = 64;
+  // Three blocks aliasing to set 0 in a 2-way cache.
+  const std::uint64_t a = 0 * sets * line, b = 1 * sets * line,
+                      d = 2 * sets * line;
+  c.access(a, false, 0);
+  c.access(b, false, 1);
+  c.access(a, false, 2);   // a is now MRU
+  c.access(d, false, 3);   // evicts b (LRU)
+  EXPECT_TRUE(c.probe(a));
+  EXPECT_FALSE(c.probe(b));
+  EXPECT_TRUE(c.probe(d));
+  EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(SetAssocCache, DirtyEvictionReportsWriteback) {
+  SetAssocCache c(small_geo());
+  const std::uint64_t sets = 8, line = 64;
+  const std::uint64_t a = 0, b = sets * line, d = 2 * sets * line;
+  c.access(a, true, 0);  // dirty
+  c.access(b, false, 1);
+  const auto r = c.access(d, false, 2);  // evicts a
+  ASSERT_TRUE(r.writeback.has_value());
+  EXPECT_EQ(*r.writeback, a);
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(SetAssocCache, CleanEvictionHasNoWriteback) {
+  SetAssocCache c(small_geo());
+  const std::uint64_t sets = 8, line = 64;
+  c.access(0, false, 0);
+  c.access(sets * line, false, 1);
+  const auto r = c.access(2 * sets * line, false, 2);
+  EXPECT_FALSE(r.writeback.has_value());
+}
+
+TEST(SetAssocCache, WriteHitMarksDirty) {
+  SetAssocCache c(small_geo());
+  const std::uint64_t sets = 8, line = 64;
+  c.access(0, false, 0);
+  c.access(0, true, 1);  // now dirty
+  c.access(sets * line, false, 2);
+  const auto r = c.access(2 * sets * line, false, 3);  // evicts block 0
+  EXPECT_TRUE(r.writeback.has_value());
+}
+
+TEST(SetAssocCache, InvalidateReturnsDirtiness) {
+  SetAssocCache c(small_geo());
+  c.access(0x200, true, 0);
+  EXPECT_TRUE(c.probe(0x200));
+  EXPECT_TRUE(c.invalidate(0x200));
+  EXPECT_FALSE(c.probe(0x200));
+  EXPECT_FALSE(c.invalidate(0x200));  // already gone
+}
+
+TEST(SetAssocCache, ProbeDoesNotDisturbState) {
+  SetAssocCache c(small_geo());
+  c.access(0x300, false, 0);
+  const auto before = c.stats().accesses;
+  EXPECT_TRUE(c.probe(0x300));
+  EXPECT_FALSE(c.probe(0x7000));
+  EXPECT_EQ(c.stats().accesses, before);
+}
+
+TEST(SetAssocCache, MissRateComputation) {
+  SetAssocCache c(small_geo());
+  c.access(0, false, 0);
+  c.access(0, false, 1);
+  c.access(0, false, 2);
+  c.access(64, false, 3);
+  EXPECT_DOUBLE_EQ(c.stats().miss_rate(), 0.5);
+}
+
+TEST(SetAssocCache, FillsAllWaysBeforeEvicting) {
+  CacheGeometry g{4096, 64, 4};  // 16 sets, 4 ways
+  SetAssocCache c(g);
+  const std::uint64_t stride = 16 * 64;
+  for (int i = 0; i < 4; ++i) c.access(i * stride, false, i);
+  EXPECT_EQ(c.stats().evictions, 0u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(c.probe(i * stride));
+  c.access(4 * stride, false, 5);
+  EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+}  // namespace
+}  // namespace icr::mem

@@ -1,0 +1,56 @@
+#include "src/util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace icr {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t("Demo", {"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t("", {"a", "b", "c"});
+  t.add_row({"x"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find('x'), std::string::npos);
+}
+
+TEST(TextTable, NumericRowFormatsPrecision) {
+  TextTable t("", {"label", "v1", "v2"});
+  t.add_numeric_row("row", {1.23456, 2.0}, 2);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("2.00"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAreAligned) {
+  TextTable t("", {"col", "v"});
+  t.add_row({"short", "1"});
+  t.add_row({"muchlongerlabel", "2"});
+  const std::string out = t.render();
+  // Values in the second column start at the same offset for both rows.
+  const auto line_start = [&](int n) {
+    std::size_t pos = 0;
+    for (int i = 0; i < n; ++i) pos = out.find('\n', pos) + 1;
+    return pos;
+  };
+  const std::size_t row1 = line_start(2);  // after header + rule
+  const std::size_t row2 = line_start(3);
+  EXPECT_EQ(out.find('1', row1) - row1, out.find('2', row2) - row2);
+}
+
+TEST(FormatDouble, Basic) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.0, 3), "-1.000");
+}
+
+}  // namespace
+}  // namespace icr

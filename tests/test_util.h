@@ -1,0 +1,33 @@
+// Shared helpers for the ICR test suite.
+#pragma once
+
+#include <memory>
+
+#include "src/core/icr_cache.h"
+#include "src/core/scheme.h"
+#include "src/mem/memory_hierarchy.h"
+
+namespace icr::test {
+
+// A self-contained dL1 + hierarchy bundle for cache-level tests.
+struct CacheFixture {
+  explicit CacheFixture(core::Scheme scheme,
+                        mem::CacheGeometry geometry = mem::l1d_geometry_default())
+      : hierarchy(std::make_unique<mem::MemoryHierarchy>()),
+        dl1(std::make_unique<core::IcrCache>(geometry, std::move(scheme),
+                                             *hierarchy)) {}
+
+  std::unique_ptr<mem::MemoryHierarchy> hierarchy;
+  std::unique_ptr<core::IcrCache> dl1;
+};
+
+// Address of word `w` in block `b` of set `s` for the given geometry: picks
+// a tag such that distinct `b` values alias to the same set.
+inline std::uint64_t addr_for(const mem::CacheGeometry& g, std::uint32_t set,
+                              std::uint32_t tag, std::uint32_t word = 0) {
+  const std::uint64_t block =
+      (static_cast<std::uint64_t>(tag) * g.num_sets() + set) * g.line_bytes;
+  return block + word * 8ULL;
+}
+
+}  // namespace icr::test

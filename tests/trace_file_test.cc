@@ -1,0 +1,104 @@
+#include "src/trace/trace_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/trace/workloads.h"
+
+namespace icr::trace {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TraceFile, RoundTripPreservesEveryField) {
+  const std::string path = temp_path("roundtrip.icrt");
+  SyntheticWorkload source(profile_for(App::kGcc));
+  SyntheticWorkload reference(profile_for(App::kGcc));
+  record_trace(source, 5000, path);
+
+  FileTraceSource replay(path);
+  ASSERT_EQ(replay.size(), 5000u);
+  for (int i = 0; i < 5000; ++i) {
+    const Instruction a = replay.next();
+    const Instruction b = reference.next();
+    ASSERT_EQ(a.pc, b.pc);
+    ASSERT_EQ(static_cast<int>(a.op), static_cast<int>(b.op));
+    ASSERT_EQ(a.mem_addr, b.mem_addr);
+    ASSERT_EQ(a.store_value, b.store_value);
+    ASSERT_EQ(a.next_pc, b.next_pc);
+    ASSERT_EQ(a.branch_taken, b.branch_taken);
+    ASSERT_EQ(a.dest, b.dest);
+    ASSERT_EQ(a.src1, b.src1);
+    ASSERT_EQ(a.src2, b.src2);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, ReplayLoopsAtEnd) {
+  const std::string path = temp_path("loop.icrt");
+  SyntheticWorkload source(profile_for(App::kGzip));
+  record_trace(source, 100, path);
+
+  FileTraceSource replay(path);
+  std::vector<std::uint64_t> first_pass;
+  for (int i = 0; i < 100; ++i) first_pass.push_back(replay.next().pc);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(replay.next().pc, first_pass[static_cast<std::size_t>(i)]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, MissingFileThrows) {
+  EXPECT_THROW(FileTraceSource("/nonexistent/path/x.icrt"),
+               std::runtime_error);
+}
+
+TEST(TraceFile, BadMagicThrows) {
+  const std::string path = temp_path("garbage.icrt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a trace file at all............";
+  }
+  EXPECT_THROW(FileTraceSource{path}, std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, EmptyTraceThrows) {
+  const std::string path = temp_path("empty.icrt");
+  {
+    TraceWriter w(path);  // header only
+  }
+  EXPECT_THROW(FileTraceSource{path}, std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, TruncatedTraceThrows) {
+  const std::string path = temp_path("trunc.icrt");
+  {
+    SyntheticWorkload source(profile_for(App::kVpr));
+    record_trace(source, 50, path);
+  }
+  // Chop off the tail.
+  std::ofstream out(path, std::ios::binary | std::ios::in);
+  out.seekp(16 + 20 * 40);
+  out.close();
+  std::ifstream check(path, std::ios::binary | std::ios::ate);
+  // Rewrite with fewer bytes than the header claims.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> bytes(16 + 20 * 40);
+    in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    in.close();
+    std::ofstream rewrite(path, std::ios::binary | std::ios::trunc);
+    rewrite.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW(FileTraceSource{path}, std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace icr::trace

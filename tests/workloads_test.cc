@@ -1,0 +1,129 @@
+#include "src/trace/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace icr::trace {
+namespace {
+
+TEST(Workloads, AllAppsHaveProfiles) {
+  const auto apps = all_apps();
+  ASSERT_EQ(apps.size(), 8u);
+  for (App app : apps) {
+    const WorkloadProfile p = profile_for(app);
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_FALSE(p.patterns.empty());
+    EXPECT_GT(p.load_frac, 0.0);
+    EXPECT_GT(p.store_frac, 0.0);
+    EXPECT_LT(p.load_frac + p.store_frac + p.branch_frac + p.fp_alu_frac +
+                  p.fp_mul_frac + p.int_mul_frac,
+              1.0);
+  }
+}
+
+TEST(Workloads, DeterministicStreams) {
+  SyntheticWorkload a(profile_for(App::kVpr));
+  SyntheticWorkload b(profile_for(App::kVpr));
+  for (int i = 0; i < 5000; ++i) {
+    const Instruction x = a.next();
+    const Instruction y = b.next();
+    ASSERT_EQ(x.pc, y.pc);
+    ASSERT_EQ(static_cast<int>(x.op), static_cast<int>(y.op));
+    ASSERT_EQ(x.mem_addr, y.mem_addr);
+    ASSERT_EQ(x.branch_taken, y.branch_taken);
+  }
+}
+
+TEST(Workloads, MixMatchesProfile) {
+  const WorkloadProfile p = profile_for(App::kGzip);
+  SyntheticWorkload w(p);
+  std::map<OpClass, int> counts;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[w.next().op];
+  EXPECT_NEAR(static_cast<double>(counts[OpClass::kLoad]) / kN, p.load_frac,
+              0.01);
+  EXPECT_NEAR(static_cast<double>(counts[OpClass::kStore]) / kN, p.store_frac,
+              0.01);
+  EXPECT_NEAR(static_cast<double>(counts[OpClass::kBranch]) / kN,
+              p.branch_frac, 0.01);
+}
+
+TEST(Workloads, MemoryOpsHaveAlignedAddresses) {
+  SyntheticWorkload w(profile_for(App::kMcf));
+  for (int i = 0; i < 20000; ++i) {
+    const Instruction ins = w.next();
+    if (ins.is_mem()) {
+      EXPECT_EQ(ins.mem_addr % 8, 0u);
+      EXPECT_GT(ins.mem_addr, 0u);
+    }
+  }
+}
+
+TEST(Workloads, BranchNextPcConsistent) {
+  SyntheticWorkload w(profile_for(App::kGcc));
+  for (int i = 0; i < 20000; ++i) {
+    const Instruction ins = w.next();
+    if (ins.is_branch()) {
+      if (!ins.branch_taken) {
+        // Fall-through (modulo code-footprint wrap).
+        EXPECT_TRUE(ins.next_pc == ins.pc + 4 || ins.next_pc < ins.pc);
+      } else {
+        EXPECT_NE(ins.next_pc, ins.pc + 4);
+      }
+    }
+  }
+}
+
+TEST(Workloads, PcStaysInCodeFootprint) {
+  const WorkloadProfile p = profile_for(App::kGzip);
+  SyntheticWorkload w(p);
+  std::uint64_t min_pc = ~0ULL, max_pc = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const Instruction ins = w.next();
+    min_pc = std::min(min_pc, ins.pc);
+    max_pc = std::max(max_pc, ins.pc);
+  }
+  EXPECT_LT(max_pc - min_pc, p.code_footprint_bytes + 4);
+}
+
+TEST(Workloads, McfIsPointerChaseHeavy) {
+  // mcf's dominant chase component should produce load-load dependences.
+  SyntheticWorkload w(profile_for(App::kMcf));
+  int dependent = 0, loads = 0;
+  std::int16_t last_load_dest = -1;
+  for (int i = 0; i < 50000; ++i) {
+    const Instruction ins = w.next();
+    if (ins.is_load()) {
+      ++loads;
+      if (last_load_dest >= 0 && ins.src1 == last_load_dest) ++dependent;
+      last_load_dest = ins.dest;
+    }
+  }
+  EXPECT_GT(static_cast<double>(dependent) / loads, 0.15);
+}
+
+TEST(Workloads, DistinctAppsProduceDistinctStreams) {
+  SyntheticWorkload a(profile_for(App::kGzip));
+  SyntheticWorkload b(profile_for(App::kMesa));
+  int identical = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next().mem_addr == b.next().mem_addr) ++identical;
+  }
+  EXPECT_LT(identical, 900);
+}
+
+TEST(Workloads, StoresCarryDeterministicValues) {
+  SyntheticWorkload a(profile_for(App::kVortex));
+  SyntheticWorkload b(profile_for(App::kVortex));
+  for (int i = 0; i < 5000; ++i) {
+    const Instruction x = a.next();
+    const Instruction y = b.next();
+    if (x.is_store()) {
+      ASSERT_EQ(x.store_value, y.store_value);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace icr::trace

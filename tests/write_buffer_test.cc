@@ -1,0 +1,76 @@
+#include "src/mem/write_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace icr::mem {
+namespace {
+
+TEST(WriteBuffer, AcceptsUpToCapacityWithoutStall) {
+  WriteBuffer wb(4, 6);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(wb.push(i * 64, 0), 0u);
+  }
+  EXPECT_EQ(wb.occupancy(), 4u);
+  EXPECT_EQ(wb.stall_cycles(), 0u);
+}
+
+TEST(WriteBuffer, CoalescesSameBlock) {
+  WriteBuffer wb(2, 6);
+  EXPECT_EQ(wb.push(0x100, 0), 0u);
+  EXPECT_EQ(wb.push(0x100, 1), 0u);
+  EXPECT_EQ(wb.push(0x120, 2), 0u);  // same 64B block? 0x100..0x13F
+  EXPECT_EQ(wb.occupancy(), 2u);     // 0x100 and 0x120 are distinct pushes
+  EXPECT_EQ(wb.coalesced_writes(), 1u);
+}
+
+TEST(WriteBuffer, StallsWhenFull) {
+  WriteBuffer wb(2, 6);
+  EXPECT_EQ(wb.push(0, 0), 0u);    // drain of this entry completes at 6
+  EXPECT_EQ(wb.push(64, 0), 0u);   // buffer now full
+  const std::uint32_t stall = wb.push(128, 1);
+  EXPECT_EQ(stall, 5u);  // waits until cycle 6 when the head drains
+  EXPECT_EQ(wb.stall_cycles(), 5u);
+}
+
+TEST(WriteBuffer, DrainsOverTime) {
+  WriteBuffer wb(4, 6);
+  wb.push(0, 0);
+  wb.push(64, 0);
+  wb.drain_to(5);
+  EXPECT_EQ(wb.drained_writes(), 0u);
+  wb.drain_to(6);
+  EXPECT_EQ(wb.drained_writes(), 1u);
+  wb.drain_to(12);
+  EXPECT_EQ(wb.drained_writes(), 2u);
+  EXPECT_EQ(wb.occupancy(), 0u);
+}
+
+TEST(WriteBuffer, NoStallAfterLongGap) {
+  WriteBuffer wb(2, 6);
+  wb.push(0, 0);
+  wb.push(64, 0);
+  // By cycle 100 everything has drained.
+  EXPECT_EQ(wb.push(128, 100), 0u);
+  EXPECT_EQ(wb.drained_writes(), 2u);
+}
+
+TEST(WriteBuffer, BackToBackDrainsAreSerialized) {
+  WriteBuffer wb(8, 6);
+  for (std::uint64_t i = 0; i < 4; ++i) wb.push(i * 64, 0);
+  // Entries drain at 6, 12, 18, 24.
+  wb.drain_to(13);
+  EXPECT_EQ(wb.drained_writes(), 2u);
+  wb.drain_to(24);
+  EXPECT_EQ(wb.drained_writes(), 4u);
+}
+
+TEST(WriteBuffer, RepeatedFullStallsAccumulate) {
+  WriteBuffer wb(1, 6);
+  EXPECT_EQ(wb.push(0, 0), 0u);
+  EXPECT_EQ(wb.push(64, 0), 6u);   // waits for the first drain
+  EXPECT_GT(wb.push(128, 6), 0u);  // still draining the second
+  EXPECT_GT(wb.stall_cycles(), 6u);
+}
+
+}  // namespace
+}  // namespace icr::mem

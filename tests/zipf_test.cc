@@ -1,0 +1,72 @@
+#include "src/util/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace icr {
+namespace {
+
+TEST(Zipf, RejectsEmptyUniverse) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+TEST(Zipf, SamplesWithinUniverse) {
+  ZipfSampler z(17, 0.9);
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(z.sample(rng), 17u);
+  }
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  ZipfSampler z(8, 0.0);
+  Rng rng(2);
+  std::vector<int> counts(8, 0);
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) ++counts[z.sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, kDraws / 8, kDraws / 80);
+}
+
+TEST(Zipf, SkewFavoursLowRanks) {
+  ZipfSampler z(1000, 1.2);
+  Rng rng(3);
+  int top10 = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (z.sample(rng) < 10) ++top10;
+  }
+  // With theta=1.2 the top-10 ranks carry well over a third of the mass.
+  EXPECT_GT(top10, kDraws / 3);
+}
+
+TEST(Zipf, HigherThetaIsMoreSkewed) {
+  Rng rng(4);
+  auto top1_mass = [&](double theta) {
+    ZipfSampler z(100, theta);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i) {
+      if (z.sample(rng) == 0) ++hits;
+    }
+    return hits;
+  };
+  EXPECT_GT(top1_mass(1.3), top1_mass(0.5));
+}
+
+TEST(Zipf, DeterministicGivenRngSeed) {
+  ZipfSampler z(50, 0.8);
+  Rng a(5), b(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(z.sample(a), z.sample(b));
+  }
+}
+
+TEST(Zipf, SingleItemUniverse) {
+  ZipfSampler z(1, 2.0);
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace icr

@@ -1,0 +1,267 @@
+// icr_sim — command-line driver for the ICR simulator.
+//
+// One binary to run any (application | recorded trace) under any protection
+// scheme with every §3/§5 knob exposed, printing either a human-readable
+// report or a CSV row for scripting.
+//
+//   icr_sim --app=mcf --scheme=ICR-P-PS(S) --instructions=1000000
+//   icr_sim --app=vpr --scheme=BaseECC --fault-prob=1e-4 --fault-model=column
+//   icr_sim --trace=run.icrt --window=1000 --victim=dead-first --csv
+//   icr_sim --record=run.icrt --app=gcc --instructions=200000
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/sim/experiment.h"
+#include "src/trace/trace_file.h"
+#include "src/util/table.h"
+
+using namespace icr;
+
+namespace {
+
+struct Options {
+  std::string app = "gzip";
+  std::string trace_path;   // replay instead of the synthetic app
+  std::string record_path;  // record the app's trace and exit
+  std::string scheme = "ICR-P-PS(S)";
+  std::uint64_t instructions = 0;  // 0 = ICR_SIM_INSTRUCTIONS / 1M default
+  std::uint64_t window = 0;
+  std::string victim = "dead-only";
+  bool leave_replicas = false;
+  bool write_through = false;
+  std::uint32_t rcache = 0;
+  std::string fault_model = "random";
+  double fault_prob = 0.0;
+  bool csv = false;
+};
+
+void usage() {
+  std::puts(
+      "icr_sim — ICR (DSN'03) cache-reliability simulator\n"
+      "  --app=NAME            gzip|vpr|gcc|mcf|parser|mesa|vortex|bzip2\n"
+      "  --trace=FILE          replay a recorded .icrt trace instead\n"
+      "  --record=FILE         record the app's trace to FILE and exit\n"
+      "  --scheme=NAME         BaseP|BaseECC|BaseECC-spec|ICR-{P,ECC}-{PS,PP}({S,LS})\n"
+      "  --instructions=N      instructions to simulate (default 1M)\n"
+      "  --window=N            dead-block decay window in cycles (default 0)\n"
+      "  --victim=POLICY       dead-only|dead-first|replica-first|replica-only\n"
+      "  --leave-replicas      keep replicas on primary eviction (§5.6)\n"
+      "  --write-through       write-through dL1 + 8-entry buffer (§5.8)\n"
+      "  --rcache=N            attach an N-entry Kim&Somani R-Cache\n"
+      "  --fault-model=M       random|adjacent|column|direct\n"
+      "  --fault-prob=P        per-cycle injection probability (default 0)\n"
+      "  --csv                 one CSV row instead of the report\n");
+}
+
+bool parse_flag(const char* arg, const char* name, std::string& out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+core::Scheme scheme_by_name(const std::string& name) {
+  for (core::Scheme s : core::Scheme::all_paper_schemes()) {
+    if (s.name == name) return s;
+  }
+  if (name == "BaseECC-spec") return core::Scheme::BaseECCSpeculative();
+  std::fprintf(stderr, "unknown scheme '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+core::ReplicaVictimPolicy victim_by_name(const std::string& name) {
+  using P = core::ReplicaVictimPolicy;
+  for (const P p : {P::kDeadOnly, P::kDeadFirst, P::kReplicaFirst,
+                    P::kReplicaOnly}) {
+    if (name == core::to_string(p)) return p;
+  }
+  std::fprintf(stderr, "unknown victim policy '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+fault::FaultModel fault_by_name(const std::string& name) {
+  using M = fault::FaultModel;
+  for (const M m : {M::kRandom, M::kAdjacent, M::kColumn, M::kDirect}) {
+    if (name == fault::to_string(m)) return m;
+  }
+  std::fprintf(stderr, "unknown fault model '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+trace::App app_by_name(const std::string& name) {
+  for (const trace::App a : trace::all_apps()) {
+    if (name == trace::to_string(a)) return a;
+  }
+  std::fprintf(stderr, "unknown app '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+void print_csv(const sim::RunResult& r) {
+  std::printf(
+      "scheme,app,instructions,cycles,ipc,dl1_miss_rate,replication_ability,"
+      "loads_with_replica,errors_detected,unrecoverable_loads,"
+      "silent_corrupt_loads,energy_nj\n");
+  std::printf("%s,%s,%llu,%llu,%.4f,%.5f,%.4f,%.4f,%llu,%llu,%llu,%.1f\n",
+              r.scheme.c_str(), r.app.c_str(),
+              static_cast<unsigned long long>(r.instructions),
+              static_cast<unsigned long long>(r.cycles), r.ipc(),
+              r.dl1.miss_rate(), r.dl1.replication_ability(),
+              r.dl1.loads_with_replica_fraction(),
+              static_cast<unsigned long long>(r.dl1.errors_detected),
+              static_cast<unsigned long long>(r.dl1.unrecoverable_loads),
+              static_cast<unsigned long long>(r.pipeline.silent_corrupt_loads),
+              r.energy.total_nj());
+}
+
+void print_report(const sim::RunResult& r) {
+  TextTable t("icr_sim: " + r.scheme + " on " + r.app, {"metric", "value"});
+  auto add = [&](const char* k, const std::string& v) { t.add_row({k, v}); };
+  add("instructions", std::to_string(r.instructions));
+  add("cycles", std::to_string(r.cycles));
+  add("IPC", format_double(r.ipc(), 3));
+  add("dL1 miss rate", format_double(r.dl1.miss_rate(), 4));
+  add("L1I miss rate", format_double(r.l1i.miss_rate(), 4));
+  add("branch mispredict rate", format_double(r.branch.mispredict_rate(), 4));
+  add("replication ability", format_double(r.dl1.replication_ability(), 3));
+  add("loads with replica",
+      format_double(r.dl1.loads_with_replica_fraction(), 3));
+  add("replicas created", std::to_string(r.dl1.replicas_created));
+  add("replica fills (leave mode)", std::to_string(r.dl1.replica_fills));
+  add("errors detected", std::to_string(r.dl1.errors_detected));
+  add("corrected by replica",
+      std::to_string(r.dl1.errors_corrected_by_replica));
+  add("corrected by ECC", std::to_string(r.dl1.errors_corrected_by_ecc));
+  add("corrected by R-Cache",
+      std::to_string(r.dl1.errors_corrected_by_rcache));
+  add("refetched from L2", std::to_string(r.dl1.errors_refetched_from_l2));
+  add("unrecoverable loads", std::to_string(r.dl1.unrecoverable_loads));
+  add("silent corrupt loads",
+      std::to_string(r.pipeline.silent_corrupt_loads));
+  add("L1+L2 dynamic energy (uJ)",
+      format_double(r.energy.total_nj() / 1000.0, 2));
+  t.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (parse_flag(argv[i], "--app", value)) {
+      opt.app = value;
+    } else if (parse_flag(argv[i], "--trace", value)) {
+      opt.trace_path = value;
+    } else if (parse_flag(argv[i], "--record", value)) {
+      opt.record_path = value;
+    } else if (parse_flag(argv[i], "--scheme", value)) {
+      opt.scheme = value;
+    } else if (parse_flag(argv[i], "--instructions", value)) {
+      opt.instructions = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--window", value)) {
+      opt.window = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--victim", value)) {
+      opt.victim = value;
+    } else if (std::strcmp(argv[i], "--leave-replicas") == 0) {
+      opt.leave_replicas = true;
+    } else if (std::strcmp(argv[i], "--write-through") == 0) {
+      opt.write_through = true;
+    } else if (parse_flag(argv[i], "--rcache", value)) {
+      opt.rcache = static_cast<std::uint32_t>(
+          std::strtoul(value.c_str(), nullptr, 10));
+    } else if (parse_flag(argv[i], "--fault-model", value)) {
+      opt.fault_model = value;
+    } else if (parse_flag(argv[i], "--fault-prob", value)) {
+      opt.fault_prob = std::atof(value.c_str());
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      opt.csv = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n\n", argv[i]);
+      usage();
+      return 2;
+    }
+  }
+
+  const std::uint64_t instructions = opt.instructions != 0
+                                         ? opt.instructions
+                                         : sim::default_instruction_count();
+
+  if (!opt.record_path.empty()) {
+    trace::SyntheticWorkload source(trace::profile_for(app_by_name(opt.app)));
+    trace::record_trace(source, instructions, opt.record_path);
+    std::printf("recorded %llu instructions of %s to %s\n",
+                static_cast<unsigned long long>(instructions),
+                opt.app.c_str(), opt.record_path.c_str());
+    return 0;
+  }
+
+  core::Scheme scheme = scheme_by_name(opt.scheme)
+                            .with_decay_window(opt.window)
+                            .with_victim_policy(victim_by_name(opt.victim))
+                            .with_leave_replicas(opt.leave_replicas);
+  if (opt.write_through) scheme = scheme.with_write_through(8);
+
+  sim::SimConfig config = sim::SimConfig::table1();
+  config.fault_model = fault_by_name(opt.fault_model);
+  config.fault_probability = opt.fault_prob;
+  config.rcache_entries = opt.rcache;
+
+  sim::RunResult result;
+  if (!opt.trace_path.empty()) {
+    // Replay path: assemble the system around the recorded trace.
+    trace::FileTraceSource source(opt.trace_path);
+    mem::MemoryHierarchy hierarchy(config.hierarchy);
+    core::IcrCache dl1(config.dl1, scheme, hierarchy);
+    std::unique_ptr<baselines::RCache> rcache;
+    if (config.rcache_entries > 0) {
+      rcache = std::make_unique<baselines::RCache>(config.rcache_entries);
+      dl1.attach_rcache(rcache.get());
+    }
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (config.fault_probability > 0) {
+      injector = std::make_unique<fault::FaultInjector>(
+          config.fault_model, config.fault_probability,
+          Rng(config.fault_seed));
+    }
+    cpu::Pipeline pipeline(config.pipeline, source, dl1, hierarchy,
+                           injector.get());
+    pipeline.run(instructions);
+    result.scheme = scheme.name;
+    result.app = opt.trace_path;
+    result.instructions = pipeline.stats().committed;
+    result.cycles = pipeline.stats().cycles;
+    result.dl1 = dl1.stats();
+    result.l1i = hierarchy.l1i().stats();
+    result.l2 = hierarchy.l2().stats();
+    result.pipeline = pipeline.stats();
+    result.branch = pipeline.branch_predictor().stats();
+    energy::EnergyEvents ev;
+    ev.l1_reads = result.dl1.l1_read_accesses;
+    ev.l1_writes = result.dl1.l1_write_accesses;
+    ev.l2_reads = hierarchy.l2_read_accesses() - hierarchy.l2_ifetch_reads();
+    ev.l2_writes = hierarchy.l2_write_accesses();
+    ev.parity_computations = result.dl1.parity_computations;
+    ev.ecc_computations = result.dl1.ecc_computations;
+    result.energy_events = ev;
+    result.energy = energy::EnergyModel(config.energy).evaluate(ev);
+  } else {
+    result =
+        sim::run_one(app_by_name(opt.app), scheme, config, instructions);
+  }
+
+  if (opt.csv) {
+    print_csv(result);
+  } else {
+    print_report(result);
+  }
+  return 0;
+}
