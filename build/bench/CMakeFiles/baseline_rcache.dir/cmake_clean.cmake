@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_rcache.dir/baseline_rcache.cc.o"
+  "CMakeFiles/baseline_rcache.dir/baseline_rcache.cc.o.d"
+  "baseline_rcache"
+  "baseline_rcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_rcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_replication_ability_attempts.dir/fig01_replication_ability_attempts.cc.o"
+  "CMakeFiles/fig01_replication_ability_attempts.dir/fig01_replication_ability_attempts.cc.o.d"
+  "fig01_replication_ability_attempts"
+  "fig01_replication_ability_attempts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_replication_ability_attempts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

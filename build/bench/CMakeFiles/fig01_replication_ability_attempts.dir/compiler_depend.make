@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig01_replication_ability_attempts.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_loads_with_replica_attempts.dir/fig02_loads_with_replica_attempts.cc.o"
+  "CMakeFiles/fig02_loads_with_replica_attempts.dir/fig02_loads_with_replica_attempts.cc.o.d"
+  "fig02_loads_with_replica_attempts"
+  "fig02_loads_with_replica_attempts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_loads_with_replica_attempts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

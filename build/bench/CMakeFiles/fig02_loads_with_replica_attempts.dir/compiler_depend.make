@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig02_loads_with_replica_attempts.
+# This may be replaced when dependencies are built.

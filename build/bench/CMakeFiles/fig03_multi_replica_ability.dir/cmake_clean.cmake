@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_multi_replica_ability.dir/fig03_multi_replica_ability.cc.o"
+  "CMakeFiles/fig03_multi_replica_ability.dir/fig03_multi_replica_ability.cc.o.d"
+  "fig03_multi_replica_ability"
+  "fig03_multi_replica_ability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_multi_replica_ability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_multi_replica_ability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_vertical_vs_horizontal.dir/fig05_vertical_vs_horizontal.cc.o"
+  "CMakeFiles/fig05_vertical_vs_horizontal.dir/fig05_vertical_vs_horizontal.cc.o.d"
+  "fig05_vertical_vs_horizontal"
+  "fig05_vertical_vs_horizontal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_vertical_vs_horizontal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

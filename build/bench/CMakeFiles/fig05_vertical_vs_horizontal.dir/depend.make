@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_vertical_vs_horizontal.
+# This may be replaced when dependencies are built.

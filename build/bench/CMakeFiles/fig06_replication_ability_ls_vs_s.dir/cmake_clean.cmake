@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_replication_ability_ls_vs_s.dir/fig06_replication_ability_ls_vs_s.cc.o"
+  "CMakeFiles/fig06_replication_ability_ls_vs_s.dir/fig06_replication_ability_ls_vs_s.cc.o.d"
+  "fig06_replication_ability_ls_vs_s"
+  "fig06_replication_ability_ls_vs_s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_replication_ability_ls_vs_s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

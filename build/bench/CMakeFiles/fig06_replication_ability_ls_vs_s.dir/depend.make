@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_replication_ability_ls_vs_s.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_loads_with_replica_ls_vs_s.dir/fig07_loads_with_replica_ls_vs_s.cc.o"
+  "CMakeFiles/fig07_loads_with_replica_ls_vs_s.dir/fig07_loads_with_replica_ls_vs_s.cc.o.d"
+  "fig07_loads_with_replica_ls_vs_s"
+  "fig07_loads_with_replica_ls_vs_s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_loads_with_replica_ls_vs_s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_loads_with_replica_ls_vs_s.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_loads_with_replica_ls_vs_s.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_exec_cycles_aggressive.dir/fig09_exec_cycles_aggressive.cc.o"
+  "CMakeFiles/fig09_exec_cycles_aggressive.dir/fig09_exec_cycles_aggressive.cc.o.d"
+  "fig09_exec_cycles_aggressive"
+  "fig09_exec_cycles_aggressive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_exec_cycles_aggressive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

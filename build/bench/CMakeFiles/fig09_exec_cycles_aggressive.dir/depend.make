@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_exec_cycles_aggressive.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_decay_window_replication.dir/fig10_decay_window_replication.cc.o"
+  "CMakeFiles/fig10_decay_window_replication.dir/fig10_decay_window_replication.cc.o.d"
+  "fig10_decay_window_replication"
+  "fig10_decay_window_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_decay_window_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

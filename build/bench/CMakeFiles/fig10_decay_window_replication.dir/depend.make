@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_decay_window_replication.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_exec_cycles_window1000.dir/fig12_exec_cycles_window1000.cc.o"
+  "CMakeFiles/fig12_exec_cycles_window1000.dir/fig12_exec_cycles_window1000.cc.o.d"
+  "fig12_exec_cycles_window1000"
+  "fig12_exec_cycles_window1000.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_exec_cycles_window1000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

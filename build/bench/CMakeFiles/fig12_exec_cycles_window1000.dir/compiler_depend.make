@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig12_exec_cycles_window1000.
+# This may be replaced when dependencies are built.

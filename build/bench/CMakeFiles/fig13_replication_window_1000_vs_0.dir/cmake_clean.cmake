@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_replication_window_1000_vs_0.dir/fig13_replication_window_1000_vs_0.cc.o"
+  "CMakeFiles/fig13_replication_window_1000_vs_0.dir/fig13_replication_window_1000_vs_0.cc.o.d"
+  "fig13_replication_window_1000_vs_0"
+  "fig13_replication_window_1000_vs_0.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_replication_window_1000_vs_0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_perf_leave_replicas.dir/fig15_perf_leave_replicas.cc.o"
+  "CMakeFiles/fig15_perf_leave_replicas.dir/fig15_perf_leave_replicas.cc.o.d"
+  "fig15_perf_leave_replicas"
+  "fig15_perf_leave_replicas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_perf_leave_replicas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

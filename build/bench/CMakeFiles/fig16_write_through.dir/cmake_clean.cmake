@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_write_through.dir/fig16_write_through.cc.o"
+  "CMakeFiles/fig16_write_through.dir/fig16_write_through.cc.o.d"
+  "fig16_write_through"
+  "fig16_write_through.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_write_through.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_speculative_ecc.dir/fig17_speculative_ecc.cc.o"
+  "CMakeFiles/fig17_speculative_ecc.dir/fig17_speculative_ecc.cc.o.d"
+  "fig17_speculative_ecc"
+  "fig17_speculative_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_speculative_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

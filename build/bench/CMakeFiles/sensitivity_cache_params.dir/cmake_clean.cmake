@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_cache_params.dir/sensitivity_cache_params.cc.o"
+  "CMakeFiles/sensitivity_cache_params.dir/sensitivity_cache_params.cc.o.d"
+  "sensitivity_cache_params"
+  "sensitivity_cache_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_cache_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_configuration.dir/table1_configuration.cc.o"
+  "CMakeFiles/table1_configuration.dir/table1_configuration.cc.o.d"
+  "table1_configuration"
+  "table1_configuration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_configuration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

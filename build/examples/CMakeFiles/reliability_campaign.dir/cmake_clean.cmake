@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_campaign.dir/reliability_campaign.cpp.o"
+  "CMakeFiles/reliability_campaign.dir/reliability_campaign.cpp.o.d"
+  "reliability_campaign"
+  "reliability_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/software_hints.dir/software_hints.cpp.o"
+  "CMakeFiles/software_hints.dir/software_hints.cpp.o.d"
+  "software_hints"
+  "software_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/software_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/rcache.cc" "src/CMakeFiles/icr.dir/baselines/rcache.cc.o" "gcc" "src/CMakeFiles/icr.dir/baselines/rcache.cc.o.d"
+  "/root/repo/src/coding/parity.cc" "src/CMakeFiles/icr.dir/coding/parity.cc.o" "gcc" "src/CMakeFiles/icr.dir/coding/parity.cc.o.d"
+  "/root/repo/src/coding/secded.cc" "src/CMakeFiles/icr.dir/coding/secded.cc.o" "gcc" "src/CMakeFiles/icr.dir/coding/secded.cc.o.d"
+  "/root/repo/src/core/dead_block_predictor.cc" "src/CMakeFiles/icr.dir/core/dead_block_predictor.cc.o" "gcc" "src/CMakeFiles/icr.dir/core/dead_block_predictor.cc.o.d"
+  "/root/repo/src/core/icr_cache.cc" "src/CMakeFiles/icr.dir/core/icr_cache.cc.o" "gcc" "src/CMakeFiles/icr.dir/core/icr_cache.cc.o.d"
+  "/root/repo/src/core/replication_hints.cc" "src/CMakeFiles/icr.dir/core/replication_hints.cc.o" "gcc" "src/CMakeFiles/icr.dir/core/replication_hints.cc.o.d"
+  "/root/repo/src/core/replication_policy.cc" "src/CMakeFiles/icr.dir/core/replication_policy.cc.o" "gcc" "src/CMakeFiles/icr.dir/core/replication_policy.cc.o.d"
+  "/root/repo/src/core/scheme.cc" "src/CMakeFiles/icr.dir/core/scheme.cc.o" "gcc" "src/CMakeFiles/icr.dir/core/scheme.cc.o.d"
+  "/root/repo/src/cpu/branch_predictor.cc" "src/CMakeFiles/icr.dir/cpu/branch_predictor.cc.o" "gcc" "src/CMakeFiles/icr.dir/cpu/branch_predictor.cc.o.d"
+  "/root/repo/src/cpu/functional_units.cc" "src/CMakeFiles/icr.dir/cpu/functional_units.cc.o" "gcc" "src/CMakeFiles/icr.dir/cpu/functional_units.cc.o.d"
+  "/root/repo/src/cpu/lsq.cc" "src/CMakeFiles/icr.dir/cpu/lsq.cc.o" "gcc" "src/CMakeFiles/icr.dir/cpu/lsq.cc.o.d"
+  "/root/repo/src/cpu/pipeline.cc" "src/CMakeFiles/icr.dir/cpu/pipeline.cc.o" "gcc" "src/CMakeFiles/icr.dir/cpu/pipeline.cc.o.d"
+  "/root/repo/src/cpu/ruu.cc" "src/CMakeFiles/icr.dir/cpu/ruu.cc.o" "gcc" "src/CMakeFiles/icr.dir/cpu/ruu.cc.o.d"
+  "/root/repo/src/energy/energy_model.cc" "src/CMakeFiles/icr.dir/energy/energy_model.cc.o" "gcc" "src/CMakeFiles/icr.dir/energy/energy_model.cc.o.d"
+  "/root/repo/src/fault/fault_injector.cc" "src/CMakeFiles/icr.dir/fault/fault_injector.cc.o" "gcc" "src/CMakeFiles/icr.dir/fault/fault_injector.cc.o.d"
+  "/root/repo/src/mem/backing_store.cc" "src/CMakeFiles/icr.dir/mem/backing_store.cc.o" "gcc" "src/CMakeFiles/icr.dir/mem/backing_store.cc.o.d"
+  "/root/repo/src/mem/cache_geometry.cc" "src/CMakeFiles/icr.dir/mem/cache_geometry.cc.o" "gcc" "src/CMakeFiles/icr.dir/mem/cache_geometry.cc.o.d"
+  "/root/repo/src/mem/memory_hierarchy.cc" "src/CMakeFiles/icr.dir/mem/memory_hierarchy.cc.o" "gcc" "src/CMakeFiles/icr.dir/mem/memory_hierarchy.cc.o.d"
+  "/root/repo/src/mem/set_assoc_cache.cc" "src/CMakeFiles/icr.dir/mem/set_assoc_cache.cc.o" "gcc" "src/CMakeFiles/icr.dir/mem/set_assoc_cache.cc.o.d"
+  "/root/repo/src/mem/write_buffer.cc" "src/CMakeFiles/icr.dir/mem/write_buffer.cc.o" "gcc" "src/CMakeFiles/icr.dir/mem/write_buffer.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/icr.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/icr.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/icr.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/icr.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/CMakeFiles/icr.dir/sim/metrics.cc.o" "gcc" "src/CMakeFiles/icr.dir/sim/metrics.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/icr.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/icr.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/trace/instruction.cc" "src/CMakeFiles/icr.dir/trace/instruction.cc.o" "gcc" "src/CMakeFiles/icr.dir/trace/instruction.cc.o.d"
+  "/root/repo/src/trace/patterns.cc" "src/CMakeFiles/icr.dir/trace/patterns.cc.o" "gcc" "src/CMakeFiles/icr.dir/trace/patterns.cc.o.d"
+  "/root/repo/src/trace/trace_file.cc" "src/CMakeFiles/icr.dir/trace/trace_file.cc.o" "gcc" "src/CMakeFiles/icr.dir/trace/trace_file.cc.o.d"
+  "/root/repo/src/trace/workloads.cc" "src/CMakeFiles/icr.dir/trace/workloads.cc.o" "gcc" "src/CMakeFiles/icr.dir/trace/workloads.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/icr.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/icr.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/icr.dir/util/table.cc.o" "gcc" "src/CMakeFiles/icr.dir/util/table.cc.o.d"
+  "/root/repo/src/util/zipf.cc" "src/CMakeFiles/icr.dir/util/zipf.cc.o" "gcc" "src/CMakeFiles/icr.dir/util/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

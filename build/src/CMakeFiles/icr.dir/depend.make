@@ -1,0 +1,2 @@
+# Empty dependencies file for icr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dead_block_predictor_test.dir/dead_block_predictor_test.cc.o"
+  "CMakeFiles/dead_block_predictor_test.dir/dead_block_predictor_test.cc.o.d"
+  "dead_block_predictor_test"
+  "dead_block_predictor_test.pdb"
+  "dead_block_predictor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dead_block_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/functional_units_test.dir/functional_units_test.cc.o"
+  "CMakeFiles/functional_units_test.dir/functional_units_test.cc.o.d"
+  "functional_units_test"
+  "functional_units_test.pdb"
+  "functional_units_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/functional_units_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icr_cache_test.dir/icr_cache_test.cc.o"
+  "CMakeFiles/icr_cache_test.dir/icr_cache_test.cc.o.d"
+  "icr_cache_test"
+  "icr_cache_test.pdb"
+  "icr_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icr_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

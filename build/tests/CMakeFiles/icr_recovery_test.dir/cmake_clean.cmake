@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icr_recovery_test.dir/icr_recovery_test.cc.o"
+  "CMakeFiles/icr_recovery_test.dir/icr_recovery_test.cc.o.d"
+  "icr_recovery_test"
+  "icr_recovery_test.pdb"
+  "icr_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icr_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_contract_test.dir/latency_contract_test.cc.o"
+  "CMakeFiles/latency_contract_test.dir/latency_contract_test.cc.o.d"
+  "latency_contract_test"
+  "latency_contract_test.pdb"
+  "latency_contract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

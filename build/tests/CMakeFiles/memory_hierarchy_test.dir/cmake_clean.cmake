@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_hierarchy_test.dir/memory_hierarchy_test.cc.o"
+  "CMakeFiles/memory_hierarchy_test.dir/memory_hierarchy_test.cc.o.d"
+  "memory_hierarchy_test"
+  "memory_hierarchy_test.pdb"
+  "memory_hierarchy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_hierarchy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

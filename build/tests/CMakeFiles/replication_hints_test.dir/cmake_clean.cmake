@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replication_hints_test.dir/replication_hints_test.cc.o"
+  "CMakeFiles/replication_hints_test.dir/replication_hints_test.cc.o.d"
+  "replication_hints_test"
+  "replication_hints_test.pdb"
+  "replication_hints_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replication_hints_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

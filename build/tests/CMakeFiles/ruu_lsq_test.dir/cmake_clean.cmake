@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ruu_lsq_test.dir/ruu_lsq_test.cc.o"
+  "CMakeFiles/ruu_lsq_test.dir/ruu_lsq_test.cc.o.d"
+  "ruu_lsq_test"
+  "ruu_lsq_test.pdb"
+  "ruu_lsq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ruu_lsq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

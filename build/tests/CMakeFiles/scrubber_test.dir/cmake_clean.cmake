@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrubber_test.dir/scrubber_test.cc.o"
+  "CMakeFiles/scrubber_test.dir/scrubber_test.cc.o.d"
+  "scrubber_test"
+  "scrubber_test.pdb"
+  "scrubber_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrubber_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

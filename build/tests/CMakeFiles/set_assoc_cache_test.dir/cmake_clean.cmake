@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_assoc_cache_test.dir/set_assoc_cache_test.cc.o"
+  "CMakeFiles/set_assoc_cache_test.dir/set_assoc_cache_test.cc.o.d"
+  "set_assoc_cache_test"
+  "set_assoc_cache_test.pdb"
+  "set_assoc_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_assoc_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

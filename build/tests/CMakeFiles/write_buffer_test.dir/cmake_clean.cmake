@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_buffer_test.dir/write_buffer_test.cc.o"
+  "CMakeFiles/write_buffer_test.dir/write_buffer_test.cc.o.d"
+  "write_buffer_test"
+  "write_buffer_test.pdb"
+  "write_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

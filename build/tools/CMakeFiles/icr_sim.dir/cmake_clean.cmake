@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icr_sim.dir/icr_sim.cc.o"
+  "CMakeFiles/icr_sim.dir/icr_sim.cc.o.d"
+  "icr_sim"
+  "icr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
