@@ -11,6 +11,8 @@ void print_header(const std::string& figure, const std::string& description) {
   std::printf("# instructions/point: %llu (override: ICR_SIM_INSTRUCTIONS)\n",
               static_cast<unsigned long long>(
                   sim::default_instruction_count()));
+  std::printf("# threads: %u (override: ICR_SIM_THREADS)\n",
+              sim::resolve_thread_count());
   std::printf("################################################################\n");
 }
 

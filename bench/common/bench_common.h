@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/campaign.h"
 #include "src/sim/experiment.h"
 #include "src/util/table.h"
 

@@ -3,9 +3,36 @@
 // BaseECC is included as the zero line (SEC-DED corrects all single-bit
 // errors). Expected shape: ICR schemes orders of magnitude more resilient
 // than BaseP; everything tends to zero at realistic error rates.
+//
+// Every (scheme, error-rate) point and every (scheme, fault-model) point of
+// the companion table is one campaign cell: the whole figure is a single
+// parallel CampaignRunner invocation per table.
 #include "bench/common/bench_common.h"
+#include "src/sim/campaign.h"
 
 using namespace icr;
+
+namespace {
+
+struct SchemePoint {
+  const char* label;
+  core::Scheme scheme;
+};
+
+std::vector<SchemePoint> fig14_schemes() {
+  auto relaxed = [](core::Scheme s) {
+    return s.with_decay_window(1000).with_victim_policy(
+        core::ReplicaVictimPolicy::kDeadFirst);
+  };
+  return {
+      {"BaseP", core::Scheme::BaseP()},
+      {"BaseECC", core::Scheme::BaseECC()},
+      {"ICR-P-PS(S)", relaxed(core::Scheme::IcrPPS_S())},
+      {"ICR-ECC-PS(S)", relaxed(core::Scheme::IcrEccPS_S())},
+  };
+}
+
+}  // namespace
 
 int main() {
   bench::print_header(
@@ -13,32 +40,35 @@ int main() {
       "Unrecoverable loads vs per-cycle error probability (vortex, random "
       "model)");
 
-  auto relaxed = [](core::Scheme s) {
-    return s.with_decay_window(1000).with_victim_policy(
-        core::ReplicaVictimPolicy::kDeadFirst);
-  };
-  const std::vector<sim::SchemeVariant> variants = {
-      {"BaseP", core::Scheme::BaseP()},
-      {"BaseECC", core::Scheme::BaseECC()},
-      {"ICR-P-PS(S)", relaxed(core::Scheme::IcrPPS_S())},
-      {"ICR-ECC-PS(S)", relaxed(core::Scheme::IcrEccPS_S())},
-  };
+  const auto schemes = fig14_schemes();
+  const std::vector<double> probabilities = {1e-2, 1e-3, 1e-4, 1e-5};
+
+  // Sweep table: the (probability x scheme) grid flattened into campaign
+  // variants, each with its own fault configuration; app fixed to vortex.
+  sim::CampaignSpec sweep;
+  sweep.apps = {trace::App::kVortex};
+  for (const double p : probabilities) {
+    for (const SchemePoint& s : schemes) {
+      sim::SimConfig cfg = sim::SimConfig::table1();
+      cfg.fault_model = fault::FaultModel::kRandom;
+      cfg.fault_probability = p;
+      sweep.variants.emplace_back(s.label, s.scheme, cfg);
+    }
+  }
+  const sim::CampaignResult swept = sim::CampaignRunner().run(sweep);
 
   std::vector<std::string> columns = {"P(error)/cycle"};
-  for (const auto& v : variants) columns.push_back(v.label);
+  for (const SchemePoint& s : schemes) columns.push_back(s.label);
   TextTable t("Fig. 14 — % unrecoverable loads (vortex)", std::move(columns));
-
-  for (const double p : {1e-2, 1e-3, 1e-4, 1e-5}) {
-    sim::SimConfig cfg = sim::SimConfig::table1();
-    cfg.fault_model = fault::FaultModel::kRandom;
-    cfg.fault_probability = p;
+  for (std::size_t pi = 0; pi < probabilities.size(); ++pi) {
     std::vector<double> row;
-    for (const auto& v : variants) {
-      const sim::RunResult r = sim::run_one(trace::App::kVortex, v.scheme, cfg);
+    for (std::size_t si = 0; si < schemes.size(); ++si) {
+      const sim::RunResult& r =
+          swept.at(pi * schemes.size() + si, 0, 0, 1, 1).result;
       row.push_back(100.0 * r.dl1.unrecoverable_load_fraction());
     }
     char label[32];
-    std::snprintf(label, sizeof label, "%.0e", p);
+    std::snprintf(label, sizeof label, "%.0e", probabilities[pi]);
     t.add_numeric_row(label, row, 5);
   }
   t.print();
@@ -48,18 +78,30 @@ int main() {
   // values (the adjacent model defeats byte parity entirely: both flips
   // land in one byte, so BaseP shows zero "unrecoverable" but real silent
   // corruption).
+  const std::vector<fault::FaultModel> models = {
+      fault::FaultModel::kRandom, fault::FaultModel::kAdjacent,
+      fault::FaultModel::kColumn, fault::FaultModel::kDirect};
+
+  sim::CampaignSpec companion;
+  companion.apps = {trace::App::kVortex};
+  for (const fault::FaultModel model : models) {
+    for (const SchemePoint& s : schemes) {
+      sim::SimConfig cfg = sim::SimConfig::table1();
+      cfg.fault_model = model;
+      cfg.fault_probability = 1e-3;
+      companion.variants.emplace_back(s.label, s.scheme, cfg);
+    }
+  }
+  const sim::CampaignResult modeled = sim::CampaignRunner().run(companion);
+
   TextTable t2("Fig. 14 (companion) — unrecoverable% / silent% by fault "
                "model (vortex, P=1e-3)",
                {"model", "BaseP", "BaseECC", "ICR-P-PS(S)", "ICR-ECC-PS(S)"});
-  for (const auto model :
-       {fault::FaultModel::kRandom, fault::FaultModel::kAdjacent,
-        fault::FaultModel::kColumn, fault::FaultModel::kDirect}) {
-    sim::SimConfig cfg = sim::SimConfig::table1();
-    cfg.fault_model = model;
-    cfg.fault_probability = 1e-3;
-    std::vector<std::string> row = {fault::to_string(model)};
-    for (const auto& v : variants) {
-      const sim::RunResult r = sim::run_one(trace::App::kVortex, v.scheme, cfg);
+  for (std::size_t mi = 0; mi < models.size(); ++mi) {
+    std::vector<std::string> row = {fault::to_string(models[mi])};
+    for (std::size_t si = 0; si < schemes.size(); ++si) {
+      const sim::RunResult& r =
+          modeled.at(mi * schemes.size() + si, 0, 0, 1, 1).result;
       const double unrec = 100.0 * r.dl1.unrecoverable_load_fraction();
       const double silent =
           r.dl1.loads == 0

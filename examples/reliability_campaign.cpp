@@ -2,12 +2,18 @@
 // per-cycle rate under each fault model, and report how every protection
 // scheme detects / corrects / loses data — end to end, on real stored bits.
 //
-//   $ ./reliability_campaign [per_cycle_probability] [instructions]
-//   $ ./reliability_campaign 1e-3 300000
+// Every (scheme, fault model, trial) combination is one cell of a single
+// parallel campaign (src/sim/campaign.h). With trials > 1 each trial gets
+// its own SplitMix64-derived workload and injection seed, and the table
+// reports per-trial means — same numbers on every machine and thread count.
+//
+//   $ ./reliability_campaign [per_cycle_probability] [instructions] [trials]
+//   $ ./reliability_campaign 1e-3 300000 8
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
-#include "src/sim/experiment.h"
+#include "src/sim/campaign.h"
 #include "src/util/table.h"
 
 using namespace icr;
@@ -16,10 +22,9 @@ int main(int argc, char** argv) {
   const double probability = argc > 1 ? std::atof(argv[1]) : 1e-3;
   const std::uint64_t instructions =
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200000;
-
-  std::printf("Fault-injection campaign: vortex, P(error)=%g per cycle, "
-              "%llu instructions\n",
-              probability, static_cast<unsigned long long>(instructions));
+  const std::uint32_t trials =
+      argc > 3 ? static_cast<std::uint32_t>(std::strtoul(argv[3], nullptr, 10))
+               : 1;
 
   const std::vector<sim::SchemeVariant> schemes = {
       {"BaseP", core::Scheme::BaseP()},
@@ -27,31 +32,72 @@ int main(int argc, char** argv) {
       {"ICR-P-PS(S)", core::Scheme::IcrPPS_S()},
       {"ICR-ECC-PS(S)", core::Scheme::IcrEccPS_S()},
   };
+  const std::vector<fault::FaultModel> models = {
+      fault::FaultModel::kRandom, fault::FaultModel::kAdjacent,
+      fault::FaultModel::kColumn, fault::FaultModel::kDirect};
 
-  for (const auto model :
-       {fault::FaultModel::kRandom, fault::FaultModel::kAdjacent,
-        fault::FaultModel::kColumn, fault::FaultModel::kDirect}) {
-    TextTable t(std::string("fault model: ") + fault::to_string(model),
-                {"scheme", "injections", "detected", "replica-fix", "ecc-fix",
-                 "refetch-fix", "unrecoverable", "silent"});
-    for (const auto& v : schemes) {
+  // The whole report is one campaign: (model x scheme) variants, each with
+  // its own injection config, `trials` repetitions per variant.
+  sim::CampaignSpec spec;
+  spec.apps = {trace::App::kVortex};
+  spec.instructions = instructions;
+  spec.trials = trials == 0 ? 1 : trials;
+  spec.derive_seeds = spec.trials > 1;  // trial 0 alone keeps legacy seeds
+  for (const fault::FaultModel model : models) {
+    for (const sim::SchemeVariant& v : schemes) {
       sim::SimConfig cfg = sim::SimConfig::table1();
       cfg.fault_model = model;
       cfg.fault_probability = probability;
-      const sim::RunResult r =
-          sim::run_one(trace::App::kVortex, v.scheme, cfg, instructions);
-      t.add_row({v.label, std::to_string(r.faults.injections),
-                 std::to_string(r.dl1.errors_detected),
-                 std::to_string(r.dl1.errors_corrected_by_replica),
-                 std::to_string(r.dl1.errors_corrected_by_ecc),
-                 std::to_string(r.dl1.errors_refetched_from_l2),
-                 std::to_string(r.dl1.unrecoverable_loads),
-                 std::to_string(r.pipeline.silent_corrupt_loads)});
+      spec.variants.emplace_back(v.label, v.scheme, cfg);
+    }
+  }
+
+  const sim::CampaignRunner runner;
+  std::printf("Fault-injection campaign: vortex, P(error)=%g per cycle, "
+              "%llu instructions, %u trial(s), %u thread(s)\n",
+              probability, static_cast<unsigned long long>(instructions),
+              spec.trials, runner.threads());
+
+  const sim::CampaignResult campaign = runner.run(spec);
+
+  for (std::size_t mi = 0; mi < models.size(); ++mi) {
+    TextTable t(std::string("fault model: ") + fault::to_string(models[mi]) +
+                    (spec.trials > 1 ? " (mean over trials)" : ""),
+                {"scheme", "injections", "detected", "replica-fix", "ecc-fix",
+                 "refetch-fix", "unrecoverable", "silent"});
+    for (std::size_t si = 0; si < schemes.size(); ++si) {
+      const std::size_t variant_idx = mi * schemes.size() + si;
+      double injections = 0, detected = 0, replica_fix = 0, ecc_fix = 0,
+             refetch_fix = 0, unrecoverable = 0, silent = 0;
+      for (std::uint32_t trial = 0; trial < spec.trials; ++trial) {
+        const sim::RunResult& r =
+            campaign.at(variant_idx, 0, trial, 1, spec.trials).result;
+        injections += static_cast<double>(r.faults.injections);
+        detected += static_cast<double>(r.dl1.errors_detected);
+        replica_fix += static_cast<double>(r.dl1.errors_corrected_by_replica);
+        ecc_fix += static_cast<double>(r.dl1.errors_corrected_by_ecc);
+        refetch_fix += static_cast<double>(r.dl1.errors_refetched_from_l2);
+        unrecoverable += static_cast<double>(r.dl1.unrecoverable_loads);
+        silent += static_cast<double>(r.pipeline.silent_corrupt_loads);
+      }
+      const double n = static_cast<double>(spec.trials);
+      auto cell = [&](double sum) {
+        return spec.trials > 1 ? format_double(sum / n, 1)
+                               : std::to_string(static_cast<long long>(sum));
+      };
+      t.add_row({schemes[si].label, cell(injections), cell(detected),
+                 cell(replica_fix), cell(ecc_fix), cell(refetch_fix),
+                 cell(unrecoverable), cell(silent)});
     }
     t.print();
     std::printf("\n");
   }
 
+  std::printf("campaign: %zu cells in %.2fs (%.1f cells/sec, config hash "
+              "%016llx)\n\n",
+              campaign.cells.size(), campaign.meta.wall_seconds,
+              campaign.meta.cells_per_second,
+              static_cast<unsigned long long>(campaign.meta.config_hash));
   std::printf(
       "Reading: 'silent' are loads that returned wrong data with no error\n"
       "signal at all (e.g. an even number of flips within one parity byte);\n"

@@ -1,0 +1,175 @@
+#include "src/sim/campaign.h"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace icr::sim {
+namespace {
+
+// Folds `value` into a running SplitMix64 hash chain.
+void hash_fold(std::uint64_t& state, std::uint64_t value) noexcept {
+  state = mix64(state ^ mix64(value));
+}
+
+void hash_fold(std::uint64_t& state, const std::string& text) noexcept {
+  hash_fold(state, text.size());
+  for (const char c : text) {
+    hash_fold(state, static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  }
+}
+
+void hash_fold_config(std::uint64_t& state, const SimConfig& config) noexcept {
+  hash_fold(state, static_cast<std::uint64_t>(config.fault_model));
+  // Bit pattern, not value: hashing doubles through the representation
+  // keeps the fold exact for every probability.
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof config.fault_probability);
+  __builtin_memcpy(&bits, &config.fault_probability, sizeof bits);
+  hash_fold(state, bits);
+  hash_fold(state, config.fault_seed);
+  hash_fold(state, config.rcache_entries);
+  hash_fold(state, config.dl1.size_bytes);
+  hash_fold(state, config.dl1.associativity);
+  hash_fold(state, config.dl1.line_bytes);
+}
+
+// Runs one cell of the expanded grid; the only writer of cells[index].
+CellResult run_cell(const CampaignSpec& spec, std::size_t variant_idx,
+                    std::size_t app_idx, std::size_t trial_idx,
+                    std::uint64_t instructions) {
+  const SchemeVariant& variant = spec.variants[variant_idx];
+  const trace::App app = spec.apps[app_idx];
+
+  SimConfig config = variant.config ? *variant.config : spec.config;
+  trace::WorkloadProfile profile = trace::profile_for(app);
+
+  CellResult cell;
+  cell.cell.variant_idx = static_cast<std::uint32_t>(variant_idx);
+  cell.cell.app_idx = static_cast<std::uint32_t>(app_idx);
+  cell.cell.trial_idx = static_cast<std::uint32_t>(trial_idx);
+
+  if (spec.derive_seeds) {
+    const std::uint64_t seed =
+        derive_cell_seed(spec.base_seed, variant_idx, app_idx, trial_idx);
+    cell.cell.seed = seed;
+    // Two decorrelated sub-streams: one for the synthetic workload, one
+    // for fault injection, so fault timing never aliases address streams.
+    std::uint64_t state = seed;
+    profile.seed = split_mix64(state);
+    config.fault_seed = split_mix64(state);
+  }
+
+  Simulator simulator(config, variant.scheme, std::move(profile));
+  cell.result = simulator.run(instructions);
+  cell.result.scheme = variant.label;
+  return cell;
+}
+
+}  // namespace
+
+std::uint64_t derive_cell_seed(std::uint64_t base_seed,
+                               std::size_t variant_idx, std::size_t app_idx,
+                               std::size_t trial_idx) noexcept {
+  // Chained SplitMix64: each coordinate perturbs the generator state, so
+  // (1,0,0) and (0,1,0) land in unrelated regions of the stream.
+  std::uint64_t state = base_seed;
+  std::uint64_t seed = split_mix64(state);
+  state ^= mix64(0xA11CE5ULL + variant_idx);
+  seed ^= split_mix64(state);
+  state ^= mix64(0xB0B5ULL + (static_cast<std::uint64_t>(app_idx) << 20));
+  seed ^= split_mix64(state);
+  state ^= mix64(0xCAFE5ULL + (static_cast<std::uint64_t>(trial_idx) << 40));
+  seed ^= split_mix64(state);
+  return seed;
+}
+
+unsigned resolve_thread_count(unsigned requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("ICR_SIM_THREADS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+  return util::ThreadPool::hardware_threads();
+}
+
+std::uint64_t campaign_config_hash(const CampaignSpec& spec) {
+  std::uint64_t state = 0x1C2C0DE5ULL;
+  hash_fold(state, spec.variants.size());
+  for (const SchemeVariant& v : spec.variants) {
+    hash_fold(state, v.label);
+    hash_fold(state, v.scheme.name);
+    hash_fold(state, v.scheme.decay_window);
+    hash_fold(state, v.scheme.scrub_interval);
+    hash_fold(state, static_cast<std::uint64_t>(v.scheme.victim_policy));
+    hash_fold(state, static_cast<std::uint64_t>(v.scheme.write_policy));
+    hash_fold(state, (v.scheme.replication_enabled ? 1u : 0u) |
+                         (v.scheme.speculative_ecc_loads ? 2u : 0u) |
+                         (v.scheme.leave_replicas_on_eviction ? 4u : 0u));
+    if (v.config) hash_fold_config(state, *v.config);
+  }
+  hash_fold(state, spec.apps.size());
+  for (const trace::App app : spec.apps) {
+    hash_fold(state, static_cast<std::uint64_t>(app));
+  }
+  hash_fold_config(state, spec.config);
+  const std::uint64_t instructions = spec.instructions != 0
+                                         ? spec.instructions
+                                         : default_instruction_count();
+  hash_fold(state, instructions);
+  hash_fold(state, spec.trials);
+  hash_fold(state, spec.base_seed);
+  hash_fold(state, spec.derive_seeds ? 1 : 0);
+  return state;
+}
+
+CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
+  const std::uint64_t instructions = spec.instructions != 0
+                                         ? spec.instructions
+                                         : default_instruction_count();
+  const std::size_t apps = spec.apps.size();
+  const std::size_t trials = spec.trials == 0 ? 1 : spec.trials;
+  const std::size_t total = spec.variants.size() * apps * trials;
+
+  CampaignResult result;
+  result.meta.base_seed = spec.base_seed;
+  result.meta.config_hash = campaign_config_hash(spec);
+  result.meta.instructions = instructions;
+  result.meta.trials = static_cast<std::uint32_t>(trials);
+  result.cells.resize(total);
+
+  const auto start = std::chrono::steady_clock::now();
+  const unsigned threads =
+      static_cast<unsigned>(std::min<std::size_t>(threads_, total == 0 ? 1 : total));
+  result.meta.threads = threads;
+
+  auto run_index = [&](std::size_t index) {
+    const std::size_t variant_idx = index / (apps * trials);
+    const std::size_t app_idx = (index / trials) % apps;
+    const std::size_t trial_idx = index % trials;
+    result.cells[index] =
+        run_cell(spec, variant_idx, app_idx, trial_idx, instructions);
+  };
+
+  if (threads <= 1 || total <= 1) {
+    for (std::size_t i = 0; i < total; ++i) run_index(i);
+  } else {
+    // The calling thread participates in parallel_for, so N-way parallelism
+    // needs N-1 pool workers.
+    util::ThreadPool pool(threads - 1);
+    util::parallel_for(pool, total, run_index);
+  }
+
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  result.meta.wall_seconds = elapsed.count();
+  result.meta.cells_per_second =
+      elapsed.count() > 0.0 ? static_cast<double>(total) / elapsed.count()
+                            : 0.0;
+  return result;
+}
+
+}  // namespace icr::sim

@@ -1,0 +1,120 @@
+// Parallel experiment campaign engine.
+//
+// A campaign expands a (scheme variants x applications x trials) grid into
+// independent simulation cells and runs them concurrently on a thread pool
+// (src/util/thread_pool.h). Three properties make campaigns reproducible
+// at any parallelism:
+//
+//   * Each cell owns its entire simulated system (workload, caches,
+//     injector, pipeline) — cells share no mutable state.
+//   * Each cell's RNG seed is derived *statelessly* with SplitMix64 from
+//     (base_seed, variant_idx, app_idx, trial_idx), so seeds do not depend
+//     on which thread ran the cell or in what order.
+//   * Results land in pre-assigned slots of a flat vector in grid order.
+//
+// Consequently a campaign's per-cell metrics are bit-identical whether it
+// runs on 1 thread or 64. Thread count resolves as: explicit argument >
+// ICR_SIM_THREADS environment variable > hardware concurrency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/experiment.h"
+
+namespace icr::sim {
+
+// Stateless SplitMix64 derivation of one cell's seed. Deterministic in its
+// four inputs; distinct cells of one campaign get distinct, decorrelated
+// seeds (uniqueness is asserted for real grids in tests/campaign_test.cc).
+[[nodiscard]] std::uint64_t derive_cell_seed(std::uint64_t base_seed,
+                                             std::size_t variant_idx,
+                                             std::size_t app_idx,
+                                             std::size_t trial_idx) noexcept;
+
+struct CampaignSpec {
+  std::vector<SchemeVariant> variants;
+  std::vector<trace::App> apps;
+  SimConfig config = SimConfig::table1();  // per-variant override wins
+  std::uint64_t instructions = 0;          // 0 = default_instruction_count()
+  std::uint32_t trials = 1;                // repeated cells per (variant, app)
+  std::uint64_t base_seed = 0x1C9CA37ULL;  // campaign master seed
+
+  // When true, every cell's workload seed and fault-injection seed are
+  // replaced by streams derived from derive_cell_seed(). When false (the
+  // default, used by the single-trial figure matrices) cells keep the
+  // calibrated profile seeds and config.fault_seed, so legacy run_matrix
+  // results are unchanged.
+  bool derive_seeds = false;
+
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return variants.size() * apps.size() * trials;
+  }
+};
+
+// Grid coordinates of one cell plus the seed it ran with.
+struct CampaignCell {
+  std::uint32_t variant_idx = 0;
+  std::uint32_t app_idx = 0;
+  std::uint32_t trial_idx = 0;
+  std::uint64_t seed = 0;  // derived seed (0 when derive_seeds is false)
+};
+
+struct CellResult {
+  CampaignCell cell;
+  RunResult result;
+};
+
+// Campaign-level metadata exported alongside the cells (results_io.h).
+struct CampaignMeta {
+  std::uint64_t base_seed = 0;
+  std::uint64_t config_hash = 0;  // fingerprint of the expanded spec
+  std::uint64_t instructions = 0;
+  std::uint32_t trials = 1;
+  unsigned threads = 1;
+  double wall_seconds = 0.0;
+  double cells_per_second = 0.0;
+};
+
+struct CampaignResult {
+  CampaignMeta meta;
+  // Grid order: variant-major, then app, then trial — independent of
+  // scheduling. cells.size() == spec.cell_count().
+  std::vector<CellResult> cells;
+
+  [[nodiscard]] const CellResult& at(std::size_t variant_idx,
+                                     std::size_t app_idx,
+                                     std::size_t trial_idx, std::size_t apps,
+                                     std::size_t trials) const {
+    return cells[(variant_idx * apps + app_idx) * trials + trial_idx];
+  }
+};
+
+// Thread-count resolution: `requested` if nonzero, else ICR_SIM_THREADS if
+// set to a positive integer, else hardware concurrency (>= 1).
+[[nodiscard]] unsigned resolve_thread_count(unsigned requested = 0);
+
+// Order-insensitive-free fingerprint of everything that determines a
+// campaign's numbers: variants (label + scheme knobs), apps, instruction
+// count, trials, base seed, seed mode, and fault configuration. Two
+// campaigns with equal hashes ran the same experiment.
+[[nodiscard]] std::uint64_t campaign_config_hash(const CampaignSpec& spec);
+
+class CampaignRunner {
+ public:
+  // threads == 0 defers to resolve_thread_count().
+  explicit CampaignRunner(unsigned threads = 0)
+      : threads_(resolve_thread_count(threads)) {}
+
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+
+  // Runs every cell of the grid (possibly concurrently) and returns the
+  // results in deterministic grid order.
+  [[nodiscard]] CampaignResult run(const CampaignSpec& spec) const;
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace icr::sim

@@ -1,5 +1,7 @@
 #include "src/sim/experiment.h"
 
+#include "src/sim/campaign.h"
+
 namespace icr::sim {
 
 RunResult run_one(trace::App app, const core::Scheme& scheme,
@@ -12,27 +14,33 @@ RunResult run_one(trace::App app, const core::Scheme& scheme,
 std::vector<RunResult> run_all_apps(const core::Scheme& scheme,
                                     const SimConfig& config,
                                     std::uint64_t instructions) {
-  std::vector<RunResult> results;
-  for (trace::App app : trace::all_apps()) {
-    results.push_back(run_one(app, scheme, config, instructions));
-  }
-  return results;
+  auto matrix = run_matrix({{scheme.name, scheme, {}}}, trace::all_apps(),
+                           config, instructions);
+  return std::move(matrix.front());
 }
 
 std::vector<std::vector<RunResult>> run_matrix(
     const std::vector<SchemeVariant>& variants,
     const std::vector<trace::App>& apps, const SimConfig& config,
     std::uint64_t instructions) {
-  std::vector<std::vector<RunResult>> matrix;
-  matrix.reserve(variants.size());
-  for (const SchemeVariant& variant : variants) {
-    std::vector<RunResult> row;
+  // One single-trial campaign without seed derivation: cells keep the
+  // calibrated workload seeds and config.fault_seed, so every figure's
+  // numbers match the old sequential loop bit for bit — the campaign
+  // engine only adds parallelism.
+  CampaignSpec spec;
+  spec.variants = variants;
+  spec.apps = apps;
+  spec.config = config;
+  spec.instructions = instructions;
+  const CampaignResult campaign = CampaignRunner().run(spec);
+
+  std::vector<std::vector<RunResult>> matrix(variants.size());
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    std::vector<RunResult>& row = matrix[v];
     row.reserve(apps.size());
-    for (trace::App app : apps) {
-      row.push_back(run_one(app, variant.scheme, config, instructions));
-      row.back().scheme = variant.label;
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+      row.push_back(campaign.at(v, a, 0, apps.size(), 1).result);
     }
-    matrix.push_back(std::move(row));
   }
   return matrix;
 }

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,9 +28,20 @@ namespace icr::sim {
     std::uint64_t instructions = 0);
 
 // One column of a figure: a labelled scheme (+config) variant.
+// `config`, when set, overrides the campaign/matrix-wide SimConfig for this
+// variant only — how fault-model and error-rate sweeps become ordinary
+// campaign cells (see bench/fig14_error_injection.cc).
 struct SchemeVariant {
+  SchemeVariant() = default;
+  SchemeVariant(std::string label_in, core::Scheme scheme_in,
+                std::optional<SimConfig> config_in = std::nullopt)
+      : label(std::move(label_in)),
+        scheme(std::move(scheme_in)),
+        config(std::move(config_in)) {}
+
   std::string label;
   core::Scheme scheme;
+  std::optional<SimConfig> config;
 };
 
 // Runs every variant over every app; result[v][a] aligns with inputs.

@@ -1,0 +1,181 @@
+#include "src/sim/results_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace icr::sim {
+namespace {
+
+// Shortest round-trip decimal: deterministic across runs and exact enough
+// that equal doubles always print equal text.
+std::string format_value(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string hex64(std::uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "0x%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+}  // namespace
+
+const std::vector<std::string>& metric_columns() {
+  static const std::vector<std::string> columns = {
+      "instructions",
+      "cycles",
+      "ipc",
+      "dl1_loads",
+      "dl1_load_hits",
+      "dl1_stores",
+      "dl1_miss_rate",
+      "replication_ability",
+      "loads_with_replica_fraction",
+      "replicas_created",
+      "replica_evictions",
+      "evictions",
+      "writebacks",
+      "errors_detected",
+      "errors_corrected_by_replica",
+      "errors_corrected_by_ecc",
+      "errors_corrected_by_rcache",
+      "errors_refetched_from_l2",
+      "unrecoverable_loads",
+      "silent_corrupt_loads",
+      "scrub_corrections",
+      "fault_injections",
+      "fault_bits_flipped",
+      "l1i_miss_rate",
+      "l2_miss_rate",
+      "branch_mispredict_rate",
+      "energy_total_nj",
+  };
+  return columns;
+}
+
+std::vector<double> metric_values(const RunResult& r) {
+  return {
+      static_cast<double>(r.instructions),
+      static_cast<double>(r.cycles),
+      r.ipc(),
+      static_cast<double>(r.dl1.loads),
+      static_cast<double>(r.dl1.load_hits),
+      static_cast<double>(r.dl1.stores),
+      r.dl1.miss_rate(),
+      r.dl1.replication_ability(),
+      r.dl1.loads_with_replica_fraction(),
+      static_cast<double>(r.dl1.replicas_created),
+      static_cast<double>(r.dl1.replica_evictions),
+      static_cast<double>(r.dl1.evictions),
+      static_cast<double>(r.dl1.writebacks),
+      static_cast<double>(r.dl1.errors_detected),
+      static_cast<double>(r.dl1.errors_corrected_by_replica),
+      static_cast<double>(r.dl1.errors_corrected_by_ecc),
+      static_cast<double>(r.dl1.errors_corrected_by_rcache),
+      static_cast<double>(r.dl1.errors_refetched_from_l2),
+      static_cast<double>(r.dl1.unrecoverable_loads),
+      static_cast<double>(r.pipeline.silent_corrupt_loads),
+      static_cast<double>(r.dl1.scrub_corrections),
+      static_cast<double>(r.faults.injections),
+      static_cast<double>(r.faults.bits_flipped),
+      r.l1i.miss_rate(),
+      r.l2.miss_rate(),
+      r.branch.mispredict_rate(),
+      r.energy.total_nj(),
+  };
+}
+
+std::string to_csv(const CampaignResult& campaign) {
+  std::string out = "variant,app,trial,seed";
+  for (const std::string& column : metric_columns()) {
+    out += ',';
+    out += column;
+  }
+  out += '\n';
+  for (const CellResult& cell : campaign.cells) {
+    out += cell.result.scheme;
+    out += ',';
+    out += cell.result.app;
+    out += ',';
+    out += std::to_string(cell.cell.trial_idx);
+    out += ',';
+    out += hex64(cell.cell.seed);
+    for (const double value : metric_values(cell.result)) {
+      out += ',';
+      out += format_value(value);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string to_json(const CampaignResult& campaign, bool include_timing) {
+  const CampaignMeta& meta = campaign.meta;
+  std::string out = "{\n  \"campaign\": {\n";
+  out += "    \"base_seed\": \"" + hex64(meta.base_seed) + "\",\n";
+  out += "    \"config_hash\": \"" + hex64(meta.config_hash) + "\",\n";
+  out += "    \"instructions\": " + std::to_string(meta.instructions) + ",\n";
+  out += "    \"trials\": " + std::to_string(meta.trials) + ",\n";
+  out += "    \"cells\": " + std::to_string(campaign.cells.size());
+  if (include_timing) {
+    out += ",\n    \"threads\": " + std::to_string(meta.threads) + ",\n";
+    out += "    \"wall_seconds\": " + format_value(meta.wall_seconds) + ",\n";
+    out +=
+        "    \"cells_per_second\": " + format_value(meta.cells_per_second);
+  }
+  out += "\n  },\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < campaign.cells.size(); ++i) {
+    const CellResult& cell = campaign.cells[i];
+    out += "    {\"variant\": \"" + json_escape(cell.result.scheme) +
+           "\", \"app\": \"" + json_escape(cell.result.app) +
+           "\", \"trial\": " + std::to_string(cell.cell.trial_idx) +
+           ", \"seed\": \"" + hex64(cell.cell.seed) + "\", \"metrics\": {";
+    const std::vector<double> values = metric_values(cell.result);
+    const std::vector<std::string>& columns = metric_columns();
+    for (std::size_t m = 0; m < columns.size(); ++m) {
+      if (m != 0) out += ", ";
+      out += "\"" + columns[m] + "\": " + format_value(values[m]);
+    }
+    out += "}}";
+    if (i + 1 != campaign.cells.size()) out += ',';
+    out += '\n';
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) throw std::runtime_error("cannot open '" + path + "' for write");
+  file << text;
+  file.flush();
+  if (!file) throw std::runtime_error("write to '" + path + "' failed");
+}
+
+}  // namespace icr::sim

@@ -1,0 +1,170 @@
+// Tier-2 determinism contract of the campaign engine: per-cell metrics and
+// exported text are bit-identical for any thread count, and per-cell seeds
+// are unique across the grid.
+#include "src/sim/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "src/sim/results_io.h"
+
+namespace icr::sim {
+namespace {
+
+CampaignSpec small_spec() {
+  CampaignSpec spec;
+  spec.variants = {
+      {"BaseP", core::Scheme::BaseP()},
+      {"ICR-P-PS(S)", core::Scheme::IcrPPS_S()},
+      {"ICR-ECC-PS(S)", core::Scheme::IcrEccPS_S()},
+  };
+  spec.apps = {trace::App::kVortex, trace::App::kMcf, trace::App::kGzip};
+  spec.instructions = 20000;
+  spec.trials = 2;
+  spec.derive_seeds = true;
+  spec.base_seed = 0xD5DB2003ULL;
+  spec.config.fault_model = fault::FaultModel::kRandom;
+  spec.config.fault_probability = 1e-4;
+  return spec;
+}
+
+TEST(Campaign, MetricsBitIdenticalAcrossThreadCounts) {
+  const CampaignSpec spec = small_spec();
+  const CampaignResult one = CampaignRunner(1).run(spec);
+  const CampaignResult two = CampaignRunner(2).run(spec);
+  const CampaignResult eight = CampaignRunner(8).run(spec);
+
+  ASSERT_EQ(one.cells.size(), spec.cell_count());
+  ASSERT_EQ(two.cells.size(), one.cells.size());
+  ASSERT_EQ(eight.cells.size(), one.cells.size());
+
+  for (std::size_t i = 0; i < one.cells.size(); ++i) {
+    const std::vector<double> a = metric_values(one.cells[i].result);
+    const std::vector<double> b = metric_values(two.cells[i].result);
+    const std::vector<double> c = metric_values(eight.cells[i].result);
+    ASSERT_EQ(a.size(), metric_columns().size());
+    for (std::size_t m = 0; m < a.size(); ++m) {
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(a[m], b[m]) << "cell " << i << " metric "
+                            << metric_columns()[m] << " (1 vs 2 threads)";
+      EXPECT_EQ(a[m], c[m]) << "cell " << i << " metric "
+                            << metric_columns()[m] << " (1 vs 8 threads)";
+    }
+    EXPECT_EQ(one.cells[i].cell.seed, eight.cells[i].cell.seed);
+    EXPECT_EQ(one.cells[i].result.scheme, eight.cells[i].result.scheme);
+    EXPECT_EQ(one.cells[i].result.app, eight.cells[i].result.app);
+  }
+}
+
+TEST(Campaign, JsonAndCsvIdenticalAcrossThreadCountsModuloTiming) {
+  const CampaignSpec spec = small_spec();
+  const CampaignResult one = CampaignRunner(1).run(spec);
+  const CampaignResult eight = CampaignRunner(8).run(spec);
+
+  EXPECT_EQ(to_json(one, /*include_timing=*/false),
+            to_json(eight, /*include_timing=*/false));
+  EXPECT_EQ(to_csv(one), to_csv(eight));
+  // With timing included the texts legitimately differ (wall time), but
+  // the experiment fingerprint does not.
+  EXPECT_EQ(one.meta.config_hash, eight.meta.config_hash);
+}
+
+TEST(Campaign, CellSeedsUniqueAcrossGrid) {
+  // A full-size grid: 10 variants x 8 apps x 16 trials.
+  std::set<std::uint64_t> seeds;
+  for (std::size_t v = 0; v < 10; ++v) {
+    for (std::size_t a = 0; a < 8; ++a) {
+      for (std::size_t t = 0; t < 16; ++t) {
+        seeds.insert(derive_cell_seed(0x1C9CA37ULL, v, a, t));
+      }
+    }
+  }
+  EXPECT_EQ(seeds.size(), 10u * 8u * 16u);
+}
+
+TEST(Campaign, CellSeedsDependOnEveryCoordinate) {
+  const std::uint64_t base = derive_cell_seed(1, 2, 3, 4);
+  EXPECT_EQ(base, derive_cell_seed(1, 2, 3, 4));
+  EXPECT_NE(base, derive_cell_seed(2, 2, 3, 4));
+  EXPECT_NE(base, derive_cell_seed(1, 3, 3, 4));
+  EXPECT_NE(base, derive_cell_seed(1, 2, 4, 4));
+  EXPECT_NE(base, derive_cell_seed(1, 2, 3, 5));
+}
+
+TEST(Campaign, DerivedSeedsChangeTheRun) {
+  // Same grid, different base seed => different injected-fault streams.
+  CampaignSpec spec = small_spec();
+  spec.variants = {{"BaseP", core::Scheme::BaseP()}};
+  spec.apps = {trace::App::kVortex};
+  spec.trials = 4;
+  spec.config.fault_probability = 1e-3;
+
+  CampaignSpec other = spec;
+  other.base_seed = spec.base_seed + 1;
+
+  const CampaignResult a = CampaignRunner(2).run(spec);
+  const CampaignResult b = CampaignRunner(2).run(other);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    if (metric_values(a.cells[i].result) != metric_values(b.cells[i].result)) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Campaign, LegacySeedModeMatchesRunMatrix) {
+  // derive_seeds = false must reproduce the sequential run_matrix numbers —
+  // the contract that lets every figure bench ride the engine unchanged.
+  const std::vector<SchemeVariant> variants = {
+      {"BaseP", core::Scheme::BaseP()}, {"BaseECC", core::Scheme::BaseECC()}};
+  const std::vector<trace::App> apps = {trace::App::kGzip, trace::App::kMcf};
+
+  const auto matrix = run_matrix(variants, apps, SimConfig::table1(), 20000);
+
+  CampaignSpec spec;
+  spec.variants = variants;
+  spec.apps = apps;
+  spec.instructions = 20000;
+  const CampaignResult campaign = CampaignRunner(8).run(spec);
+
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+      EXPECT_EQ(metric_values(matrix[v][a]),
+                metric_values(campaign.at(v, a, 0, apps.size(), 1).result));
+    }
+  }
+}
+
+TEST(Campaign, ThreadResolutionPrefersExplicitThenEnvThenHardware) {
+  EXPECT_EQ(resolve_thread_count(5), 5u);
+  setenv("ICR_SIM_THREADS", "3", 1);
+  EXPECT_EQ(resolve_thread_count(0), 3u);
+  EXPECT_EQ(resolve_thread_count(7), 7u);
+  setenv("ICR_SIM_THREADS", "junk", 1);
+  EXPECT_GE(resolve_thread_count(0), 1u);
+  unsetenv("ICR_SIM_THREADS");
+  EXPECT_GE(resolve_thread_count(0), 1u);
+}
+
+TEST(Campaign, ConfigHashSeparatesExperiments) {
+  const CampaignSpec spec = small_spec();
+  CampaignSpec different_seed = spec;
+  different_seed.base_seed ^= 1;
+  CampaignSpec different_fault = spec;
+  different_fault.config.fault_probability = 2e-4;
+  CampaignSpec different_apps = spec;
+  different_apps.apps.pop_back();
+
+  const std::uint64_t base = campaign_config_hash(spec);
+  EXPECT_EQ(base, campaign_config_hash(spec));
+  EXPECT_NE(base, campaign_config_hash(different_seed));
+  EXPECT_NE(base, campaign_config_hash(different_fault));
+  EXPECT_NE(base, campaign_config_hash(different_apps));
+}
+
+}  // namespace
+}  // namespace icr::sim
