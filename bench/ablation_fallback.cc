@@ -6,7 +6,8 @@
 
 using namespace icr;
 
-int main() {
+int main(int argc, char** argv) {
+  icr::bench::init(argc, argv);
   core::ReplicationConfig power2;
   power2.fallback = core::FallbackStrategy::kPower2;
   power2.max_attempts = 4;

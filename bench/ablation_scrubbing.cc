@@ -8,7 +8,8 @@
 
 using namespace icr;
 
-int main() {
+int main(int argc, char** argv) {
+  icr::bench::init(argc, argv);
   bench::print_header(
       "Ablation C",
       "Background scrubbing vs unrecoverable loads (vortex, random model, "

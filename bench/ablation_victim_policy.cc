@@ -6,7 +6,8 @@
 
 using namespace icr;
 
-int main() {
+int main(int argc, char** argv) {
+  icr::bench::init(argc, argv);
   auto with_policy = [](core::ReplicaVictimPolicy p) {
     return core::Scheme::IcrPPS_S().with_decay_window(1000).with_victim_policy(
         p);

@@ -7,7 +7,8 @@
 
 using namespace icr;
 
-int main() {
+int main(int argc, char** argv) {
+  icr::bench::init(argc, argv);
   bench::print_header(
       "Baseline", "BaseP + R-Cache (Kim&Somani-style duplication buffer) vs "
                   "ICR-P-PS(S), random injection P=1e-3 (vortex, parser)");

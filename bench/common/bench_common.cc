@@ -1,8 +1,25 @@
 #include "bench/common/bench_common.h"
 
 #include <cstdio>
+#include <cstring>
 
 namespace icr::bench {
+
+namespace {
+bool g_quiet = false;
+}  // namespace
+
+void init(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quiet") == 0 ||
+        std::strcmp(argv[i], "-q") == 0) {
+      g_quiet = true;
+    }
+  }
+  sim::CampaignRunner::set_default_progress_enabled(!g_quiet);
+}
+
+bool quiet() { return g_quiet; }
 
 void print_header(const std::string& figure, const std::string& description) {
   std::printf("\n################################################################\n");

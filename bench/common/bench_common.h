@@ -17,6 +17,14 @@
 
 namespace icr::bench {
 
+// Common bench CLI setup: enables campaign progress reporting on stderr by
+// default; `--quiet` (or `-q`) suppresses it so only the final tables are
+// printed. Call first thing in every bench main().
+void init(int argc, char** argv);
+
+// True once init() ran with --quiet.
+[[nodiscard]] bool quiet();
+
 // Prints the standard bench header (figure id, settings, instruction count).
 void print_header(const std::string& figure, const std::string& description);
 

@@ -12,7 +12,8 @@
 
 using namespace icr;
 
-int main() {
+int main(int argc, char** argv) {
+  icr::bench::init(argc, argv);
   const core::Scheme base =
       core::Scheme::IcrPPS_S().with_leave_replicas(true);
   bench::run_and_print(

@@ -5,7 +5,8 @@
 
 using namespace icr;
 
-int main() {
+int main(int argc, char** argv) {
+  icr::bench::init(argc, argv);
   // Same §5.1 setting as Fig. 1 (see fig01 for the leave-replicas note).
   const core::Scheme base =
       core::Scheme::IcrPPS_S().with_leave_replicas(true);

@@ -6,7 +6,8 @@
 
 using namespace icr;
 
-int main() {
+int main(int argc, char** argv) {
+  icr::bench::init(argc, argv);
   const core::Scheme base = core::Scheme::IcrPPS_S();
   const core::Scheme one = base.with_replication(bench::single_attempt());
   const core::Scheme two = base.with_replication(bench::two_replicas());

@@ -5,7 +5,8 @@
 
 using namespace icr;
 
-int main() {
+int main(int argc, char** argv) {
+  icr::bench::init(argc, argv);
   const core::Scheme base = core::Scheme::IcrPPS_S();
   bench::run_and_print(
       "Fig. 4", "dL1 miss rate, one vs two replicas, ICR-P-PS(S)",

@@ -7,7 +7,8 @@
 
 using namespace icr;
 
-int main() {
+int main(int argc, char** argv) {
+  icr::bench::init(argc, argv);
   const core::Scheme base = core::Scheme::IcrPPS_S();
   core::ReplicationConfig vertical;  // N/2
   core::ReplicationConfig horizontal;

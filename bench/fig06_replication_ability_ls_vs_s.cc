@@ -6,7 +6,8 @@
 
 using namespace icr;
 
-int main() {
+int main(int argc, char** argv) {
+  icr::bench::init(argc, argv);
   bench::run_and_print(
       "Fig. 6", "Replication ability, ICR-*(LS) vs ICR-*(S)",
       {

@@ -5,7 +5,8 @@
 
 using namespace icr;
 
-int main() {
+int main(int argc, char** argv) {
+  icr::bench::init(argc, argv);
   bench::run_and_print(
       "Fig. 7", "Loads with replica, ICR-*(LS) vs ICR-*(S)",
       {

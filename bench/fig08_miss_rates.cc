@@ -6,7 +6,8 @@
 
 using namespace icr;
 
-int main() {
+int main(int argc, char** argv) {
+  icr::bench::init(argc, argv);
   bench::run_and_print(
       "Fig. 8", "dL1 miss rates: Base*, ICR-*(LS), ICR-*(S)",
       {

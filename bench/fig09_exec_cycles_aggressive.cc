@@ -8,7 +8,8 @@
 
 using namespace icr;
 
-int main() {
+int main(int argc, char** argv) {
+  icr::bench::init(argc, argv);
   std::vector<sim::SchemeVariant> variants;
   for (const core::Scheme& s : core::Scheme::all_paper_schemes()) {
     variants.push_back({s.name, s});

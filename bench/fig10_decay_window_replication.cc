@@ -6,7 +6,8 @@
 
 using namespace icr;
 
-int main() {
+int main(int argc, char** argv) {
+  icr::bench::init(argc, argv);
   bench::print_header(
       "Fig. 10",
       "Replication ability & loads with replica vs decay window (vpr), "

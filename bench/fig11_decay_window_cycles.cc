@@ -7,7 +7,8 @@
 
 using namespace icr;
 
-int main() {
+int main(int argc, char** argv) {
+  icr::bench::init(argc, argv);
   bench::print_header(
       "Fig. 11",
       "Normalized execution cycles vs decay window (vpr), dead-first");

@@ -6,7 +6,8 @@
 
 using namespace icr;
 
-int main() {
+int main(int argc, char** argv) {
+  icr::bench::init(argc, argv);
   auto relaxed = [](core::Scheme s) {
     return s.with_decay_window(1000).with_victim_policy(
         core::ReplicaVictimPolicy::kDeadFirst);

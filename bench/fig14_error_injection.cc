@@ -32,9 +32,48 @@ std::vector<SchemePoint> fig14_schemes() {
   };
 }
 
+// Cross-check of the figure's data sources: the numbers plotted here come
+// from dl1/pipeline stats, while the injector now attributes every observed
+// error to a per-outcome FaultStats counter. The three views must agree
+// cell by cell; a mismatch means the attribution broke and the figure can
+// no longer be trusted, so the bench fails loudly.
+std::size_t reconcile_outcomes(const sim::CampaignResult& campaign,
+                               const char* table) {
+  std::size_t mismatches = 0;
+  for (const sim::CellResult& cell : campaign.cells) {
+    const sim::RunResult& r = cell.result;
+    const bool ok =
+        r.faults.detected_uncorrectable == r.pipeline.unrecoverable_loads &&
+        r.faults.detected_uncorrectable == r.dl1.unrecoverable_loads &&
+        r.faults.silent == r.pipeline.silent_corrupt_loads &&
+        r.faults.replica_recovered <= r.dl1.errors_corrected_by_replica &&
+        r.faults.observed() <= r.dl1.errors_detected + r.faults.silent;
+    if (!ok) {
+      std::fprintf(stderr,
+                   "fig14 reconciliation failure (%s, %s): fault outcomes "
+                   "{corr=%llu repl=%llu unrec=%llu silent=%llu} vs dl1 "
+                   "unrec=%llu pipeline {unrec=%llu silent=%llu}\n",
+                   table, r.scheme.c_str(),
+                   static_cast<unsigned long long>(r.faults.corrected),
+                   static_cast<unsigned long long>(r.faults.replica_recovered),
+                   static_cast<unsigned long long>(
+                       r.faults.detected_uncorrectable),
+                   static_cast<unsigned long long>(r.faults.silent),
+                   static_cast<unsigned long long>(r.dl1.unrecoverable_loads),
+                   static_cast<unsigned long long>(
+                       r.pipeline.unrecoverable_loads),
+                   static_cast<unsigned long long>(
+                       r.pipeline.silent_corrupt_loads));
+      ++mismatches;
+    }
+  }
+  return mismatches;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  icr::bench::init(argc, argv);
   bench::print_header(
       "Fig. 14",
       "Unrecoverable loads vs per-cycle error probability (vortex, random "
@@ -114,5 +153,16 @@ int main() {
     t2.add_row(std::move(row));
   }
   t2.print();
+
+  const std::size_t mismatches = reconcile_outcomes(swept, "sweep") +
+                                 reconcile_outcomes(modeled, "companion");
+  if (mismatches != 0) {
+    std::fprintf(stderr, "fig14: %zu cells failed outcome reconciliation\n",
+                 mismatches);
+    return 1;
+  }
+  std::printf("\noutcome reconciliation: OK (%zu cells, per-outcome fault "
+              "counters match dl1/pipeline views)\n",
+              swept.cells.size() + modeled.cells.size());
   return 0;
 }

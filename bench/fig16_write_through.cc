@@ -6,7 +6,8 @@
 
 using namespace icr;
 
-int main() {
+int main(int argc, char** argv) {
+  icr::bench::init(argc, argv);
   const core::Scheme icr_scheme =
       core::Scheme::IcrPPS_S()
           .with_decay_window(1000)

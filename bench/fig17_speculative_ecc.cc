@@ -10,7 +10,8 @@
 
 using namespace icr;
 
-int main() {
+int main(int argc, char** argv) {
+  icr::bench::init(argc, argv);
   const core::Scheme icr_perf =
       core::Scheme::IcrPPS_S()
           .with_decay_window(1000)

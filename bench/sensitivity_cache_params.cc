@@ -44,7 +44,8 @@ void sweep(const std::string& title,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  icr::bench::init(argc, argv);
   bench::print_header(
       "§5.7", "Sensitivity to cache size and associativity, ICR-P-PS(S), "
               "averaged over gzip/vpr/mcf/mesa");

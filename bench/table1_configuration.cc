@@ -21,7 +21,8 @@ void check(bool ok, const char* what) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  icr::bench::init(argc, argv);
   const sim::SimConfig cfg = sim::SimConfig::table1();
 
   TextTable t("Table 1 — base configuration (paper values)",

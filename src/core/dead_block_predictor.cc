@@ -20,7 +20,10 @@ std::uint32_t DeadBlockPredictor::counter_value(std::uint64_t last_access,
 
 bool DeadBlockPredictor::is_dead(std::uint64_t last_access,
                                  std::uint64_t now) const noexcept {
-  return counter_value(last_access, now) >= kSaturated;
+  ++stats_.queries;
+  const bool dead = counter_value(last_access, now) >= kSaturated;
+  if (dead) ++stats_.dead_predictions;
+  return dead;
 }
 
 }  // namespace icr::core

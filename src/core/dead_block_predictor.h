@@ -19,6 +19,11 @@
 
 namespace icr::core {
 
+struct DbpStats {
+  std::uint64_t queries = 0;           // is_dead evaluations
+  std::uint64_t dead_predictions = 0;  // queries answering "dead"
+};
+
 class DeadBlockPredictor {
  public:
   explicit DeadBlockPredictor(std::uint64_t decay_window = 0) noexcept;
@@ -32,6 +37,8 @@ class DeadBlockPredictor {
   [[nodiscard]] bool is_dead(std::uint64_t last_access,
                              std::uint64_t now) const noexcept;
 
+  [[nodiscard]] const DbpStats& stats() const noexcept { return stats_; }
+
   [[nodiscard]] std::uint64_t decay_window() const noexcept { return window_; }
   [[nodiscard]] std::uint64_t tick_period() const noexcept { return tick_; }
 
@@ -42,6 +49,9 @@ class DeadBlockPredictor {
  private:
   std::uint64_t window_;
   std::uint64_t tick_;  // window / 4, min 1 (unused when window == 0)
+  // Diagnostics only — mutable so the logically-const predicate can count
+  // its own invocations without perturbing any caller.
+  mutable DbpStats stats_;
 };
 
 }  // namespace icr::core

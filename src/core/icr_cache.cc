@@ -115,6 +115,10 @@ void IcrCache::evict_line(IcrLine& line, std::uint64_t cycle) {
   if (!line.valid) return;
   if (line.replica) {
     ++stats_.replica_evictions;
+    if (trace_ != nullptr && trace_->wants(obs::EventCategory::kEviction)) {
+      trace_->emit(obs::EventKind::kReplicaEvict, cycle, line.block_addr,
+                   set_of(line));
+    }
     // Detach from the primary (if it is still resident).
     if (IcrLine* primary = find_primary(line.block_addr)) {
       ICR_CHECK(primary->replica_count > 0);
@@ -139,6 +143,10 @@ void IcrCache::evict_line(IcrLine& line, std::uint64_t cycle) {
       replica->valid = false;
       replica->replica = false;
       ++stats_.replica_evictions;
+      if (trace_ != nullptr && trace_->wants(obs::EventCategory::kEviction)) {
+        trace_->emit(obs::EventKind::kReplicaEvict, cycle, line.block_addr,
+                     set_of(*replica));
+      }
     }
     line.replica_count = 0;
   }
@@ -241,9 +249,18 @@ void IcrCache::attempt_replication(IcrLine& primary, std::uint64_t cycle) {
 
     IcrLine* victim = select_replica_victim(set, primary.block_addr, cycle);
     if (victim == nullptr) continue;
-    const bool dead_dirty = victim->valid && !victim->replica && victim->dirty;
+    const bool dead_primary = victim->valid && !victim->replica;
+    const bool dead_dirty = dead_primary && victim->dirty;
+    const std::uint64_t displaced_block = victim->block_addr;
+    const std::uint64_t idle_cycles =
+        cycle - std::min(cycle, victim->last_access_cycle);
     evict_line(*victim, cycle);
     if (dead_dirty) ++stats_.dead_victim_writebacks;
+    if (dead_primary && trace_ != nullptr &&
+        trace_->wants(obs::EventCategory::kDecay)) {
+      trace_->emit(obs::EventKind::kDeadBlockRecycle, cycle, displaced_block,
+                   set, idle_cycles);
+    }
 
     victim->valid = true;
     victim->replica = true;
@@ -264,6 +281,11 @@ void IcrCache::attempt_replication(IcrLine& primary, std::uint64_t cycle) {
     ++primary.replica_count;
     ++stats_.replicas_created;
     ++stats_.l1_write_accesses;  // the duplicate write
+    if (site_distance_hist_ != nullptr) site_distance_hist_->record(d);
+    if (trace_ != nullptr && trace_->wants(obs::EventCategory::kReplication)) {
+      trace_->emit(obs::EventKind::kReplicaCreate, cycle, primary.block_addr,
+                   set, d);
+    }
   }
 
   const std::uint32_t created = primary.replica_count - before;
@@ -274,6 +296,10 @@ void IcrCache::attempt_replication(IcrLine& primary, std::uint64_t cycle) {
   }
   if (created >= 1) ++stats_.opportunities_with_one;
   if (created >= 2) ++stats_.opportunities_with_two;
+  if (trace_ != nullptr && trace_->wants(obs::EventCategory::kReplication)) {
+    trace_->emit(obs::EventKind::kReplicationAttempt, cycle,
+                 primary.block_addr, created, target);
+  }
 }
 
 void IcrCache::verify_and_recover(IcrLine& line, std::uint32_t word_index,
@@ -301,6 +327,7 @@ void IcrCache::verify_and_recover(IcrLine& line, std::uint32_t word_index,
         if (parity_ok(rep_word, replica->parity[word_index])) {
           ++stats_.errors_corrected_by_replica;
           outcome.error_recovered = true;
+          outcome.recovery = AccessOutcome::Recovery::kReplica;
           outcome.value = rep_word;
           write_word(line, word_index, rep_word);  // repair the primary
           return;
@@ -316,6 +343,7 @@ void IcrCache::verify_and_recover(IcrLine& line, std::uint32_t word_index,
       fill_from_backing(line, line.block_addr);
       ++stats_.errors_refetched_from_l2;
       outcome.error_recovered = true;
+      outcome.recovery = AccessOutcome::Recovery::kRefetch;
       outcome.value = read_word(line, word_index);
       return;
     }
@@ -327,6 +355,7 @@ void IcrCache::verify_and_recover(IcrLine& line, std::uint32_t word_index,
         ++stats_.errors_corrected_by_rcache;
         outcome.latency += 1;  // the R-Cache probe
         outcome.error_recovered = true;
+        outcome.recovery = AccessOutcome::Recovery::kRcache;
         outcome.value = *dup;
         write_word(line, word_index, *dup);
         return;
@@ -355,6 +384,7 @@ void IcrCache::verify_and_recover(IcrLine& line, std::uint32_t word_index,
       ++stats_.errors_corrected_by_ecc;
       outcome.error_detected = true;
       outcome.error_recovered = true;
+      outcome.recovery = AccessOutcome::Recovery::kEcc;
       outcome.value = result.data;
       write_word(line, word_index, result.data);
       return;
@@ -368,6 +398,7 @@ void IcrCache::verify_and_recover(IcrLine& line, std::uint32_t word_index,
           ++stats_.errors_corrected_by_rcache;
           outcome.latency += 1;
           outcome.error_recovered = true;
+          outcome.recovery = AccessOutcome::Recovery::kRcache;
           outcome.value = *dup;
           write_word(line, word_index, *dup);
           return;
@@ -378,6 +409,7 @@ void IcrCache::verify_and_recover(IcrLine& line, std::uint32_t word_index,
         fill_from_backing(line, line.block_addr);
         ++stats_.errors_refetched_from_l2;
         outcome.error_recovered = true;
+        outcome.recovery = AccessOutcome::Recovery::kRefetch;
         outcome.value = read_word(line, word_index);
         return;
       }
@@ -440,6 +472,9 @@ IcrCache::AccessOutcome IcrCache::load(std::uint64_t addr,
         attempt_replication(slot, cycle);
       }
       verify_and_recover(slot, word_index, cycle, outcome);
+      if (miss_latency_hist_ != nullptr) {
+        miss_latency_hist_->record(outcome.latency);
+      }
       return outcome;
     }
   }
@@ -467,6 +502,9 @@ IcrCache::AccessOutcome IcrCache::load(std::uint64_t addr,
     attempt_replication(slot, cycle);
   }
   verify_and_recover(slot, word_index, cycle, outcome);
+  if (miss_latency_hist_ != nullptr) {
+    miss_latency_hist_->record(outcome.latency);
+  }
   return outcome;
 }
 
@@ -607,6 +645,68 @@ std::uint64_t IcrCache::resident_replicas() const noexcept {
     if (l.valid && l.replica) ++count;
   }
   return count;
+}
+
+std::vector<std::uint32_t> IcrCache::replica_occupancy() const {
+  std::vector<std::uint32_t> occupancy(geometry_.num_sets(), 0);
+  for (std::uint32_t s = 0; s < geometry_.num_sets(); ++s) {
+    const IcrLine* base = set_base(s);
+    for (std::uint32_t w = 0; w < geometry_.associativity; ++w) {
+      if (base[w].valid && base[w].replica) ++occupancy[s];
+    }
+  }
+  return occupancy;
+}
+
+void IcrCache::attach_observability(obs::StatRegistry* registry,
+                                    obs::EventTrace* trace) {
+  trace_ = trace;
+  if (registry == nullptr) return;
+  const struct {
+    const char* name;
+    const std::uint64_t* source;
+  } counters[] = {
+      {"dl1.loads", &stats_.loads},
+      {"dl1.load_hits", &stats_.load_hits},
+      {"dl1.load_misses", &stats_.load_misses},
+      {"dl1.stores", &stats_.stores},
+      {"dl1.store_hits", &stats_.store_hits},
+      {"dl1.store_misses", &stats_.store_misses},
+      {"dl1.loads_with_replica", &stats_.loads_with_replica},
+      {"dl1.replica_fills", &stats_.replica_fills},
+      {"dl1.replication.opportunities", &stats_.replication_opportunities},
+      {"dl1.replication.successes", &stats_.replication_successes},
+      {"dl1.replication.with_one", &stats_.opportunities_with_one},
+      {"dl1.replication.with_two", &stats_.opportunities_with_two},
+      {"dl1.replication.created", &stats_.replicas_created},
+      {"dl1.replication.site_searches", &stats_.site_searches},
+      {"dl1.replication.site_search_failures", &stats_.site_search_failures},
+      {"dl1.evictions", &stats_.evictions},
+      {"dl1.writebacks", &stats_.writebacks},
+      {"dl1.replica_evictions", &stats_.replica_evictions},
+      {"dl1.dead_victim_writebacks", &stats_.dead_victim_writebacks},
+      {"dl1.errors.detected", &stats_.errors_detected},
+      {"dl1.errors.corrected_by_replica", &stats_.errors_corrected_by_replica},
+      {"dl1.errors.corrected_by_ecc", &stats_.errors_corrected_by_ecc},
+      {"dl1.errors.corrected_by_rcache", &stats_.errors_corrected_by_rcache},
+      {"dl1.errors.refetched_from_l2", &stats_.errors_refetched_from_l2},
+      {"dl1.errors.unrecoverable_loads", &stats_.unrecoverable_loads},
+      {"dl1.scrub.lines_checked", &stats_.scrub_lines_checked},
+      {"dl1.scrub.corrections", &stats_.scrub_corrections},
+      {"dl1.scrub.uncorrectable", &stats_.scrub_uncorrectable},
+      {"dl1.parity_computations", &stats_.parity_computations},
+      {"dl1.ecc_computations", &stats_.ecc_computations},
+      {"dl1.replica_updates", &stats_.replica_updates},
+      {"dl1.l1_read_accesses", &stats_.l1_read_accesses},
+      {"dl1.l1_write_accesses", &stats_.l1_write_accesses},
+      {"dbp.queries", &dbp_.stats().queries},
+      {"dbp.dead_predictions", &dbp_.stats().dead_predictions},
+  };
+  for (const auto& c : counters) registry->register_counter(c.name, c.source);
+  registry->register_gauge("dl1.resident_replicas",
+                           [this] { return resident_replicas(); });
+  site_distance_hist_ = registry->histogram("dl1.site_distance");
+  miss_latency_hist_ = registry->histogram("dl1.miss_latency");
 }
 
 void IcrCache::flip_data_bit(std::uint32_t set, std::uint32_t way,

@@ -33,6 +33,8 @@
 #include "src/mem/cache_geometry.h"
 #include "src/mem/memory_hierarchy.h"
 #include "src/mem/write_buffer.h"
+#include "src/obs/event_trace.h"
+#include "src/obs/stat_registry.h"
 
 namespace icr::core {
 
@@ -144,12 +146,23 @@ class IcrCache {
            mem::MemoryHierarchy& next);
 
   struct AccessOutcome {
+    // Which rung of the recovery ladder produced the delivered value (set
+    // only when error_recovered is true).
+    enum class Recovery : std::uint8_t {
+      kNone,
+      kReplica,  // clean in-cache replica
+      kEcc,      // SEC-DED single-bit correction
+      kRcache,   // Kim&Somani duplication buffer
+      kRefetch,  // clean block refetched from L2/memory
+    };
+
     std::uint32_t latency = 0;  // cycles this access occupies the pipeline
     bool hit = false;
     bool replica_fill = false;
     bool error_detected = false;
     bool error_recovered = false;
     bool unrecoverable = false;
+    Recovery recovery = Recovery::kNone;
     std::uint64_t value = 0;  // the 64-bit word delivered (loads)
   };
 
@@ -216,6 +229,18 @@ class IcrCache {
   // Number of valid replica lines currently resident (O(cache) scan).
   [[nodiscard]] std::uint64_t resident_replicas() const noexcept;
 
+  // Per-set resident replica counts (heatmap row; O(cache) scan).
+  [[nodiscard]] std::vector<std::uint32_t> replica_occupancy() const;
+
+  // Registers this cache's counters/gauges/histograms under "dl1." (and the
+  // dead-block predictor under "dbp.") and starts emitting replication /
+  // eviction / decay events into `trace`. Either pointer may be null; both
+  // must outlive the cache. The hot paths are untouched when detached —
+  // counters are registry *views* into stats_, and event emission is behind
+  // a null check.
+  void attach_observability(obs::StatRegistry* registry,
+                            obs::EventTrace* trace);
+
   // Aborts if any structural invariant is violated (test hook):
   //  - at most one primary per block;
   //  - every primary's replica_count matches the resident replicas of its
@@ -230,6 +255,12 @@ class IcrCache {
   }
   [[nodiscard]] const IcrLine* set_base(std::uint32_t set) const noexcept {
     return &lines_[static_cast<std::size_t>(set) * geometry_.associativity];
+  }
+  // Set index of a line that lives in lines_ (pointer arithmetic).
+  [[nodiscard]] std::uint32_t set_of(const IcrLine& line) const noexcept {
+    return static_cast<std::uint32_t>(
+        static_cast<std::size_t>(&line - lines_.data()) /
+        geometry_.associativity);
   }
 
   [[nodiscard]] IcrLine* find_primary(std::uint64_t block) noexcept;
@@ -285,6 +316,11 @@ class IcrCache {
   std::uint32_t scrub_cursor_ = 0;        // next set the scrubber visits
   std::uint64_t next_scrub_cycle_ = 0;
   IcrStats stats_;
+
+  // Observability hooks (all optional; see attach_observability).
+  obs::EventTrace* trace_ = nullptr;
+  obs::Log2Histogram* site_distance_hist_ = nullptr;  // per created replica
+  obs::Log2Histogram* miss_latency_hist_ = nullptr;   // per load miss
 };
 
 }  // namespace icr::core

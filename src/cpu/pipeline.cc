@@ -27,11 +27,47 @@ void Pipeline::verify_load(std::uint64_t addr,
   const auto it = golden_.find(word);
   const std::uint64_t expected =
       it != golden_.end() ? it->second : mem::BackingStore::initial_word(word);
+  // The load path is where an injected fault becomes a consequence, so the
+  // per-outcome verdict is classified here and reported to the injector
+  // (per-outcome FaultStats + kFaultVerdict trace events share this one
+  // classification, keeping them consistent by construction).
+  using Recovery = core::IcrCache::AccessOutcome::Recovery;
   if (outcome.unrecoverable) {
     ++stats_.unrecoverable_loads;
+    if (injector_ != nullptr) {
+      injector_->record_outcome(obs::FaultVerdict::kDetectedUncorrectable,
+                                cycle_, word);
+    }
   } else if (outcome.value != expected) {
     ++stats_.silent_corrupt_loads;
+    if (injector_ != nullptr) {
+      injector_->record_outcome(obs::FaultVerdict::kSilent, cycle_, word);
+    }
+  } else if (outcome.error_detected && outcome.error_recovered &&
+             injector_ != nullptr) {
+    injector_->record_outcome(outcome.recovery == Recovery::kReplica
+                                  ? obs::FaultVerdict::kReplicaRecovered
+                                  : obs::FaultVerdict::kCorrected,
+                              cycle_, word);
   }
+}
+
+void Pipeline::attach_observability(obs::StatRegistry* registry) {
+  if (registry == nullptr) return;
+  registry->register_counter("pipeline.committed", &stats_.committed);
+  registry->register_counter("pipeline.loads", &stats_.loads);
+  registry->register_counter("pipeline.stores", &stats_.stores);
+  registry->register_counter("pipeline.branches", &stats_.branches);
+  registry->register_counter("pipeline.mispredicted_branches",
+                             &stats_.mispredicted_branches);
+  registry->register_counter("pipeline.forwarded_loads",
+                             &stats_.forwarded_loads);
+  registry->register_counter("pipeline.fetch_stall_cycles",
+                             &stats_.fetch_stall_cycles);
+  registry->register_counter("pipeline.silent_corrupt_loads",
+                             &stats_.silent_corrupt_loads);
+  registry->register_counter("pipeline.unrecoverable_loads",
+                             &stats_.unrecoverable_loads);
 }
 
 bool Pipeline::operands_ready(const RuuEntry& entry) noexcept {

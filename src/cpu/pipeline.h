@@ -92,6 +92,9 @@ class Pipeline {
   }
   [[nodiscard]] std::uint64_t cycle() const noexcept { return cycle_; }
 
+  // Registers the pipeline counters under "pipeline.". May be null.
+  void attach_observability(obs::StatRegistry* registry);
+
  private:
   struct FetchSlot {
     trace::Instruction instr;

@@ -44,7 +44,7 @@ bool FaultInjector::pick_valid_line(const core::IcrCache& cache,
   return false;
 }
 
-void FaultInjector::inject_once(core::IcrCache& cache) {
+void FaultInjector::inject_once(core::IcrCache& cache, std::uint64_t cycle) {
   std::uint32_t set = 0;
   std::uint32_t way = 0;
   if (!pick_valid_line(cache, set, way)) {
@@ -52,6 +52,7 @@ void FaultInjector::inject_once(core::IcrCache& cache) {
     return;
   }
   ++stats_.injections;
+  const std::uint64_t bits_before = stats_.bits_flipped;
   const std::uint32_t line_bytes = cache.geometry().line_bytes;
 
   switch (model_) {
@@ -88,12 +89,53 @@ void FaultInjector::inject_once(core::IcrCache& cache) {
       break;
     }
   }
+  if (trace_ != nullptr && trace_->wants(obs::EventCategory::kFault)) {
+    trace_->emit(obs::EventKind::kFaultInject, cycle, set, way,
+                 stats_.bits_flipped - bits_before);
+  }
 }
 
 void FaultInjector::tick(core::IcrCache& cache, std::uint64_t cycle) {
-  (void)cycle;
   if (probability_ <= 0.0) return;
-  if (rng_.bernoulli(probability_)) inject_once(cache);
+  if (rng_.bernoulli(probability_)) inject_once(cache, cycle);
+}
+
+void FaultInjector::record_outcome(obs::FaultVerdict verdict,
+                                   std::uint64_t cycle,
+                                   std::uint64_t word_addr) noexcept {
+  switch (verdict) {
+    case obs::FaultVerdict::kCorrected:
+      ++stats_.corrected;
+      break;
+    case obs::FaultVerdict::kReplicaRecovered:
+      ++stats_.replica_recovered;
+      break;
+    case obs::FaultVerdict::kDetectedUncorrectable:
+      ++stats_.detected_uncorrectable;
+      break;
+    case obs::FaultVerdict::kSilent:
+      ++stats_.silent;
+      break;
+  }
+  if (trace_ != nullptr && trace_->wants(obs::EventCategory::kFault)) {
+    trace_->emit(obs::EventKind::kFaultVerdict, cycle, word_addr,
+                 static_cast<std::uint64_t>(verdict));
+  }
+}
+
+void FaultInjector::attach_observability(obs::StatRegistry* registry,
+                                         obs::EventTrace* trace) {
+  trace_ = trace;
+  if (registry == nullptr) return;
+  registry->register_counter("fault.injections", &stats_.injections);
+  registry->register_counter("fault.bits_flipped", &stats_.bits_flipped);
+  registry->register_counter("fault.skipped_empty", &stats_.skipped_empty);
+  registry->register_counter("fault.corrected", &stats_.corrected);
+  registry->register_counter("fault.replica_recovered",
+                             &stats_.replica_recovered);
+  registry->register_counter("fault.detected_uncorrectable",
+                             &stats_.detected_uncorrectable);
+  registry->register_counter("fault.silent", &stats_.silent);
 }
 
 }  // namespace icr::fault

@@ -20,6 +20,8 @@
 #include <cstdint>
 
 #include "src/core/icr_cache.h"
+#include "src/obs/event_trace.h"
+#include "src/obs/stat_registry.h"
 #include "src/util/rng.h"
 
 namespace icr::fault {
@@ -32,6 +34,19 @@ struct FaultStats {
   std::uint64_t injections = 0;     // injection events
   std::uint64_t bits_flipped = 0;   // total bit flips applied
   std::uint64_t skipped_empty = 0;  // events with no valid line to hit
+
+  // Per-outcome verdicts, recorded when a load first observes corrupted
+  // data (record_outcome). An injection whose line is overwritten or
+  // evicted before any load sees it never receives a verdict, so the four
+  // outcome counters sum to the *observed* errors, not to `injections`.
+  std::uint64_t corrected = 0;               // ECC / refetch / rcache
+  std::uint64_t replica_recovered = 0;       // clean in-cache replica
+  std::uint64_t detected_uncorrectable = 0;  // detected, data lost
+  std::uint64_t silent = 0;                  // wrong value, undetected
+
+  [[nodiscard]] std::uint64_t observed() const noexcept {
+    return corrected + replica_recovered + detected_uncorrectable + silent;
+  }
 };
 
 class FaultInjector {
@@ -43,7 +58,18 @@ class FaultInjector {
   void tick(core::IcrCache& cache, std::uint64_t cycle);
 
   // Forces one injection event immediately (test hook / campaigns).
-  void inject_once(core::IcrCache& cache);
+  void inject_once(core::IcrCache& cache, std::uint64_t cycle = 0);
+
+  // Classified consequence of an observed error, reported by the load path
+  // (Pipeline::verify_load): bumps the per-outcome counter and emits a
+  // kFaultVerdict event.
+  void record_outcome(obs::FaultVerdict verdict, std::uint64_t cycle,
+                      std::uint64_t word_addr) noexcept;
+
+  // Registers the fault counters under "fault." and starts emitting
+  // kFaultInject events. Either pointer may be null.
+  void attach_observability(obs::StatRegistry* registry,
+                            obs::EventTrace* trace);
 
   [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
   [[nodiscard]] FaultModel model() const noexcept { return model_; }
@@ -60,6 +86,7 @@ class FaultInjector {
   FaultStats stats_;
   std::uint32_t direct_bit_ = 0;   // fixed column for kDirect
   std::uint32_t direct_byte_ = 0;  // fixed byte offset for kDirect
+  obs::EventTrace* trace_ = nullptr;
 };
 
 }  // namespace icr::fault

@@ -1,0 +1,121 @@
+#include "src/obs/event_trace.h"
+
+namespace icr::obs {
+
+const char* to_string(EventCategory category) noexcept {
+  switch (category) {
+    case EventCategory::kReplication:
+      return "replication";
+    case EventCategory::kEviction:
+      return "eviction";
+    case EventCategory::kFault:
+      return "fault";
+    case EventCategory::kDecay:
+      return "decay";
+  }
+  return "?";
+}
+
+std::uint32_t parse_category_list(const std::string& list) {
+  std::uint32_t mask = 0;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    if (comma > start) {
+      const std::string item = list.substr(start, comma - start);
+      if (item == "all") {
+        mask |= kAllCategories;
+      } else {
+        bool known = false;
+        for (const EventCategory c :
+             {EventCategory::kReplication, EventCategory::kEviction,
+              EventCategory::kFault, EventCategory::kDecay}) {
+          if (item == to_string(c)) {
+            mask |= category_bit(c);
+            known = true;
+          }
+        }
+        if (!known) return 0;
+      }
+    }
+    start = comma + 1;
+  }
+  return mask;
+}
+
+const char* to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kReplicationAttempt:
+      return "attempt";
+    case EventKind::kReplicaCreate:
+      return "replica_create";
+    case EventKind::kReplicaEvict:
+      return "replica_evict";
+    case EventKind::kDeadBlockRecycle:
+      return "dead_recycle";
+    case EventKind::kFaultInject:
+      return "inject";
+    case EventKind::kFaultVerdict:
+      return "verdict";
+  }
+  return "?";
+}
+
+EventCategory category_of(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kReplicationAttempt:
+    case EventKind::kReplicaCreate:
+      return EventCategory::kReplication;
+    case EventKind::kReplicaEvict:
+      return EventCategory::kEviction;
+    case EventKind::kDeadBlockRecycle:
+      return EventCategory::kDecay;
+    case EventKind::kFaultInject:
+    case EventKind::kFaultVerdict:
+      return EventCategory::kFault;
+  }
+  return EventCategory::kReplication;
+}
+
+const char* to_string(FaultVerdict verdict) noexcept {
+  switch (verdict) {
+    case FaultVerdict::kCorrected:
+      return "corrected";
+    case FaultVerdict::kReplicaRecovered:
+      return "replica_recovered";
+    case FaultVerdict::kDetectedUncorrectable:
+      return "detected_uncorrectable";
+    case FaultVerdict::kSilent:
+      return "silent";
+  }
+  return "?";
+}
+
+EventTrace::EventTrace(std::uint32_t category_mask, std::size_t capacity)
+    : mask_(category_mask), capacity_(capacity == 0 ? 1 : capacity) {}
+
+void EventTrace::emit(EventKind kind, std::uint64_t cycle, std::uint64_t a0,
+                      std::uint64_t a1, std::uint64_t a2) {
+  ++emitted_;
+  const TraceEvent event{cycle, kind, a0, a1, a2};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+    return;
+  }
+  ring_[head_] = event;
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> EventTrace::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // `head_` is the oldest retained event once the ring has wrapped.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+}  // namespace icr::obs

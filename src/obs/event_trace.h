@@ -1,0 +1,116 @@
+// Bounded structured event tracing.
+//
+// Components emit typed events (replication attempts, replica evictions,
+// fault injections and verdicts, dead-block recycling) into a ring buffer
+// that keeps the most recent `capacity` events; older events are overwritten
+// and counted in `dropped()`. Emission is filterable by category at the
+// source: a component checks `wants(category)` (one branch on a pointer it
+// already holds) before building the event, so a detached or filtered
+// tracer costs a single predictable-false branch on the hot path.
+//
+// Serialization to NDJSON lives in obs_io.h; the schema is documented in
+// docs/OBSERVABILITY.md and locked by golden tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace icr::obs {
+
+enum class EventCategory : std::uint8_t {
+  kReplication = 0,
+  kEviction = 1,
+  kFault = 2,
+  kDecay = 3,
+};
+
+[[nodiscard]] constexpr std::uint32_t category_bit(EventCategory c) noexcept {
+  return 1u << static_cast<std::uint32_t>(c);
+}
+
+inline constexpr std::uint32_t kAllCategories = 0xF;
+
+[[nodiscard]] const char* to_string(EventCategory category) noexcept;
+
+// Parses a comma-separated category list ("replication,fault", or "all").
+// Returns 0 when any element is unknown — callers treat 0 as an error.
+[[nodiscard]] std::uint32_t parse_category_list(const std::string& list);
+
+// Event types. The a0/a1/a2 payload meaning is per-kind; obs_io.h maps each
+// kind to named NDJSON fields:
+//   kReplicationAttempt — a0 = block address, a1 = replicas created,
+//                         a2 = replica target
+//   kReplicaCreate      — a0 = block address, a1 = set, a2 = site distance
+//   kReplicaEvict       — a0 = block address, a1 = set
+//   kDeadBlockRecycle   — a0 = displaced block, a1 = set, a2 = idle cycles
+//                         since the block's last access (its decay-window
+//                         expiry, observed at recycle time)
+//   kFaultInject        — a0 = set, a1 = way, a2 = bits flipped
+//   kFaultVerdict       — a0 = word address, a1 = FaultVerdict
+enum class EventKind : std::uint8_t {
+  kReplicationAttempt = 0,
+  kReplicaCreate = 1,
+  kReplicaEvict = 2,
+  kDeadBlockRecycle = 3,
+  kFaultInject = 4,
+  kFaultVerdict = 5,
+};
+
+[[nodiscard]] const char* to_string(EventKind kind) noexcept;
+[[nodiscard]] EventCategory category_of(EventKind kind) noexcept;
+
+// Load-observed outcome of an injected fault (the "verdict"). Defined here
+// (not in src/fault) so the tracer can name outcomes without depending on
+// the fault layer; FaultInjector adopts this enum in its API.
+enum class FaultVerdict : std::uint8_t {
+  kCorrected = 0,              // ECC, L2 refetch, or R-Cache supplied the word
+  kReplicaRecovered = 1,       // a clean ICR replica supplied the word
+  kDetectedUncorrectable = 2,  // error signalled, data lost
+  kSilent = 3,                 // wrong value delivered with no error signal
+};
+
+[[nodiscard]] const char* to_string(FaultVerdict verdict) noexcept;
+
+struct TraceEvent {
+  std::uint64_t cycle = 0;
+  EventKind kind = EventKind::kReplicationAttempt;
+  std::uint64_t a0 = 0;
+  std::uint64_t a1 = 0;
+  std::uint64_t a2 = 0;
+};
+
+class EventTrace {
+ public:
+  explicit EventTrace(std::uint32_t category_mask = kAllCategories,
+                      std::size_t capacity = std::size_t{1} << 18);
+
+  [[nodiscard]] bool wants(EventCategory category) const noexcept {
+    return (mask_ & category_bit(category)) != 0;
+  }
+  [[nodiscard]] std::uint32_t mask() const noexcept { return mask_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  // Appends one event; when the ring is full the oldest event is
+  // overwritten and counted as dropped.
+  void emit(EventKind kind, std::uint64_t cycle, std::uint64_t a0 = 0,
+            std::uint64_t a1 = 0, std::uint64_t a2 = 0);
+
+  // Retained events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  // Total events offered to emit() (retained + dropped).
+  [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
+  // Events overwritten by ring wrap-around.
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  std::uint32_t mask_;
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;  // grows lazily up to capacity_
+  std::size_t head_ = 0;          // next write position once full
+  std::uint64_t emitted_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace icr::obs

@@ -1,0 +1,40 @@
+#include "src/obs/interval_sampler.h"
+
+namespace icr::obs {
+
+IntervalSampler::IntervalSampler(const StatRegistry& registry,
+                                 std::uint64_t interval_instructions)
+    : registry_(registry) {
+  series_.interval_instructions =
+      interval_instructions == 0 ? kDefaultStatsInterval
+                                 : interval_instructions;
+}
+
+void IntervalSampler::set_occupancy_probe(
+    std::function<std::vector<std::uint32_t>()> probe) {
+  occupancy_probe_ = std::move(probe);
+}
+
+void IntervalSampler::record_baseline(std::uint64_t instructions,
+                                      std::uint64_t cycles) {
+  series_.counter_names = registry_.counter_names();
+  series_.gauge_names = registry_.gauge_names();
+  sample(instructions, cycles);
+  if (!series_.samples.empty() &&
+      !series_.samples.front().occupancy.empty()) {
+    series_.occupancy_sets = static_cast<std::uint32_t>(
+        series_.samples.front().occupancy.size());
+  }
+}
+
+void IntervalSampler::sample(std::uint64_t instructions, std::uint64_t cycles) {
+  IntervalSeries::Sample s;
+  s.instructions = instructions;
+  s.cycles = cycles;
+  s.counters = registry_.snapshot_counters();
+  s.gauges = registry_.snapshot_gauges();
+  if (occupancy_probe_) s.occupancy = occupancy_probe_();
+  series_.samples.push_back(std::move(s));
+}
+
+}  // namespace icr::obs

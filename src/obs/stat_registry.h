@@ -1,0 +1,113 @@
+// Hierarchically named telemetry registry (observability layer, leaf
+// dependency — nothing in src/obs depends on the simulator).
+//
+// Components register three kinds of instruments once, at wiring time:
+//
+//   * Counters — named *views* over component-owned `std::uint64_t` fields.
+//     The hot path keeps its plain unguarded increments; the registry only
+//     reads through the pointer when a snapshot is taken, so attaching a
+//     registry adds zero work per simulated event.
+//   * Gauges — point-in-time values evaluated lazily at snapshot time
+//     (e.g. resident replicas), allowed to be O(structure) scans.
+//   * Log2 histograms — owned by the registry, recorded into via a stable
+//     pointer; a plain array increment per record, no locks.
+//
+// Each campaign cell owns its registry (cells share no mutable state), so
+// no synchronization is needed anywhere; thread-safety for campaigns comes
+// from cell isolation, exactly as for the simulators themselves.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace icr::obs {
+
+// Power-of-two-bucketed histogram of 64-bit values:
+//   bucket 0                  — value 0
+//   bucket 1 + k (k in 0..31) — floor(log2(value)) == k, i.e. value in
+//                               [2^k, 2^(k+1))
+//   bucket 33 (overflow)      — value >= 2^32
+class Log2Histogram {
+ public:
+  static constexpr std::uint32_t kValueBuckets = 32;
+  static constexpr std::uint32_t kBuckets = kValueBuckets + 2;  // zero+overflow
+  static constexpr std::uint32_t kOverflowBucket = kBuckets - 1;
+
+  // Index of the bucket `value` falls into (see the mapping above).
+  [[nodiscard]] static std::uint32_t bucket_index(std::uint64_t value) noexcept;
+  // Smallest value belonging to `bucket` (0, 1, 2, 4, ..., 2^31, 2^32).
+  [[nodiscard]] static std::uint64_t bucket_lower_bound(
+      std::uint32_t bucket) noexcept;
+
+  void record(std::uint64_t value) noexcept {
+    ++buckets_[bucket_index(value)];
+    ++total_;
+  }
+
+  [[nodiscard]] std::uint64_t bucket(std::uint32_t index) const noexcept {
+    return buckets_[index];
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  // Element-wise sum; merging campaign-cell histograms into one.
+  void merge(const Log2Histogram& other) noexcept;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t total_ = 0;
+};
+
+class StatRegistry {
+ public:
+  using GaugeFn = std::function<std::uint64_t()>;
+
+  // Registers a named view over a component-owned counter. `source` must
+  // stay valid for as long as snapshots are taken. Names are hierarchical
+  // by convention ("dl1.replication.successes"); registration order is the
+  // export order.
+  void register_counter(std::string name, const std::uint64_t* source);
+
+  // Registers a gauge evaluated at each snapshot.
+  void register_gauge(std::string name, GaugeFn fn);
+
+  // Returns a stable pointer to a registry-owned histogram, creating it on
+  // first use (idempotent by name).
+  [[nodiscard]] Log2Histogram* histogram(const std::string& name);
+
+  [[nodiscard]] const std::vector<std::string>& counter_names() const noexcept {
+    return counter_names_;
+  }
+  [[nodiscard]] const std::vector<std::string>& gauge_names() const noexcept {
+    return gauge_names_;
+  }
+  [[nodiscard]] const std::vector<std::string>& histogram_names()
+      const noexcept {
+    return histogram_names_;
+  }
+
+  // Current counter values in registration order.
+  [[nodiscard]] std::vector<std::uint64_t> snapshot_counters() const;
+  // Current gauge values in registration order.
+  [[nodiscard]] std::vector<std::uint64_t> snapshot_gauges() const;
+
+  // Value of one counter by name; 0 when the name is unknown.
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+  // Histogram by name; nullptr when the name is unknown.
+  [[nodiscard]] const Log2Histogram* find_histogram(
+      std::string_view name) const;
+
+ private:
+  std::vector<std::string> counter_names_;
+  std::vector<const std::uint64_t*> counter_sources_;
+  std::vector<std::string> gauge_names_;
+  std::vector<GaugeFn> gauge_fns_;
+  std::vector<std::string> histogram_names_;
+  std::vector<std::unique_ptr<Log2Histogram>> histograms_;
+};
+
+}  // namespace icr::obs

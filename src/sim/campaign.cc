@@ -1,7 +1,10 @@
 #include "src/sim/campaign.h"
 
+#include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 #include "src/sim/simulator.h"
 #include "src/util/rng.h"
@@ -64,12 +67,79 @@ CellResult run_cell(const CampaignSpec& spec, std::size_t variant_idx,
   }
 
   Simulator simulator(config, variant.scheme, std::move(profile));
+  if (spec.obs.any()) simulator.enable_observability(spec.obs);
   cell.result = simulator.run(instructions);
   cell.result.scheme = variant.label;
+  if (spec.obs.any()) {
+    cell.obs = std::make_unique<obs::CellObservability>(
+        simulator.collect_observability());
+  }
   return cell;
 }
 
+// Thread-safe campaign progress reporter. Workers call note() after each
+// finished cell; the completion counter is lock-free, and only the (rate
+// limited) printing takes a mutex.
+class ProgressReporter {
+ public:
+  ProgressReporter(const ProgressOptions& options, std::size_t total)
+      : options_(options),
+        total_(total),
+        start_(std::chrono::steady_clock::now()),
+        last_print_(start_) {}
+
+  std::size_t note() {
+    const std::size_t done = completed_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (!options_.enabled) return done;
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::chrono::duration<double> since_print = now - last_print_;
+    const bool final_cell = done == total_;
+    if (since_print.count() < options_.min_interval_seconds &&
+        !(final_cell && printed_)) {
+      return done;
+    }
+    const std::chrono::duration<double> elapsed = now - start_;
+    const double rate =
+        elapsed.count() > 0.0 ? static_cast<double>(done) / elapsed.count()
+                              : 0.0;
+    const double eta =
+        rate > 0.0 ? static_cast<double>(total_ - done) / rate : 0.0;
+    std::fprintf(stderr,
+                 "campaign: %zu/%zu cells (%.1f%%)  %.2f cells/s  ETA %.0fs\n",
+                 done, total_, 100.0 * static_cast<double>(done) /
+                                   static_cast<double>(total_ == 0 ? 1 : total_),
+                 rate, eta);
+    last_print_ = now;
+    printed_ = true;
+    return done;
+  }
+
+  [[nodiscard]] std::size_t completed() const noexcept {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  ProgressOptions options_;
+  std::size_t total_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_print_;
+  std::atomic<std::size_t> completed_{0};
+  std::mutex mutex_;
+  bool printed_ = false;
+};
+
+std::atomic<bool> g_default_progress_enabled{false};
+
 }  // namespace
+
+void CampaignRunner::set_default_progress_enabled(bool enabled) noexcept {
+  g_default_progress_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool CampaignRunner::default_progress_enabled() noexcept {
+  return g_default_progress_enabled.load(std::memory_order_relaxed);
+}
 
 std::uint64_t derive_cell_seed(std::uint64_t base_seed,
                                std::size_t variant_idx, std::size_t app_idx,
@@ -146,12 +216,14 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
       static_cast<unsigned>(std::min<std::size_t>(threads_, total == 0 ? 1 : total));
   result.meta.threads = threads;
 
+  ProgressReporter reporter(progress_, total);
   auto run_index = [&](std::size_t index) {
     const std::size_t variant_idx = index / (apps * trials);
     const std::size_t app_idx = (index / trials) % apps;
     const std::size_t trial_idx = index % trials;
     result.cells[index] =
         run_cell(spec, variant_idx, app_idx, trial_idx, instructions);
+    reporter.note();
   };
 
   if (threads <= 1 || total <= 1) {
@@ -165,6 +237,7 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
 
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
+  result.meta.completed_cells = reporter.completed();
   result.meta.wall_seconds = elapsed.count();
   result.meta.cells_per_second =
       elapsed.count() > 0.0 ? static_cast<double>(total) / elapsed.count()

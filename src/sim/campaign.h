@@ -18,9 +18,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/obs/observability.h"
 #include "src/sim/experiment.h"
 
 namespace icr::sim {
@@ -48,6 +50,12 @@ struct CampaignSpec {
   // results are unchanged.
   bool derive_seeds = false;
 
+  // Per-cell observability (interval telemetry / event tracing). Each cell
+  // owns its own registry/sampler/trace — no cross-thread sharing — and the
+  // options are deliberately excluded from campaign_config_hash: turning
+  // telemetry on never changes the experiment (guarded by tier-1 test).
+  obs::ObsOptions obs;
+
   [[nodiscard]] std::size_t cell_count() const noexcept {
     return variants.size() * apps.size() * trials;
   }
@@ -64,6 +72,8 @@ struct CampaignCell {
 struct CellResult {
   CampaignCell cell;
   RunResult result;
+  // Telemetry extract; null when the spec's ObsOptions asked for nothing.
+  std::unique_ptr<obs::CellObservability> obs;
 };
 
 // Campaign-level metadata exported alongside the cells (results_io.h).
@@ -73,6 +83,7 @@ struct CampaignMeta {
   std::uint64_t instructions = 0;
   std::uint32_t trials = 1;
   unsigned threads = 1;
+  std::uint64_t completed_cells = 0;
   double wall_seconds = 0.0;
   double cells_per_second = 0.0;
 };
@@ -101,13 +112,38 @@ struct CampaignResult {
 // campaigns with equal hashes ran the same experiment.
 [[nodiscard]] std::uint64_t campaign_config_hash(const CampaignSpec& spec);
 
+// Live progress reporting for long campaigns. Printing happens on the
+// worker that finished a cell, under a mutex, at most once per
+// `min_interval_seconds` — short campaigns therefore stay silent.
+struct ProgressOptions {
+  bool enabled = false;
+  double min_interval_seconds = 1.0;
+};
+
 class CampaignRunner {
  public:
   // threads == 0 defers to resolve_thread_count().
   explicit CampaignRunner(unsigned threads = 0)
-      : threads_(resolve_thread_count(threads)) {}
+      : threads_(resolve_thread_count(threads)) {
+    progress_.enabled = default_progress_enabled();
+  }
 
   [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+
+  CampaignRunner& with_progress(const ProgressOptions& options) {
+    progress_ = options;
+    return *this;
+  }
+  [[nodiscard]] const ProgressOptions& progress() const noexcept {
+    return progress_;
+  }
+
+  // Process-wide default for newly constructed runners. The bench binaries
+  // flip this from bench::init() (--quiet turns it back off) so every
+  // campaign they run reports progress without plumbing options through
+  // each figure.
+  static void set_default_progress_enabled(bool enabled) noexcept;
+  [[nodiscard]] static bool default_progress_enabled() noexcept;
 
   // Runs every cell of the grid (possibly concurrently) and returns the
   // results in deterministic grid order.
@@ -115,6 +151,7 @@ class CampaignRunner {
 
  private:
   unsigned threads_;
+  ProgressOptions progress_;
 };
 
 }  // namespace icr::sim

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "src/obs/obs_io.h"
+
 namespace icr::sim {
 namespace {
 
@@ -71,6 +73,10 @@ const std::vector<std::string>& metric_columns() {
       "scrub_corrections",
       "fault_injections",
       "fault_bits_flipped",
+      "fault_corrected",
+      "fault_replica_recovered",
+      "fault_detected_uncorrectable",
+      "fault_silent",
       "l1i_miss_rate",
       "l2_miss_rate",
       "branch_mispredict_rate",
@@ -104,6 +110,10 @@ std::vector<double> metric_values(const RunResult& r) {
       static_cast<double>(r.dl1.scrub_corrections),
       static_cast<double>(r.faults.injections),
       static_cast<double>(r.faults.bits_flipped),
+      static_cast<double>(r.faults.corrected),
+      static_cast<double>(r.faults.replica_recovered),
+      static_cast<double>(r.faults.detected_uncorrectable),
+      static_cast<double>(r.faults.silent),
       r.l1i.miss_rate(),
       r.l2.miss_rate(),
       r.branch.mispredict_rate(),
@@ -145,6 +155,8 @@ std::string to_json(const CampaignResult& campaign, bool include_timing) {
   out += "    \"cells\": " + std::to_string(campaign.cells.size());
   if (include_timing) {
     out += ",\n    \"threads\": " + std::to_string(meta.threads) + ",\n";
+    out += "    \"completed_cells\": " + std::to_string(meta.completed_cells) +
+           ",\n";
     out += "    \"wall_seconds\": " + format_value(meta.wall_seconds) + ",\n";
     out +=
         "    \"cells_per_second\": " + format_value(meta.cells_per_second);
@@ -167,6 +179,48 @@ std::string to_json(const CampaignResult& campaign, bool include_timing) {
     out += '\n';
   }
   out += "  ]\n}\n";
+  return out;
+}
+
+namespace {
+
+obs::CellTag tag_of(const CellResult& cell) {
+  return obs::CellTag{cell.result.scheme, cell.result.app,
+                      cell.cell.trial_idx};
+}
+
+}  // namespace
+
+std::string intervals_to_csv(const CampaignResult& campaign) {
+  std::string out;
+  for (const CellResult& cell : campaign.cells) {
+    if (cell.obs == nullptr || cell.obs->intervals.samples.empty()) continue;
+    if (out.empty()) out = obs::intervals_csv_header(cell.obs->intervals);
+    obs::append_intervals_csv_rows(out, cell.obs->intervals, tag_of(cell));
+  }
+  return out;
+}
+
+std::string occupancy_to_csv(const CampaignResult& campaign) {
+  std::string out;
+  for (const CellResult& cell : campaign.cells) {
+    if (cell.obs == nullptr || cell.obs->intervals.occupancy_sets == 0) {
+      continue;
+    }
+    if (out.empty()) {
+      out = obs::occupancy_csv_header(cell.obs->intervals.occupancy_sets);
+    }
+    obs::append_occupancy_csv_rows(out, cell.obs->intervals, tag_of(cell));
+  }
+  return out;
+}
+
+std::string trace_to_ndjson(const CampaignResult& campaign) {
+  std::string out;
+  for (const CellResult& cell : campaign.cells) {
+    if (cell.obs == nullptr) continue;
+    obs::append_ndjson(out, cell.obs->events, tag_of(cell));
+  }
   return out;
 }
 

@@ -32,6 +32,12 @@ namespace icr::sim {
 [[nodiscard]] std::string to_json(const CampaignResult& campaign,
                                   bool include_timing = true);
 
+// Observability exports over every cell that recorded telemetry (cells
+// without it are skipped). Schemas live in src/obs/obs_io.h.
+[[nodiscard]] std::string intervals_to_csv(const CampaignResult& campaign);
+[[nodiscard]] std::string occupancy_to_csv(const CampaignResult& campaign);
+[[nodiscard]] std::string trace_to_ndjson(const CampaignResult& campaign);
+
 // Writes `text` to `path`, overwriting; throws std::runtime_error on I/O
 // failure so campaign CLIs fail loudly instead of dropping results.
 void write_text_file(const std::string& path, const std::string& text);

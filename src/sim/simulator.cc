@@ -1,5 +1,7 @@
 #include "src/sim/simulator.h"
 
+#include <algorithm>
+
 namespace icr::sim {
 
 Simulator::Simulator(SimConfig config, core::Scheme scheme,
@@ -21,9 +23,66 @@ Simulator::Simulator(SimConfig config, core::Scheme scheme,
       config_.pipeline, *workload_, *dl1_, *hierarchy_, injector_.get());
 }
 
+void Simulator::enable_observability(const obs::ObsOptions& options) {
+  if (!options.any() || obs_ != nullptr) return;
+  obs_ = std::make_unique<obs::Observability>();
+  if (options.trace_categories != 0) {
+    obs_->trace = std::make_unique<obs::EventTrace>(options.trace_categories,
+                                                    options.trace_capacity);
+  }
+  dl1_->attach_observability(&obs_->registry, obs_->trace.get());
+  if (injector_ != nullptr) {
+    injector_->attach_observability(&obs_->registry, obs_->trace.get());
+  }
+  pipeline_->attach_observability(&obs_->registry);
+  obs_->registry.register_counter("l1i.accesses",
+                                  &hierarchy_->l1i().stats().accesses);
+  obs_->registry.register_counter("l1i.misses",
+                                  &hierarchy_->l1i().stats().misses);
+  obs_->registry.register_counter("l2.accesses",
+                                  &hierarchy_->l2().stats().accesses);
+  obs_->registry.register_counter("l2.misses",
+                                  &hierarchy_->l2().stats().misses);
+  if (options.stats_interval != 0) {
+    obs_->sampler = std::make_unique<obs::IntervalSampler>(
+        obs_->registry, options.stats_interval);
+    obs_->sampler->set_occupancy_probe(
+        [this] { return dl1_->replica_occupancy(); });
+    obs_->sampler->record_baseline(pipeline_->stats().committed,
+                                   pipeline_->cycle());
+  }
+}
+
 RunResult Simulator::run(std::uint64_t instructions) {
+  if (obs_ != nullptr && obs_->sampler != nullptr) {
+    // Run in sampling-interval chunks. Targets are absolute so the commit
+    // stage's overshoot (up to commit_width-1 per chunk) never accumulates:
+    // the chunked execution commits the same instruction stream, cycle for
+    // cycle, as a single pipeline_->run(instructions) call.
+    const std::uint64_t interval = obs_->sampler->interval_instructions();
+    const std::uint64_t target = pipeline_->stats().committed + instructions;
+    while (pipeline_->stats().committed < target) {
+      const std::uint64_t next =
+          std::min(pipeline_->stats().committed + interval, target);
+      pipeline_->run(next - pipeline_->stats().committed);
+      obs_->sampler->sample(pipeline_->stats().committed, pipeline_->cycle());
+    }
+    return result();
+  }
   pipeline_->run(instructions);
   return result();
+}
+
+obs::CellObservability Simulator::collect_observability() const {
+  obs::CellObservability cell;
+  if (obs_ == nullptr) return cell;
+  if (obs_->sampler != nullptr) cell.intervals = obs_->sampler->series();
+  if (obs_->trace != nullptr) {
+    cell.events = obs_->trace->events();
+    cell.trace_emitted = obs_->trace->emitted();
+    cell.trace_dropped = obs_->trace->dropped();
+  }
+  return cell;
 }
 
 RunResult Simulator::result() const {

@@ -11,6 +11,7 @@
 #include "src/cpu/pipeline.h"
 #include "src/fault/fault_injector.h"
 #include "src/mem/memory_hierarchy.h"
+#include "src/obs/observability.h"
 #include "src/sim/config.h"
 #include "src/sim/metrics.h"
 #include "src/trace/workloads.h"
@@ -37,6 +38,22 @@ class Simulator {
   // Snapshot of all metrics without running further.
   [[nodiscard]] RunResult result() const;
 
+  // Turns on interval telemetry and/or event tracing. Call before the first
+  // run(): the baseline sample is recorded here. No-op when `options` asks
+  // for nothing. Enabling observability never changes simulated behaviour —
+  // run() merely executes in sampling-interval chunks, which is
+  // bit-identical to one uninterrupted run (guarded by tier-1 test).
+  void enable_observability(const obs::ObsOptions& options);
+
+  // Live observability state; null until enable_observability.
+  [[nodiscard]] obs::Observability* observability() noexcept {
+    return obs_.get();
+  }
+
+  // Plain-data copy of the recorded telemetry (series + retained events),
+  // safe to keep after this simulator is destroyed.
+  [[nodiscard]] obs::CellObservability collect_observability() const;
+
  private:
   SimConfig config_;
   core::Scheme scheme_;
@@ -47,6 +64,7 @@ class Simulator {
   std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<cpu::Pipeline> pipeline_;
   std::string app_name_;
+  std::unique_ptr<obs::Observability> obs_;
 };
 
 }  // namespace icr::sim

@@ -1,0 +1,255 @@
+// icr_report — renders observability exports as human-readable tables.
+//
+// Consumes the files written by icr_sim / run_campaign:
+//
+//   icr_report intervals.csv            per-cell summary + phase tables
+//   icr_report --heatmap occupancy.csv  ASCII replica-occupancy heatmap
+//
+// The interval CSV schema is documented in src/obs/obs_io.h and
+// docs/OBSERVABILITY.md; this tool only relies on named header columns, so
+// it keeps working when new counters are added to the registry.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/obs/obs_io.h"
+#include "src/util/table.h"
+
+using namespace icr;
+
+namespace {
+
+struct Csv {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+};
+
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) comma = line.size();
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return fields;
+}
+
+Csv read_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "icr_report: cannot open '%s'\n", path.c_str());
+    std::exit(2);
+  }
+  Csv csv;
+  std::string line;
+  if (std::getline(in, line)) csv.columns = split_line(line);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    csv.rows.push_back(split_line(line));
+  }
+  return csv;
+}
+
+std::size_t column_index(const Csv& csv, const char* name) {
+  for (std::size_t i = 0; i < csv.columns.size(); ++i) {
+    if (csv.columns[i] == name) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+std::size_t require_column(const Csv& csv, const char* name,
+                           const char* path) {
+  const std::size_t idx = column_index(csv, name);
+  if (idx == static_cast<std::size_t>(-1)) {
+    std::fprintf(stderr, "icr_report: '%s' has no '%s' column\n", path, name);
+    std::exit(2);
+  }
+  return idx;
+}
+
+double field_double(const std::vector<std::string>& row, std::size_t idx) {
+  if (idx == static_cast<std::size_t>(-1) || idx >= row.size()) return 0.0;
+  return std::atof(row[idx].c_str());
+}
+
+// Cell key in first-appearance order: "variant,app,trial" verbatim.
+std::vector<std::pair<std::string, std::vector<std::size_t>>> group_cells(
+    const Csv& csv) {
+  std::vector<std::pair<std::string, std::vector<std::size_t>>> groups;
+  std::map<std::string, std::size_t> index;
+  for (std::size_t r = 0; r < csv.rows.size(); ++r) {
+    const auto& row = csv.rows[r];
+    if (row.size() < 3) continue;
+    const std::string key = row[0] + " / " + row[1] + " / trial " + row[2];
+    auto it = index.find(key);
+    if (it == index.end()) {
+      it = index.emplace(key, groups.size()).first;
+      groups.emplace_back(key, std::vector<std::size_t>{});
+    }
+    groups[it->second].second.push_back(r);
+  }
+  return groups;
+}
+
+int report_intervals(const std::string& path) {
+  const Csv csv = read_csv(path);
+  struct Cols {
+    std::size_t instr_end, d_instructions, d_cycles, ipc, miss_rate,
+        replication_ability, d_loads, d_stores, d_opportunities;
+  };
+  const Cols c = {
+      require_column(csv, "instr_end", path.c_str()),
+      require_column(csv, "d_instructions", path.c_str()),
+      require_column(csv, "d_cycles", path.c_str()),
+      require_column(csv, "ipc", path.c_str()),
+      require_column(csv, "dl1_miss_rate", path.c_str()),
+      require_column(csv, "replication_ability", path.c_str()),
+      column_index(csv, "d_dl1.loads"),
+      column_index(csv, "d_dl1.stores"),
+      column_index(csv, "d_dl1.replication.opportunities"),
+  };
+
+  const auto groups = group_cells(csv);
+  if (groups.empty()) {
+    std::printf("no interval rows in %s\n", path.c_str());
+    return 0;
+  }
+
+  for (const auto& [key, row_indices] : groups) {
+    std::vector<obs::IntervalPoint> pts;
+    pts.reserve(row_indices.size());
+    for (const std::size_t r : row_indices) {
+      const auto& row = csv.rows[r];
+      obs::IntervalPoint p;
+      p.instr_end = field_double(row, c.instr_end);
+      p.d_instructions = field_double(row, c.d_instructions);
+      p.d_cycles = field_double(row, c.d_cycles);
+      p.ipc = field_double(row, c.ipc);
+      p.miss_rate = field_double(row, c.miss_rate);
+      p.miss_weight =
+          field_double(row, c.d_loads) + field_double(row, c.d_stores);
+      p.replication_ability = field_double(row, c.replication_ability);
+      p.replication_weight = field_double(row, c.d_opportunities);
+      pts.push_back(p);
+    }
+
+    const obs::IntervalSummary s = obs::summarize(pts);
+    TextTable t(key + " — " + std::to_string(s.intervals) + " intervals",
+                {"metric", "mean", "peak", "final"});
+    t.add_row({"dL1 miss rate", format_double(s.mean_miss_rate, 4),
+               format_double(s.peak_miss_rate, 4),
+               format_double(s.final_miss_rate, 4)});
+    t.add_row({"replication ability",
+               format_double(s.mean_replication_ability, 3),
+               format_double(s.peak_replication_ability, 3),
+               format_double(s.final_replication_ability, 3)});
+    t.add_row({"IPC", format_double(s.mean_ipc, 3), "-", "-"});
+    t.print();
+
+    const auto phases = obs::segment_phases(pts);
+    TextTable p(key + " — phases (miss-rate segmentation)",
+                {"phase", "intervals", "instr span", "miss rate",
+                 "repl ability", "IPC"});
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+      const obs::Phase& ph = phases[i];
+      const double span_begin =
+          pts[ph.first_interval].instr_end - pts[ph.first_interval].d_instructions;
+      const double span_end = pts[ph.last_interval].instr_end;
+      char span[48];
+      std::snprintf(span, sizeof span, "%.0f..%.0f", span_begin, span_end);
+      p.add_row({std::to_string(i),
+                 std::to_string(ph.first_interval) + ".." +
+                     std::to_string(ph.last_interval),
+                 span, format_double(ph.mean_miss_rate, 4),
+                 format_double(ph.mean_replication_ability, 3),
+                 format_double(ph.mean_ipc, 3)});
+    }
+    p.print();
+  }
+  return 0;
+}
+
+int report_heatmap(const std::string& path) {
+  const Csv csv = read_csv(path);
+  const std::size_t instr_idx = require_column(csv, "instr_end", path.c_str());
+  const std::size_t first_set = require_column(csv, "set_0", path.c_str());
+  const std::size_t sets = csv.columns.size() - first_set;
+
+  static const char kShades[] = " .:-=+*#%@";
+  const auto groups = group_cells(csv);
+  if (groups.empty()) {
+    std::printf("no occupancy rows in %s\n", path.c_str());
+    return 0;
+  }
+
+  for (const auto& [key, row_indices] : groups) {
+    double peak = 0.0;
+    for (const std::size_t r : row_indices) {
+      for (std::size_t s = 0; s < sets; ++s) {
+        peak = std::max(peak, field_double(csv.rows[r], first_set + s));
+      }
+    }
+    std::printf("\n%s — replica occupancy, %zu sets x %zu intervals, peak "
+                "%.0f replicas/set (scale '%s')\n",
+                key.c_str(), sets, row_indices.size(), peak, kShades);
+    for (const std::size_t r : row_indices) {
+      std::string line;
+      line.reserve(sets);
+      for (std::size_t s = 0; s < sets; ++s) {
+        const double v = field_double(csv.rows[r], first_set + s);
+        std::size_t shade = 0;
+        if (peak > 0.0) {
+          shade = static_cast<std::size_t>(v / peak * 9.0 + 0.5);
+          if (shade > 9) shade = 9;
+        }
+        line += kShades[shade];
+      }
+      std::printf("%12.0f |%s|\n", field_double(csv.rows[r], instr_idx),
+                  line.c_str());
+    }
+  }
+  return 0;
+}
+
+void usage() {
+  std::puts(
+      "icr_report — render observability CSVs as text tables\n"
+      "  icr_report [--intervals] FILE   per-cell summary + phase tables\n"
+      "  icr_report --heatmap FILE       ASCII replica-occupancy heatmap\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool heatmap = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--heatmap") == 0) {
+      heatmap = true;
+    } else if (std::strcmp(argv[i], "--intervals") == 0) {
+      heatmap = false;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      usage();
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\n\n", argv[i]);
+      usage();
+      return 2;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path.empty()) {
+    usage();
+    return 2;
+  }
+  return heatmap ? report_heatmap(path) : report_intervals(path);
+}

@@ -8,13 +8,17 @@
 //   icr_sim --app=vpr --scheme=BaseECC --fault-prob=1e-4 --fault-model=column
 //   icr_sim --trace=run.icrt --window=1000 --victim=dead-first --csv
 //   icr_sim --record=run.icrt --app=gcc --instructions=200000
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
 
+#include "src/obs/obs_io.h"
 #include "src/sim/experiment.h"
+#include "src/sim/results_io.h"
+#include "src/sim/simulator.h"
 #include "src/trace/trace_file.h"
 #include "src/util/table.h"
 
@@ -36,6 +40,11 @@ struct Options {
   std::string fault_model = "random";
   double fault_prob = 0.0;
   bool csv = false;
+  std::uint64_t stats_interval = 0;  // 0 = off (default when outputs ask)
+  std::string intervals_out;
+  std::string heatmap_out;
+  std::string trace_out;
+  std::string trace_filter = "all";
 };
 
 void usage() {
@@ -53,7 +62,14 @@ void usage() {
       "  --rcache=N            attach an N-entry Kim&Somani R-Cache\n"
       "  --fault-model=M       random|adjacent|column|direct\n"
       "  --fault-prob=P        per-cycle injection probability (default 0)\n"
-      "  --csv                 one CSV row instead of the report\n");
+      "  --csv                 one CSV row instead of the report\n"
+      "  --stats-interval=N    sample telemetry every N instructions\n"
+      "                        (default 100000 when an output below is set)\n"
+      "  --intervals-out=FILE  write the per-interval telemetry CSV\n"
+      "  --heatmap-out=FILE    write the per-set replica occupancy CSV\n"
+      "  --trace-out=FILE      write the NDJSON event trace\n"
+      "  --trace-filter=LIST   categories: replication,eviction,fault,decay\n"
+      "                        or 'all' (default)\n");
 }
 
 bool parse_flag(const char* arg, const char* name, std::string& out) {
@@ -180,6 +196,16 @@ int main(int argc, char** argv) {
       opt.fault_prob = std::atof(value.c_str());
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       opt.csv = true;
+    } else if (parse_flag(argv[i], "--stats-interval", value)) {
+      opt.stats_interval = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--intervals-out", value)) {
+      opt.intervals_out = value;
+    } else if (parse_flag(argv[i], "--heatmap-out", value)) {
+      opt.heatmap_out = value;
+    } else if (parse_flag(argv[i], "--trace-out", value)) {
+      opt.trace_out = value;
+    } else if (parse_flag(argv[i], "--trace-filter", value)) {
+      opt.trace_filter = value;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       usage();
@@ -215,7 +241,23 @@ int main(int argc, char** argv) {
   config.fault_probability = opt.fault_prob;
   config.rcache_entries = opt.rcache;
 
+  obs::ObsOptions obsopt;
+  obsopt.stats_interval = opt.stats_interval;
+  if (obsopt.stats_interval == 0 &&
+      (!opt.intervals_out.empty() || !opt.heatmap_out.empty())) {
+    obsopt.stats_interval = obs::kDefaultStatsInterval;
+  }
+  if (!opt.trace_out.empty()) {
+    obsopt.trace_categories = obs::parse_category_list(opt.trace_filter);
+    if (obsopt.trace_categories == 0) {
+      std::fprintf(stderr, "bad --trace-filter '%s'\n",
+                   opt.trace_filter.c_str());
+      return 2;
+    }
+  }
+
   sim::RunResult result;
+  obs::CellObservability telemetry;
   if (!opt.trace_path.empty()) {
     // Replay path: assemble the system around the recorded trace.
     trace::FileTraceSource source(opt.trace_path);
@@ -234,7 +276,50 @@ int main(int argc, char** argv) {
     }
     cpu::Pipeline pipeline(config.pipeline, source, dl1, hierarchy,
                            injector.get());
-    pipeline.run(instructions);
+
+    // Manual observability wiring (the replay path assembles the system
+    // itself instead of going through sim::Simulator).
+    obs::Observability observability;
+    std::unique_ptr<obs::IntervalSampler> sampler;
+    if (obsopt.any()) {
+      if (obsopt.trace_categories != 0) {
+        observability.trace = std::make_unique<obs::EventTrace>(
+            obsopt.trace_categories, obsopt.trace_capacity);
+      }
+      dl1.attach_observability(&observability.registry,
+                               observability.trace.get());
+      if (injector != nullptr) {
+        injector->attach_observability(&observability.registry,
+                                       observability.trace.get());
+      }
+      pipeline.attach_observability(&observability.registry);
+      if (obsopt.stats_interval != 0) {
+        sampler = std::make_unique<obs::IntervalSampler>(
+            observability.registry, obsopt.stats_interval);
+        sampler->set_occupancy_probe(
+            [&dl1] { return dl1.replica_occupancy(); });
+        sampler->record_baseline(0, 0);
+      }
+    }
+
+    if (sampler != nullptr) {
+      // Absolute chunk targets: identical commit stream to one plain run.
+      const std::uint64_t interval = sampler->interval_instructions();
+      while (pipeline.stats().committed < instructions) {
+        const std::uint64_t next = std::min(
+            pipeline.stats().committed + interval, instructions);
+        pipeline.run(next - pipeline.stats().committed);
+        sampler->sample(pipeline.stats().committed, pipeline.cycle());
+      }
+    } else {
+      pipeline.run(instructions);
+    }
+    if (sampler != nullptr) telemetry.intervals = sampler->take_series();
+    if (observability.trace != nullptr) {
+      telemetry.events = observability.trace->events();
+      telemetry.trace_emitted = observability.trace->emitted();
+      telemetry.trace_dropped = observability.trace->dropped();
+    }
     result.scheme = scheme.name;
     result.app = opt.trace_path;
     result.instructions = pipeline.stats().committed;
@@ -253,6 +338,12 @@ int main(int argc, char** argv) {
     ev.ecc_computations = result.dl1.ecc_computations;
     result.energy_events = ev;
     result.energy = energy::EnergyModel(config.energy).evaluate(ev);
+  } else if (obsopt.any()) {
+    sim::Simulator simulator(config, scheme,
+                             trace::profile_for(app_by_name(opt.app)));
+    simulator.enable_observability(obsopt);
+    result = simulator.run(instructions);
+    telemetry = simulator.collect_observability();
   } else {
     result =
         sim::run_one(app_by_name(opt.app), scheme, config, instructions);
@@ -262,6 +353,63 @@ int main(int argc, char** argv) {
     print_csv(result);
   } else {
     print_report(result);
+  }
+
+  const obs::CellTag tag{result.scheme, result.app, 0};
+  if (!opt.intervals_out.empty()) {
+    sim::write_text_file(opt.intervals_out,
+                         obs::intervals_to_csv(telemetry.intervals, tag));
+    std::printf("wrote %zu intervals to %s\n",
+                telemetry.intervals.interval_count(),
+                opt.intervals_out.c_str());
+  }
+  if (!opt.heatmap_out.empty()) {
+    sim::write_text_file(opt.heatmap_out,
+                         obs::occupancy_to_csv(telemetry.intervals, tag));
+    std::printf("wrote occupancy heatmap to %s\n", opt.heatmap_out.c_str());
+  }
+  if (!opt.trace_out.empty()) {
+    std::string ndjson;
+    obs::append_ndjson(ndjson, telemetry.events, tag);
+    sim::write_text_file(opt.trace_out, ndjson);
+    std::printf("wrote %zu events to %s (%llu emitted, %llu dropped)\n",
+                telemetry.events.size(), opt.trace_out.c_str(),
+                static_cast<unsigned long long>(telemetry.trace_emitted),
+                static_cast<unsigned long long>(telemetry.trace_dropped));
+  }
+
+  // Inline interval summary when sampling was on but nobody asked for the
+  // raw CSV (and the single-line --csv mode isn't active).
+  if (obsopt.stats_interval != 0 && opt.intervals_out.empty() && !opt.csv) {
+    const auto pts = obs::interval_points(telemetry.intervals);
+    const obs::IntervalSummary s = obs::summarize(pts);
+    TextTable t("interval telemetry (" +
+                    std::to_string(obsopt.stats_interval) + " instr/sample)",
+                {"metric", "mean", "peak", "final"});
+    t.add_row({"dL1 miss rate", format_double(s.mean_miss_rate, 4),
+               format_double(s.peak_miss_rate, 4),
+               format_double(s.final_miss_rate, 4)});
+    t.add_row({"replication ability",
+               format_double(s.mean_replication_ability, 3),
+               format_double(s.peak_replication_ability, 3),
+               format_double(s.final_replication_ability, 3)});
+    t.add_row({"IPC", format_double(s.mean_ipc, 3), "-", "-"});
+    t.print();
+
+    const auto phases = obs::segment_phases(pts);
+    TextTable p("phases (miss-rate segmentation, " +
+                    std::to_string(phases.size()) + " found)",
+                {"phase", "intervals", "miss rate", "repl ability", "IPC"});
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+      const obs::Phase& ph = phases[i];
+      p.add_row({std::to_string(i),
+                 std::to_string(ph.first_interval) + ".." +
+                     std::to_string(ph.last_interval),
+                 format_double(ph.mean_miss_rate, 4),
+                 format_double(ph.mean_replication_ability, 3),
+                 format_double(ph.mean_ipc, 3)});
+    }
+    p.print();
   }
   return 0;
 }

@@ -38,6 +38,12 @@ struct Options {
   std::string csv_path;
   std::string json_path;
   bool quiet = false;
+  bool progress = false;
+  std::uint64_t stats_interval = 0;
+  std::string intervals_out;
+  std::string heatmap_out;
+  std::string trace_out;
+  std::string trace_filter = "all";
 };
 
 void usage() {
@@ -59,6 +65,15 @@ void usage() {
       "  --csv=FILE            write per-cell results as CSV\n"
       "  --json=FILE           write campaign metadata + cells as JSON\n"
       "  --quiet               skip the summary table\n"
+      "  --progress            live completed/total + cells/sec + ETA on "
+      "stderr\n"
+      "  --stats-interval=N    per-cell telemetry every N instructions\n"
+      "                        (implies --intervals-out=intervals.csv)\n"
+      "  --intervals-out=FILE  write all cells' interval telemetry CSV\n"
+      "  --heatmap-out=FILE    write all cells' replica-occupancy CSV\n"
+      "  --trace-out=FILE      write all cells' NDJSON event trace\n"
+      "  --trace-filter=LIST   categories: replication,eviction,fault,decay\n"
+      "                        or 'all' (default)\n"
       "\n"
       "Seeding: trials > 1 (or an explicit --seed) derives each cell's\n"
       "workload and injection seeds via SplitMix64 from (seed, scheme,\n"
@@ -146,6 +161,18 @@ int main(int argc, char** argv) {
       opt.json_path = value;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       opt.quiet = true;
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      opt.progress = true;
+    } else if (parse_flag(argv[i], "--stats-interval", value)) {
+      opt.stats_interval = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--intervals-out", value)) {
+      opt.intervals_out = value;
+    } else if (parse_flag(argv[i], "--heatmap-out", value)) {
+      opt.heatmap_out = value;
+    } else if (parse_flag(argv[i], "--trace-out", value)) {
+      opt.trace_out = value;
+    } else if (parse_flag(argv[i], "--trace-filter", value)) {
+      opt.trace_filter = value;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       usage();
@@ -189,7 +216,32 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const sim::CampaignRunner runner(opt.threads);
+  // Observability: interval sampling and/or event tracing per cell. The
+  // options never enter the campaign config hash — telemetry must not
+  // change any result.
+  if (opt.stats_interval != 0 && opt.intervals_out.empty()) {
+    opt.intervals_out = "intervals.csv";
+  }
+  if (opt.stats_interval == 0 &&
+      (!opt.intervals_out.empty() || !opt.heatmap_out.empty())) {
+    opt.stats_interval = obs::kDefaultStatsInterval;
+  }
+  spec.obs.stats_interval = opt.stats_interval;
+  if (!opt.trace_out.empty()) {
+    spec.obs.trace_categories = obs::parse_category_list(opt.trace_filter);
+    if (spec.obs.trace_categories == 0) {
+      std::fprintf(stderr, "bad --trace-filter '%s'\n",
+                   opt.trace_filter.c_str());
+      return 2;
+    }
+  }
+
+  sim::CampaignRunner runner(opt.threads);
+  if (opt.progress) {
+    sim::ProgressOptions progress;
+    progress.enabled = true;
+    runner.with_progress(progress);
+  }
   std::printf("campaign: %zu scheme(s) x %zu app(s) x %u trial(s) = %zu "
               "cells on %u thread(s)\n",
               spec.variants.size(), spec.apps.size(), spec.trials,
@@ -234,6 +286,18 @@ int main(int argc, char** argv) {
     if (!opt.json_path.empty()) {
       sim::write_text_file(opt.json_path, sim::to_json(campaign));
       std::printf("wrote %s\n", opt.json_path.c_str());
+    }
+    if (!opt.intervals_out.empty()) {
+      sim::write_text_file(opt.intervals_out, sim::intervals_to_csv(campaign));
+      std::printf("wrote %s\n", opt.intervals_out.c_str());
+    }
+    if (!opt.heatmap_out.empty()) {
+      sim::write_text_file(opt.heatmap_out, sim::occupancy_to_csv(campaign));
+      std::printf("wrote %s\n", opt.heatmap_out.c_str());
+    }
+    if (!opt.trace_out.empty()) {
+      sim::write_text_file(opt.trace_out, sim::trace_to_ndjson(campaign));
+      std::printf("wrote %s\n", opt.trace_out.c_str());
     }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "export failed: %s\n", error.what());
