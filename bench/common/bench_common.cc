@@ -1,22 +1,43 @@
 #include "bench/common/bench_common.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace icr::bench {
 
 namespace {
 bool g_quiet = false;
+
+// Accepts "--flag=value"; returns the value part or nullptr on no match.
+const char* flag_value(const char* arg, const char* flag) {
+  const std::size_t len = std::strlen(flag);
+  if (std::strncmp(arg, flag, len) == 0 && arg[len] == '=') {
+    return arg + len + 1;
+  }
+  return nullptr;
+}
 }  // namespace
 
 void init(int argc, char** argv) {
+  bool progress_forced = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quiet") == 0 ||
-        std::strcmp(argv[i], "-q") == 0) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--quiet") == 0 || std::strcmp(arg, "-q") == 0) {
       g_quiet = true;
+    } else if (std::strcmp(arg, "--progress") == 0) {
+      progress_forced = true;
+    } else if (const char* value = flag_value(arg, "--instructions")) {
+      // Same knob as the ICR_SIM_INSTRUCTIONS environment variable; the
+      // flag spelling matches the tools/ binaries.
+      ::setenv("ICR_SIM_INSTRUCTIONS", value, /*overwrite=*/1);
+    } else if (const char* value = flag_value(arg, "--threads")) {
+      ::setenv("ICR_SIM_THREADS", value, /*overwrite=*/1);
     }
+    // Unknown flags are ignored so individual benches can add their own.
   }
-  sim::CampaignRunner::set_default_progress_enabled(!g_quiet);
+  sim::CampaignRunner::set_default_progress_enabled(!g_quiet ||
+                                                    progress_forced);
 }
 
 bool quiet() { return g_quiet; }

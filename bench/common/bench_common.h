@@ -17,9 +17,13 @@
 
 namespace icr::bench {
 
-// Common bench CLI setup: enables campaign progress reporting on stderr by
-// default; `--quiet` (or `-q`) suppresses it so only the final tables are
-// printed. Call first thing in every bench main().
+// Common bench CLI setup. Flags shared by every bench binary:
+//   --quiet / -q        suppress campaign progress on stderr
+//   --progress          force progress reporting even with --quiet
+//   --instructions=N    per-point instruction budget (sets ICR_SIM_INSTRUCTIONS)
+//   --threads=N         campaign worker threads (sets ICR_SIM_THREADS)
+// Unknown flags are ignored so individual benches can layer their own.
+// Call first thing in every bench main().
 void init(int argc, char** argv);
 
 // True once init() ran with --quiet.

@@ -5,6 +5,7 @@
 
 #include "src/coding/parity.h"
 #include "src/coding/secded.h"
+#include "src/rel/rel_tracker.h"
 #include "src/util/check.h"
 
 namespace icr::core {
@@ -115,6 +116,7 @@ void IcrCache::evict_line(IcrLine& line, std::uint64_t cycle) {
   if (!line.valid) return;
   if (line.replica) {
     ++stats_.replica_evictions;
+    if (rel_ != nullptr) rel_->on_replica_evict(line.block_addr, cycle);
     if (trace_ != nullptr && trace_->wants(obs::EventCategory::kEviction)) {
       trace_->emit(obs::EventKind::kReplicaEvict, cycle, line.block_addr,
                    set_of(line));
@@ -129,6 +131,7 @@ void IcrCache::evict_line(IcrLine& line, std::uint64_t cycle) {
     return;
   }
   ++stats_.evictions;
+  if (rel_ != nullptr) rel_->on_evict(line.block_addr, line.dirty, cycle);
   if (line.dirty) {
     ++stats_.writebacks;
     // Deposit the line's current bits (corrupted or not) into the next level.
@@ -143,6 +146,7 @@ void IcrCache::evict_line(IcrLine& line, std::uint64_t cycle) {
       replica->valid = false;
       replica->replica = false;
       ++stats_.replica_evictions;
+      if (rel_ != nullptr) rel_->on_replica_evict(line.block_addr, cycle);
       if (trace_ != nullptr && trace_->wants(obs::EventCategory::kEviction)) {
         trace_->emit(obs::EventKind::kReplicaEvict, cycle, line.block_addr,
                      set_of(*replica));
@@ -279,6 +283,7 @@ void IcrCache::attempt_replication(IcrLine& primary, std::uint64_t cycle) {
     }
 
     ++primary.replica_count;
+    if (rel_ != nullptr) rel_->on_replica_create(primary.block_addr, cycle);
     ++stats_.replicas_created;
     ++stats_.l1_write_accesses;  // the duplicate write
     if (site_distance_hist_ != nullptr) site_distance_hist_->record(d);
@@ -330,6 +335,9 @@ void IcrCache::verify_and_recover(IcrLine& line, std::uint32_t word_index,
           outcome.recovery = AccessOutcome::Recovery::kReplica;
           outcome.value = rep_word;
           write_word(line, word_index, rep_word);  // repair the primary
+          if (rel_ != nullptr) {
+            rel_->on_repair_word(line.block_addr, word_index, cycle);
+          }
           return;
         }
       }
@@ -342,6 +350,7 @@ void IcrCache::verify_and_recover(IcrLine& line, std::uint32_t word_index,
           next_.fetch_block(line.block_addr, cycle);
       fill_from_backing(line, line.block_addr);
       ++stats_.errors_refetched_from_l2;
+      if (rel_ != nullptr) rel_->on_refetch(line.block_addr, cycle);
       outcome.error_recovered = true;
       outcome.recovery = AccessOutcome::Recovery::kRefetch;
       outcome.value = read_word(line, word_index);
@@ -358,6 +367,9 @@ void IcrCache::verify_and_recover(IcrLine& line, std::uint32_t word_index,
         outcome.recovery = AccessOutcome::Recovery::kRcache;
         outcome.value = *dup;
         write_word(line, word_index, *dup);
+        if (rel_ != nullptr) {
+          rel_->on_repair_word(line.block_addr, word_index, cycle);
+        }
         return;
       }
     }
@@ -387,6 +399,9 @@ void IcrCache::verify_and_recover(IcrLine& line, std::uint32_t word_index,
       outcome.recovery = AccessOutcome::Recovery::kEcc;
       outcome.value = result.data;
       write_word(line, word_index, result.data);
+      if (rel_ != nullptr) {
+        rel_->on_repair_word(line.block_addr, word_index, cycle);
+      }
       return;
     case SecDedStatus::kDetectedDouble:
       ++stats_.errors_detected;
@@ -401,6 +416,9 @@ void IcrCache::verify_and_recover(IcrLine& line, std::uint32_t word_index,
           outcome.recovery = AccessOutcome::Recovery::kRcache;
           outcome.value = *dup;
           write_word(line, word_index, *dup);
+          if (rel_ != nullptr) {
+            rel_->on_repair_word(line.block_addr, word_index, cycle);
+          }
           return;
         }
       }
@@ -408,6 +426,7 @@ void IcrCache::verify_and_recover(IcrLine& line, std::uint32_t word_index,
         outcome.latency += next_.fetch_block(line.block_addr, cycle);
         fill_from_backing(line, line.block_addr);
         ++stats_.errors_refetched_from_l2;
+        if (rel_ != nullptr) rel_->on_refetch(line.block_addr, cycle);
         outcome.error_recovered = true;
         outcome.recovery = AccessOutcome::Recovery::kRefetch;
         outcome.value = read_word(line, word_index);
@@ -437,6 +456,10 @@ IcrCache::AccessOutcome IcrCache::load(std::uint64_t addr,
     outcome.hit = true;
     outcome.latency = load_hit_latency(*primary);
     touch(*primary, cycle);
+    if (rel_ != nullptr) {
+      rel_->on_read(block, word_index, primary->dirty,
+                    parity_regime(*primary), cycle);
+    }
     verify_and_recover(*primary, word_index, cycle, outcome);
     return outcome;
   }
@@ -467,9 +490,14 @@ IcrCache::AccessOutcome IcrCache::load(std::uint64_t addr,
           static_cast<std::uint8_t>(find_replicas(block).size());
       touch(slot, cycle);
       ++stats_.l1_write_accesses;
+      if (rel_ != nullptr) rel_->on_fill(block, slot.replica_count, cycle);
       outcome.latency = load_hit_latency(slot) + 1;
       if (scheme_.trigger == ReplicateOn::kLoadsAndStores) {
         attempt_replication(slot, cycle);
+      }
+      if (rel_ != nullptr) {
+        rel_->on_read(block, word_index, slot.dirty, parity_regime(slot),
+                      cycle);
       }
       verify_and_recover(slot, word_index, cycle, outcome);
       if (miss_latency_hist_ != nullptr) {
@@ -497,9 +525,13 @@ IcrCache::AccessOutcome IcrCache::load(std::uint64_t addr,
           : 0;
   touch(slot, cycle);
   ++stats_.l1_write_accesses;
+  if (rel_ != nullptr) rel_->on_fill(block, slot.replica_count, cycle);
   if (scheme_.replication_enabled &&
       scheme_.trigger == ReplicateOn::kLoadsAndStores) {
     attempt_replication(slot, cycle);
+  }
+  if (rel_ != nullptr) {
+    rel_->on_read(block, word_index, slot.dirty, parity_regime(slot), cycle);
   }
   verify_and_recover(slot, word_index, cycle, outcome);
   if (miss_latency_hist_ != nullptr) {
@@ -537,6 +569,7 @@ IcrCache::AccessOutcome IcrCache::store(std::uint64_t addr,
     // The fill triggered by a store miss is not a separate replication
     // opportunity: the store itself attempts below ("upon a load miss or a
     // store", §4.1).
+    if (rel_ != nullptr) rel_->on_fill(block, slot.replica_count, cycle);
     primary = &slot;
   } else {
     ++stats_.store_hits;
@@ -561,6 +594,9 @@ IcrCache::AccessOutcome IcrCache::store(std::uint64_t addr,
     // Write-through: the word also travels to L2 via the coalescing buffer.
     next_.backing().write_word(addr, value);
     outcome.latency += write_buffer_->push(block, cycle);
+  }
+  if (rel_ != nullptr) {
+    rel_->on_write(block, word_index, primary->dirty, cycle);
   }
 
   // Keep every replica coherent with the primary (§3.1: "updating both the
@@ -593,6 +629,10 @@ void IcrCache::advance_scrubber(std::uint64_t cycle) {
     if (!line.valid || line.replica) continue;  // replicas verified via primaries
     ++stats_.scrub_lines_checked;
     ++stats_.l1_read_accesses;
+    if (rel_ != nullptr) {
+      rel_->on_scrub_visit(line.block_addr, line.dirty, parity_regime(line),
+                           cycle);
+    }
     for (std::uint32_t word = 0; word < geometry_.words_per_line(); ++word) {
       const std::uint64_t value = read_word(line, word);
       if (parity_regime(line)) {

@@ -36,6 +36,10 @@
 #include "src/obs/event_trace.h"
 #include "src/obs/stat_registry.h"
 
+namespace icr::rel {
+class RelTracker;
+}  // namespace icr::rel
+
 namespace icr::core {
 
 // One dL1 line: payload, per-word protection, and ICR metadata.
@@ -241,6 +245,13 @@ class IcrCache {
   void attach_observability(obs::StatRegistry* registry,
                             obs::EventTrace* trace);
 
+  // Attaches the analytical reliability tracker (src/rel); pass nullptr to
+  // detach. Like observability, the tracker observes without perturbing:
+  // every hook sits behind a null check and simulation results are
+  // bit-identical with the tracker attached or not (tier-1 guard in
+  // tests/rel_tracker_test.cc). The tracker must outlive the cache.
+  void attach_rel(rel::RelTracker* rel) noexcept { rel_ = rel; }
+
   // Aborts if any structural invariant is violated (test hook):
   //  - at most one primary per block;
   //  - every primary's replica_count matches the resident replicas of its
@@ -318,6 +329,7 @@ class IcrCache {
   IcrStats stats_;
 
   // Observability hooks (all optional; see attach_observability).
+  rel::RelTracker* rel_ = nullptr;
   obs::EventTrace* trace_ = nullptr;
   obs::Log2Histogram* site_distance_hist_ = nullptr;  // per created replica
   obs::Log2Histogram* miss_latency_hist_ = nullptr;   // per load miss

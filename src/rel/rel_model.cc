@@ -1,0 +1,92 @@
+#include "src/rel/rel_model.h"
+
+namespace icr::rel {
+
+const char* to_string(RelState state) noexcept {
+  switch (state) {
+    case RelState::kParityClean: return "parity_clean";
+    case RelState::kParityDirty: return "parity_dirty";
+    case RelState::kReplicatedClean: return "replicated_clean";
+    case RelState::kReplicatedDirty: return "replicated_dirty";
+    case RelState::kEccClean: return "ecc_clean";
+    case RelState::kEccDirty: return "ecc_dirty";
+  }
+  return "?";
+}
+
+const char* to_string(IntervalStart start) noexcept {
+  switch (start) {
+    case IntervalStart::kFill: return "fill";
+    case IntervalStart::kWrite: return "write";
+    case IntervalStart::kRead: return "read";
+  }
+  return "?";
+}
+
+const char* to_string(IntervalEnd end) noexcept {
+  switch (end) {
+    case IntervalEnd::kRead: return "read";
+    case IntervalEnd::kOverwrite: return "overwrite";
+    case IntervalEnd::kEvictClean: return "evict_clean";
+    case IntervalEnd::kEvictDirty: return "evict_dirty";
+    case IntervalEnd::kRefresh: return "refresh";
+  }
+  return "?";
+}
+
+RelPrediction RelReport::evaluate(double p, double cycle_scale) const {
+  const double scale = p * cycle_scale;
+  RelPrediction out;
+  out.corrected = corrected_coef * scale;
+  out.replica_recovered = replica_coef * scale;
+  out.detected_uncorrectable = detected_coef * scale;
+  out.silent = silent_coef * scale;
+  return out;
+}
+
+namespace {
+double safe_ratio(double num, double den) noexcept {
+  return den > 0.0 ? num / den : 0.0;
+}
+}  // namespace
+
+double RelReport::vf_corrected() const noexcept {
+  return safe_ratio(corrected_coef, total_exposure);
+}
+
+double RelReport::vf_replica_recovered() const noexcept {
+  return safe_ratio(replica_coef, total_exposure);
+}
+
+double RelReport::vf_detected_uncorrectable() const noexcept {
+  return safe_ratio(detected_coef, total_exposure);
+}
+
+double RelReport::vf_uncorrected() const noexcept {
+  // Strike mass that is not transparently absorbed: detected-but-lost plus
+  // mass laundered into the backing store by dirty evictions (the source of
+  // later silent loads). Unobserved clean-evict mass is benign by
+  // definition (the architectural value was never consumed).
+  return safe_ratio(detected_coef + deposited_coef, total_exposure);
+}
+
+RelPrediction RelReport::fit(double p) const {
+  if (cycles == 0) return {};
+  // events/run -> events/cycle -> events/hour -> events per 1e9 hours.
+  const double per_cycle = 1.0 / static_cast<double>(cycles);
+  const double cycles_per_hour = clock_ghz * 1e9 * 3600.0;
+  const double scale = per_cycle * cycles_per_hour * 1e9;
+  RelPrediction e = evaluate(p);
+  e.corrected *= scale;
+  e.replica_recovered *= scale;
+  e.detected_uncorrectable *= scale;
+  e.silent *= scale;
+  return e;
+}
+
+double RelReport::conservation_sum() const noexcept {
+  return corrected_coef + replica_coef + detected_coef + scrub_coef +
+         unobserved_coef + deposited_coef + open_exposure;
+}
+
+}  // namespace icr::rel

@@ -1,0 +1,147 @@
+// Analytical reliability model: report types and derived quantities.
+//
+// The RelTracker (rel_tracker.h) observes one clean (injection-free) run and
+// integrates, for every word resident in the dL1, its *exposure* — the
+// expected number of bit-flip strikes the word would absorb under the
+// fault injector's uniform model, per unit of per-cycle strike probability
+// p. The injector strikes once per cycle with probability p, uniformly over
+// the valid lines and the 512 data bits of the struck line, so a word of a
+// specific valid line accumulates exposure at rate 1 / (8 * V(t)) per cycle
+// (V(t) = currently valid lines, replicas included — replicas dilute the
+// strike rate and absorb strikes that are never observed at first order).
+//
+// Exposure is classified twice:
+//   * by the protection state it was accrued under (RelState) — the
+//     ACE-style vulnerability breakdown, and
+//   * by the lifetime interval it belongs to (IntervalStart -> IntervalEnd),
+//     the fill->read / write->read / write->evict-dirty / read->evict
+//     taxonomy of docs/RELIABILITY.md.
+//
+// From the exposure flow the tracker derives first-order outcome
+// *coefficients*: E[outcome count] ~= coef * p for small p. One clean run
+// therefore predicts the entire fault-probability sweep of fig14 — the
+// cross-validation test (tests/rel_cross_validation_test.cc) checks the
+// predictions against real injection campaigns.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace icr::rel {
+
+// Protection state of a word while exposure accrues. Replicated lines are
+// parity-protected with a same-cycle copy elsewhere in the cache; the
+// clean/dirty split matters because a detected error on a clean word can
+// always be refetched from L2 while a dirty word cannot.
+enum class RelState : std::uint8_t {
+  kParityClean,
+  kParityDirty,
+  kReplicatedClean,
+  kReplicatedDirty,
+  kEccClean,
+  kEccDirty,
+};
+inline constexpr std::size_t kRelStates = 6;
+
+// What opened a word's current vulnerability interval.
+enum class IntervalStart : std::uint8_t { kFill, kWrite, kRead };
+inline constexpr std::size_t kIntervalStarts = 3;
+
+// What closed it. kRefresh covers repair/refetch paths that rewrite the
+// word outside the normal access stream (error recovery, scrubbing).
+enum class IntervalEnd : std::uint8_t {
+  kRead,
+  kOverwrite,
+  kEvictClean,
+  kEvictDirty,
+  kRefresh,
+};
+inline constexpr std::size_t kIntervalEnds = 5;
+
+[[nodiscard]] const char* to_string(RelState state) noexcept;
+[[nodiscard]] const char* to_string(IntervalStart start) noexcept;
+[[nodiscard]] const char* to_string(IntervalEnd end) noexcept;
+
+// One populated cell of the lifetime-interval taxonomy.
+struct IntervalClassRow {
+  IntervalStart start = IntervalStart::kFill;
+  IntervalEnd end = IntervalEnd::kRead;
+  RelState state = RelState::kParityClean;
+  std::uint64_t count = 0;   // closed intervals (attributed to the closing state)
+  double cycles = 0.0;       // word-cycles spent in `state` inside the class
+  double exposure = 0.0;     // expected strikes per unit p in `state`
+};
+
+// Expected outcome counts at a concrete per-cycle strike probability.
+struct RelPrediction {
+  double corrected = 0.0;                // ECC fix / clean refetch / R-Cache
+  double replica_recovered = 0.0;        // clean in-cache replica
+  double detected_uncorrectable = 0.0;   // detected, data lost
+  double silent = 0.0;                   // wrong value delivered, undetected
+
+  [[nodiscard]] double total() const noexcept {
+    return corrected + replica_recovered + detected_uncorrectable + silent;
+  }
+};
+
+// Plain-data result of one tracked run; safe to move across threads and to
+// keep after the simulator is destroyed.
+struct RelReport {
+  // False when the configured fault model is outside the analytical model's
+  // scope (everything except the uniform kRandom single-bit model); the
+  // exposure integrals are still valid, the outcome split is not.
+  bool model_supported = true;
+
+  std::uint64_t cycles = 0;       // clean-run cycle count the integrals cover
+  double clock_ghz = 1.0;         // for FIT-style conversions
+  double probability = 0.0;       // default p echoed into exports (0 = none)
+
+  double word_cycles = 0.0;       // total resident primary word-cycles
+  double total_exposure = 0.0;    // total expected strikes per unit p
+  double state_cycles[kRelStates] = {};
+  double state_exposure[kRelStates] = {};
+
+  // First-order outcome coefficients: E[count] ~= coef * p. The silent
+  // coefficient counts *verdicts* (a standing wrong value yields one silent
+  // verdict per consuming load), matching the injector's per-read counter.
+  double corrected_coef = 0.0;
+  double replica_coef = 0.0;
+  double detected_coef = 0.0;
+  double silent_coef = 0.0;
+  double scrub_coef = 0.0;        // strikes the scrubber repairs unobserved
+
+  // Exposure conservation tail: strike mass that never produced a verdict.
+  double unobserved_coef = 0.0;   // discarded by clean evictions
+  double deposited_coef = 0.0;    // written to L2 by dirty evictions
+  double open_exposure = 0.0;     // still resident and unread at end of run
+  double pending_residual = 0.0;  // corrupted-backing mass left at end of run
+
+  std::vector<IntervalClassRow> intervals;  // sorted (start, end, state)
+
+  // Expected outcome counts at per-cycle probability p. `cycle_scale`
+  // compensates for injection runs being longer than the clean run (error
+  // recovery adds cycles, and injection is per-cycle): pass
+  // injected_cycles / clean_cycles when comparing against a real campaign.
+  [[nodiscard]] RelPrediction evaluate(double p,
+                                       double cycle_scale = 1.0) const;
+
+  // Exposure-normalized vulnerability factors: the fraction of absorbed
+  // strikes whose first-order outcome is the given class. The paper-style
+  // headline number is vf_uncorrected() = fraction of strikes the scheme
+  // fails to transparently absorb.
+  [[nodiscard]] double vf_corrected() const noexcept;
+  [[nodiscard]] double vf_replica_recovered() const noexcept;
+  [[nodiscard]] double vf_detected_uncorrectable() const noexcept;
+  [[nodiscard]] double vf_uncorrected() const noexcept;
+
+  // FIT-style estimate: expected events per 10^9 device-hours for the given
+  // per-cycle strike probability, at this report's clock frequency.
+  [[nodiscard]] RelPrediction fit(double p) const;
+
+  // Sum of the conservation buckets; equals total_exposure up to floating
+  // point (tier-1 invariant in tests/rel_tracker_test.cc).
+  [[nodiscard]] double conservation_sum() const noexcept;
+};
+
+}  // namespace icr::rel

@@ -68,11 +68,15 @@ CellResult run_cell(const CampaignSpec& spec, std::size_t variant_idx,
 
   Simulator simulator(config, variant.scheme, std::move(profile));
   if (spec.obs.any()) simulator.enable_observability(spec.obs);
+  if (spec.rel.any()) simulator.enable_rel(spec.rel);
   cell.result = simulator.run(instructions);
   cell.result.scheme = variant.label;
   if (spec.obs.any()) {
     cell.obs = std::make_unique<obs::CellObservability>(
         simulator.collect_observability());
+  }
+  if (spec.rel.any()) {
+    cell.rel = std::make_unique<rel::RelReport>(simulator.collect_rel());
   }
   return cell;
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/obs/observability.h"
+#include "src/rel/rel_tracker.h"
 #include "src/sim/experiment.h"
 
 namespace icr::sim {
@@ -56,6 +57,12 @@ struct CampaignSpec {
   // telemetry on never changes the experiment (guarded by tier-1 test).
   obs::ObsOptions obs;
 
+  // Per-cell analytical reliability tracking (src/rel). Owned per cell like
+  // observability, and likewise excluded from campaign_config_hash: the
+  // tracker observes the simulation without perturbing it (bit-identity
+  // guarded by tier-1 test).
+  rel::RelOptions rel;
+
   [[nodiscard]] std::size_t cell_count() const noexcept {
     return variants.size() * apps.size() * trials;
   }
@@ -74,6 +81,8 @@ struct CellResult {
   RunResult result;
   // Telemetry extract; null when the spec's ObsOptions asked for nothing.
   std::unique_ptr<obs::CellObservability> obs;
+  // Analytical reliability report; null unless the spec enabled rel.
+  std::unique_ptr<rel::RelReport> rel;
 };
 
 // Campaign-level metadata exported alongside the cells (results_io.h).

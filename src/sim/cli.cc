@@ -1,0 +1,66 @@
+#include "src/sim/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace icr::sim::cli {
+
+bool parse_flag(const char* arg, const char* name, std::string& out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> split_csv(const std::string& list) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    if (comma > start) items.push_back(list.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return items;
+}
+
+core::Scheme scheme_by_name(const std::string& name) {
+  for (core::Scheme s : core::Scheme::all_paper_schemes()) {
+    if (s.name == name) return s;
+  }
+  if (name == "BaseECC-spec") return core::Scheme::BaseECCSpeculative();
+  std::fprintf(stderr, "unknown scheme '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+trace::App app_by_name(const std::string& name) {
+  for (const trace::App a : trace::all_apps()) {
+    if (name == trace::to_string(a)) return a;
+  }
+  std::fprintf(stderr, "unknown app '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+fault::FaultModel fault_by_name(const std::string& name) {
+  using M = fault::FaultModel;
+  for (const M m : {M::kRandom, M::kAdjacent, M::kColumn, M::kDirect}) {
+    if (name == fault::to_string(m)) return m;
+  }
+  std::fprintf(stderr, "unknown fault model '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+core::ReplicaVictimPolicy victim_by_name(const std::string& name) {
+  using P = core::ReplicaVictimPolicy;
+  for (const P p :
+       {P::kDeadOnly, P::kDeadFirst, P::kReplicaFirst, P::kReplicaOnly}) {
+    if (name == core::to_string(p)) return p;
+  }
+  std::fprintf(stderr, "unknown victim policy '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace icr::sim::cli

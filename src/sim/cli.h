@@ -1,0 +1,40 @@
+// Shared command-line helpers for the simulator front-ends.
+//
+// The name-lookup and flag-splitting code used to be duplicated verbatim in
+// tools/icr_sim.cc and tools/run_campaign.cc (and re-grown in new tools);
+// this header is the single copy. The *_by_name lookups print a diagnostic
+// and exit(2) on unknown names — they are CLI conveniences, not library
+// API; library code should construct schemes/apps directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/scheme.h"
+#include "src/core/replication_policy.h"
+#include "src/fault/fault_injector.h"
+#include "src/trace/workloads.h"
+
+namespace icr::sim::cli {
+
+// Matches "--name=value"; on match copies the value and returns true.
+[[nodiscard]] bool parse_flag(const char* arg, const char* name,
+                              std::string& out);
+
+// Splits a comma-separated list, dropping empty items.
+[[nodiscard]] std::vector<std::string> split_csv(const std::string& list);
+
+// Paper scheme by its display name ("BaseP", "ICR-P-PS(S)", ...), plus the
+// "BaseECC-spec" alias for the §5.9 speculative variant. Exits on unknown.
+[[nodiscard]] core::Scheme scheme_by_name(const std::string& name);
+
+// Application by its lowercase name ("gzip" .. "bzip2"). Exits on unknown.
+[[nodiscard]] trace::App app_by_name(const std::string& name);
+
+// Fault model by name ("random", "adjacent", "column", "direct").
+[[nodiscard]] fault::FaultModel fault_by_name(const std::string& name);
+
+// Replica victim policy by name ("dead-only", "dead-first", ...).
+[[nodiscard]] core::ReplicaVictimPolicy victim_by_name(const std::string& name);
+
+}  // namespace icr::sim::cli

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/obs/obs_io.h"
+#include "src/rel/rel_io.h"
 
 namespace icr::sim {
 namespace {
@@ -221,6 +222,41 @@ std::string trace_to_ndjson(const CampaignResult& campaign) {
     if (cell.obs == nullptr) continue;
     obs::append_ndjson(out, cell.obs->events, tag_of(cell));
   }
+  return out;
+}
+
+std::string rel_to_csv(const CampaignResult& campaign) {
+  std::string out;
+  for (const CellResult& cell : campaign.cells) {
+    if (cell.rel == nullptr) continue;
+    if (out.empty()) out = rel::summary_csv_header();
+    rel::append_summary_csv_row(out, *cell.rel, tag_of(cell));
+  }
+  return out;
+}
+
+std::string rel_intervals_to_csv(const CampaignResult& campaign) {
+  std::string out;
+  for (const CellResult& cell : campaign.cells) {
+    if (cell.rel == nullptr) continue;
+    if (out.empty()) out = rel::intervals_csv_header();
+    rel::append_intervals_csv_rows(out, *cell.rel, tag_of(cell));
+  }
+  return out;
+}
+
+std::string rel_to_json(const CampaignResult& campaign) {
+  std::string out = "{\n  \"cells\": [";
+  bool first = true;
+  for (const CellResult& cell : campaign.cells) {
+    if (cell.rel == nullptr) continue;
+    if (!first) out += ',';
+    out += '\n';
+    rel::append_json_object(out, *cell.rel, tag_of(cell), 4);
+    first = false;
+  }
+  if (!first) out += '\n';
+  out += "  ]\n}\n";
   return out;
 }
 

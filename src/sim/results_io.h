@@ -38,6 +38,12 @@ namespace icr::sim {
 [[nodiscard]] std::string occupancy_to_csv(const CampaignResult& campaign);
 [[nodiscard]] std::string trace_to_ndjson(const CampaignResult& campaign);
 
+// Analytical reliability exports over every cell that tracked rel (cells
+// without a report are skipped). Schemas live in src/rel/rel_io.h.
+[[nodiscard]] std::string rel_to_csv(const CampaignResult& campaign);
+[[nodiscard]] std::string rel_intervals_to_csv(const CampaignResult& campaign);
+[[nodiscard]] std::string rel_to_json(const CampaignResult& campaign);
+
 // Writes `text` to `path`, overwriting; throws std::runtime_error on I/O
 // failure so campaign CLIs fail loudly instead of dropping results.
 void write_text_file(const std::string& path, const std::string& text);

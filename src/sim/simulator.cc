@@ -53,6 +53,29 @@ void Simulator::enable_observability(const obs::ObsOptions& options) {
   }
 }
 
+void Simulator::enable_rel(const rel::RelOptions& options) {
+  if (!options.enabled || rel_ != nullptr) return;
+  rel::RelTracker::Config config;
+  config.words_per_line = config_.dl1.words_per_line();
+  config.scheme_parity = scheme_.protection == core::Protection::kParity;
+  config.write_through =
+      scheme_.write_policy == core::WritePolicy::kWriteThrough;
+  // The analytical outcome split models the uniform single-bit strike model
+  // only; the exposure integrals themselves are model-independent.
+  config.model_supported = config_.fault_probability == 0.0 ||
+                           config_.fault_model == fault::FaultModel::kRandom;
+  config.probability = options.probability > 0.0 ? options.probability
+                                                 : config_.fault_probability;
+  config.clock_ghz = options.clock_ghz;
+  rel_ = std::make_unique<rel::RelTracker>(config);
+  dl1_->attach_rel(rel_.get());
+}
+
+rel::RelReport Simulator::collect_rel() const {
+  if (rel_ == nullptr) return {};
+  return rel_->report(pipeline_->cycle());
+}
+
 RunResult Simulator::run(std::uint64_t instructions) {
   if (obs_ != nullptr && obs_->sampler != nullptr) {
     // Run in sampling-interval chunks. Targets are absolute so the commit

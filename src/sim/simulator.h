@@ -12,6 +12,7 @@
 #include "src/fault/fault_injector.h"
 #include "src/mem/memory_hierarchy.h"
 #include "src/obs/observability.h"
+#include "src/rel/rel_tracker.h"
 #include "src/sim/config.h"
 #include "src/sim/metrics.h"
 #include "src/trace/workloads.h"
@@ -54,6 +55,19 @@ class Simulator {
   // safe to keep after this simulator is destroyed.
   [[nodiscard]] obs::CellObservability collect_observability() const;
 
+  // Turns on the analytical reliability tracker (src/rel). Call before the
+  // first run(). Like observability, it never changes simulated behaviour
+  // (bit-identical results, guarded by tier-1 test). No-op when
+  // options.enabled is false.
+  void enable_rel(const rel::RelOptions& options);
+
+  // Live tracker; null until enable_rel.
+  [[nodiscard]] rel::RelTracker* rel() noexcept { return rel_.get(); }
+
+  // Snapshot of the analytical integrals up to the current cycle. Empty
+  // report when the tracker was never enabled.
+  [[nodiscard]] rel::RelReport collect_rel() const;
+
  private:
   SimConfig config_;
   core::Scheme scheme_;
@@ -65,6 +79,7 @@ class Simulator {
   std::unique_ptr<cpu::Pipeline> pipeline_;
   std::string app_name_;
   std::unique_ptr<obs::Observability> obs_;
+  std::unique_ptr<rel::RelTracker> rel_;
 };
 
 }  // namespace icr::sim

@@ -24,6 +24,12 @@ class ZipfSampler {
   [[nodiscard]] std::uint64_t universe() const noexcept { return n_; }
   [[nodiscard]] double theta() const noexcept { return theta_; }
 
+  // The precomputed CDF over ranks 0..n-1; cdf().back() is exactly 1.0.
+  // Exposed read-only so regression tests can pin the normalization.
+  [[nodiscard]] const std::vector<double>& cdf() const noexcept {
+    return cdf_;
+  }
+
  private:
   std::uint64_t n_;
   double theta_;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace icr::core {
 namespace {
 
@@ -67,6 +69,89 @@ TEST(DeadBlockPredictor, LargeWindowKeepsBlocksAlive) {
   DeadBlockPredictor dbp(1'000'000);
   EXPECT_FALSE(dbp.is_dead(0, 999'999));
   EXPECT_TRUE(dbp.is_dead(0, 1'000'000));
+}
+
+// Window boundary: window 1 cannot tick every quarter cycle, so the tick
+// period clamps to one cycle and the counter saturates four cycles after
+// the access — the smallest non-aggressive decay horizon.
+TEST(DeadBlockPredictor, WindowOneClampsTickToOneCycle) {
+  DeadBlockPredictor dbp(1);
+  EXPECT_EQ(dbp.tick_period(), 1u);
+  EXPECT_EQ(dbp.counter_value(100, 100), 0u);
+  EXPECT_EQ(dbp.counter_value(100, 101), 1u);
+  EXPECT_EQ(dbp.counter_value(100, 103), 3u);
+  EXPECT_EQ(dbp.counter_value(100, 104), DeadBlockPredictor::kSaturated);
+  EXPECT_FALSE(dbp.is_dead(100, 103));
+  EXPECT_TRUE(dbp.is_dead(100, 104));
+}
+
+// Windows 1..4 all clamp to a one-cycle tick (window / 4 rounds to zero);
+// from window 8 on, the quarter-window period takes over.
+TEST(DeadBlockPredictor, SubQuarterWindowsShareTheClampedPeriod) {
+  for (const std::uint64_t window : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    DeadBlockPredictor dbp(window);
+    EXPECT_EQ(dbp.tick_period(), 1u) << "window=" << window;
+    EXPECT_FALSE(dbp.is_dead(0, 3)) << "window=" << window;
+    EXPECT_TRUE(dbp.is_dead(0, 4)) << "window=" << window;
+  }
+  DeadBlockPredictor dbp8(8);
+  EXPECT_EQ(dbp8.tick_period(), 2u);
+  // Access at cycle 1: global ticks at 2, 4, 6, 8 kill the block at 8.
+  EXPECT_FALSE(dbp8.is_dead(1, 7));
+  EXPECT_TRUE(dbp8.is_dead(1, 8));
+}
+
+// Window boundary: the maximum representable window must not overflow the
+// lazy tick arithmetic, and a block accessed at time zero dies only at the
+// fourth tick — close to the end of representable time.
+TEST(DeadBlockPredictor, MaxWindowHasNoOverflow) {
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  DeadBlockPredictor dbp(max);
+  const std::uint64_t tick = dbp.tick_period();
+  EXPECT_EQ(tick, max / 4);
+  EXPECT_EQ(dbp.counter_value(0, tick - 1), 0u);
+  EXPECT_EQ(dbp.counter_value(0, tick), 1u);
+  EXPECT_EQ(dbp.counter_value(0, 3 * tick), 3u);
+  EXPECT_FALSE(dbp.is_dead(0, 4 * tick - 1));
+  EXPECT_TRUE(dbp.is_dead(0, 4 * tick));
+  EXPECT_TRUE(dbp.is_dead(0, max));
+  // A fresh access near the end of time never dies within representable
+  // cycles, and the time-travel guard still holds at the extremes.
+  EXPECT_FALSE(dbp.is_dead(max - 1, max));
+  EXPECT_FALSE(dbp.is_dead(max, 0));
+}
+
+// The lazy counter must match a materialised 2-bit counter for the
+// boundary windows too (the existing alignment test covers a mid-size
+// window; windows below 8 exercise the clamped tick period).
+TEST(DeadBlockPredictor, BoundaryWindowsMatchMaterializedCounters) {
+  for (const std::uint64_t window : {1ULL, 2ULL, 5ULL, 8ULL, 13ULL}) {
+    DeadBlockPredictor dbp(window);
+    const std::uint64_t tick = dbp.tick_period();
+    for (const std::uint64_t last_access :
+         {std::uint64_t{0}, std::uint64_t{1}, tick, tick + 1}) {
+      std::uint32_t counter = 0;
+      for (std::uint64_t now = last_access; now < last_access + 64; ++now) {
+        if (now > last_access && now % tick == 0 &&
+            counter < DeadBlockPredictor::kSaturated) {
+          ++counter;
+        }
+        ASSERT_EQ(dbp.counter_value(last_access, now), counter)
+            << "window=" << window << " last=" << last_access
+            << " now=" << now;
+      }
+    }
+  }
+}
+
+TEST(DeadBlockPredictor, StatsCountQueriesAndDeadVerdicts) {
+  DeadBlockPredictor dbp(100);
+  EXPECT_EQ(dbp.stats().queries, 0u);
+  (void)dbp.is_dead(0, 50);    // alive
+  (void)dbp.is_dead(0, 100);   // dead
+  (void)dbp.is_dead(0, 1000);  // dead
+  EXPECT_EQ(dbp.stats().queries, 3u);
+  EXPECT_EQ(dbp.stats().dead_predictions, 2u);
 }
 
 }  // namespace

@@ -1,0 +1,201 @@
+// Cross-validation of the analytical reliability model against Monte Carlo
+// fault injection — the headline claim of the src/rel subsystem.
+//
+// For every fig14 scheme we run two campaigns with the same base seed and
+// derived per-cell seeds: a clean one (no injection, tracker attached) and
+// an injected one (uniform random model at p per cycle). Because
+// derive_cell_seed() splits the workload seed before the fault seed, the
+// clean and injected cells of the same (variant, app, trial) coordinate
+// execute the identical instruction stream, so the tracker's coefficients
+// describe exactly the run the injector strikes.
+//
+// Agreement criterion, per (scheme, outcome): the analytical expectation
+// coef * p * (injected_cycles / clean_cycles) summed over trials must fall
+// within three sigma of the observed outcome count on at least 6 of the 8
+// applications, where sigma combines the Poisson error of the count, the
+// observed trial-to-trial scatter, and a small-count floor. On top of the
+// per-outcome agreement, the across-scheme ranking by silent errors — the
+// paper's headline reliability ordering — must match exactly between model
+// and injection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/rel/rel_model.h"
+#include "src/sim/campaign.h"
+
+namespace icr::sim {
+namespace {
+
+constexpr double kProbability = 1e-3;
+constexpr std::uint64_t kInstructions = 120000;
+constexpr std::uint32_t kTrials = 4;
+constexpr std::uint64_t kBaseSeed = 0xD5DB2003ULL;
+
+struct SchemePoint {
+  const char* label;
+  core::Scheme scheme;
+};
+
+std::vector<SchemePoint> fig14_schemes() {
+  auto relaxed = [](core::Scheme s) {
+    return s.with_decay_window(1000).with_victim_policy(
+        core::ReplicaVictimPolicy::kDeadFirst);
+  };
+  return {
+      {"BaseP", core::Scheme::BaseP()},
+      {"BaseECC", core::Scheme::BaseECC()},
+      {"ICR-P-PS(S)", relaxed(core::Scheme::IcrPPS_S())},
+      {"ICR-ECC-PS(S)", relaxed(core::Scheme::IcrEccPS_S())},
+  };
+}
+
+CampaignSpec base_spec() {
+  CampaignSpec spec;
+  for (const SchemePoint& s : fig14_schemes()) {
+    spec.variants.emplace_back(s.label, s.scheme);
+  }
+  spec.apps = trace::all_apps();
+  spec.instructions = kInstructions;
+  spec.trials = kTrials;
+  spec.derive_seeds = true;
+  spec.base_seed = kBaseSeed;
+  spec.config.fault_model = fault::FaultModel::kRandom;
+  return spec;
+}
+
+struct Outcome {
+  const char* name;
+  double (*predicted)(const rel::RelPrediction&);
+  std::uint64_t (*observed)(const fault::FaultStats&);
+};
+
+const Outcome kOutcomes[] = {
+    {"corrected", [](const rel::RelPrediction& p) { return p.corrected; },
+     [](const fault::FaultStats& f) { return f.corrected; }},
+    {"replica_recovered",
+     [](const rel::RelPrediction& p) { return p.replica_recovered; },
+     [](const fault::FaultStats& f) { return f.replica_recovered; }},
+    {"detected_uncorrectable",
+     [](const rel::RelPrediction& p) { return p.detected_uncorrectable; },
+     [](const fault::FaultStats& f) { return f.detected_uncorrectable; }},
+    {"silent", [](const rel::RelPrediction& p) { return p.silent; },
+     [](const fault::FaultStats& f) { return f.silent; }},
+};
+
+TEST(RelCrossValidation, AnalyticalModelMatchesInjection) {
+  CampaignSpec clean = base_spec();
+  clean.config.fault_probability = 0.0;
+  clean.rel.enabled = true;
+  clean.rel.probability = kProbability;
+
+  CampaignSpec injected = base_spec();
+  injected.config.fault_probability = kProbability;
+
+  const CampaignResult clean_result = CampaignRunner().run(clean);
+  const CampaignResult inj_result = CampaignRunner().run(injected);
+
+  const auto schemes = fig14_schemes();
+  const std::size_t napps = clean.apps.size();
+
+  // Per-scheme totals across apps and trials, for the ranking check.
+  std::vector<double> scheme_pred_silent(schemes.size(), 0.0);
+  std::vector<double> scheme_obs_silent(schemes.size(), 0.0);
+
+  for (std::size_t v = 0; v < schemes.size(); ++v) {
+    for (const Outcome& outcome : kOutcomes) {
+      std::size_t within = 0;
+      std::string misses;
+      for (std::size_t a = 0; a < napps; ++a) {
+        double predicted = 0.0;
+        double observed = 0.0;
+        std::vector<double> residuals;
+        for (std::uint32_t t = 0; t < kTrials; ++t) {
+          const CellResult& cc = clean_result.at(v, a, t, napps, kTrials);
+          const CellResult& ic = inj_result.at(v, a, t, napps, kTrials);
+          ASSERT_NE(cc.rel, nullptr);
+          // Injection stalls on recoveries, so the injected run covers more
+          // cycles than the clean one at the same instruction count; the
+          // injector strikes per cycle, so predictions scale with it.
+          const double cycle_scale =
+              static_cast<double>(ic.result.cycles) /
+              static_cast<double>(cc.result.cycles);
+          const rel::RelPrediction trial_pred =
+              cc.rel->evaluate(kProbability, cycle_scale);
+          const double p_t = outcome.predicted(trial_pred);
+          const double o_t =
+              static_cast<double>(outcome.observed(ic.result.faults));
+          predicted += p_t;
+          observed += o_t;
+          residuals.push_back(o_t - p_t);
+        }
+
+        // Poisson error of the count itself.
+        double sigma =
+            std::sqrt(std::max(1.0, std::max(predicted, observed)));
+        // Trial-to-trial scatter of the residual, scaled to the K-trial sum.
+        double mean = 0.0;
+        for (const double r : residuals) mean += r;
+        mean /= static_cast<double>(residuals.size());
+        double var = 0.0;
+        for (const double r : residuals) var += (r - mean) * (r - mean);
+        var /= static_cast<double>(residuals.size());
+        sigma = std::max(sigma,
+                         std::sqrt(var * static_cast<double>(kTrials)));
+        sigma = std::max(sigma, 3.0);  // small-count floor
+
+        const bool ok = std::abs(observed - predicted) <= 3.0 * sigma;
+        if (ok) {
+          ++within;
+        } else {
+          char buf[128];
+          std::snprintf(buf, sizeof buf, " %s(pred=%.1f obs=%.0f sig=%.1f)",
+                        trace::to_string(clean.apps[a]), predicted, observed,
+                        sigma);
+          misses += buf;
+        }
+        if (std::string(outcome.name) == "silent") {
+          scheme_pred_silent[v] += predicted;
+          scheme_obs_silent[v] += observed;
+        }
+      }
+      EXPECT_GE(within, 6u)
+          << schemes[v].label << " / " << outcome.name
+          << ": analytical prediction disagrees with injection beyond 3 "
+             "sigma on too many apps:"
+          << misses;
+    }
+  }
+
+  // Headline ordering: rank the schemes by silent errors in both views.
+  auto ranking = [&](const std::vector<double>& totals) {
+    std::vector<std::size_t> order(totals.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t x, std::size_t y) {
+                       return totals[x] < totals[y];
+                     });
+    return order;
+  };
+  const auto pred_rank = ranking(scheme_pred_silent);
+  const auto obs_rank = ranking(scheme_obs_silent);
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    EXPECT_EQ(pred_rank[i], obs_rank[i])
+        << "silent-error ranking mismatch at position " << i << ": model "
+        << schemes[pred_rank[i]].label << " vs injection "
+        << schemes[obs_rank[i]].label;
+  }
+  for (std::size_t v = 0; v < schemes.size(); ++v) {
+    std::printf("[ cross-val] %-14s silent: model %.1f vs injected %.0f "
+                "(all apps, %u trials)\n",
+                schemes[v].label, scheme_pred_silent[v],
+                scheme_obs_silent[v], kTrials);
+  }
+}
+
+}  // namespace
+}  // namespace icr::sim

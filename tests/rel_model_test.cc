@@ -1,0 +1,322 @@
+// Hand-computed scenarios for the ACE-style lifetime tracker. Every
+// expectation below is derived on paper from the accrual rule
+//   exposure(word, [t0, t1]) = (A(t1) - A(t0)) / words_per_line,
+//   A advancing by 1/V(t) per cycle,
+// so the numbers are exact in floating point (all are small dyadic
+// rationals) and the tests compare with EXPECT_DOUBLE_EQ.
+#include "src/rel/rel_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/rel/rel_tracker.h"
+
+namespace icr::rel {
+namespace {
+
+constexpr std::uint64_t kBlock = 0x1000;
+constexpr std::uint64_t kOther = 0x2000;
+
+RelTracker::Config parity_config() {
+  RelTracker::Config config;
+  config.words_per_line = 8;
+  config.scheme_parity = true;
+  return config;
+}
+
+RelTracker::Config ecc_config() {
+  RelTracker::Config config = parity_config();
+  config.scheme_parity = false;
+  return config;
+}
+
+void expect_conserved(const RelReport& report) {
+  EXPECT_NEAR(report.conservation_sum(), report.total_exposure,
+              1e-9 * (1.0 + report.total_exposure));
+}
+
+// One line, V = 1, 8 words: a word read at cycle 100 accrued
+// 100 / (1 * 8) = 12.5 exposure units; SEC-DED corrects all of it.
+TEST(RelTracker, EccCleanReadCorrects) {
+  RelTracker tracker(ecc_config());
+  tracker.on_fill(kBlock, 0, 0);
+  tracker.on_read(kBlock, 0, /*dirty=*/false, /*parity_regime=*/false, 100);
+  const RelReport report = tracker.report(100);
+
+  EXPECT_DOUBLE_EQ(report.corrected_coef, 12.5);
+  EXPECT_DOUBLE_EQ(report.total_exposure, 100.0);  // 8 words x 12.5
+  EXPECT_DOUBLE_EQ(report.open_exposure, 87.5);    // the 7 unread words
+  EXPECT_DOUBLE_EQ(report.word_cycles, 800.0);
+  EXPECT_DOUBLE_EQ(
+      report.state_exposure[static_cast<std::size_t>(RelState::kEccClean)],
+      100.0);
+  expect_conserved(report);
+}
+
+// Same accrual under byte parity on a clean line: parity detects and the
+// recovery ladder refetches from L2, which counts as corrected.
+TEST(RelTracker, ParityCleanReadRefetches) {
+  RelTracker tracker(parity_config());
+  tracker.on_fill(kBlock, 0, 0);
+  tracker.on_read(kBlock, 0, /*dirty=*/false, /*parity_regime=*/true, 100);
+  const RelReport report = tracker.report(100);
+
+  EXPECT_DOUBLE_EQ(report.corrected_coef, 12.5);
+  EXPECT_DOUBLE_EQ(report.replica_coef, 0.0);
+  EXPECT_DOUBLE_EQ(report.detected_coef, 0.0);
+  expect_conserved(report);
+}
+
+// A dirty parity word has no good copy anywhere: the mass accrued before a
+// read becomes detected-uncorrectable, and the recovery ladder then makes
+// the corrupt value architectural — every later read repeats one silent
+// verdict and each inter-read gap contributes fresh detected mass.
+TEST(RelTracker, ParityDirtyDetectsThenGoesSilent) {
+  RelTracker tracker(parity_config());
+  tracker.on_fill(kBlock, 0, 0);
+  tracker.on_write(kBlock, 0, /*dirty_after=*/true, 0);
+  tracker.on_read(kBlock, 0, /*dirty=*/true, /*parity_regime=*/true, 80);
+  // 80 cycles at V=1: e_unc = 80/8 = 10 -> detected, c = 10.
+  tracker.on_read(kBlock, 0, /*dirty=*/true, /*parity_regime=*/true, 160);
+  // Second read: silent verdict on c=10, another 10 detected, c = 20.
+  const RelReport report = tracker.report(160);
+
+  EXPECT_DOUBLE_EQ(report.detected_coef, 20.0);
+  EXPECT_DOUBLE_EQ(report.silent_coef, 10.0);
+  EXPECT_DOUBLE_EQ(report.corrected_coef, 0.0);
+  expect_conserved(report);
+}
+
+// A replica halves the strike rate (V=2) and covers the word: the read
+// recovers from the clean copy.
+TEST(RelTracker, ReplicaCoversAndDilutes) {
+  RelTracker tracker(parity_config());
+  tracker.on_fill(kBlock, 0, 0);
+  tracker.on_replica_create(kBlock, 0);
+  tracker.on_read(kBlock, 0, /*dirty=*/false, /*parity_regime=*/true, 160);
+  // A(160) = 160/2 = 80 -> word exposure 80/8 = 10, all covered.
+  const RelReport report = tracker.report(160);
+
+  EXPECT_DOUBLE_EQ(report.replica_coef, 10.0);
+  EXPECT_DOUBLE_EQ(report.corrected_coef, 0.0);
+  EXPECT_DOUBLE_EQ(
+      report.state_exposure[static_cast<std::size_t>(
+          RelState::kReplicatedClean)],
+      80.0);
+  expect_conserved(report);
+}
+
+// Losing the last replica demotes covered mass: a strike absorbed while the
+// replica existed can no longer be healed by it once the replica is gone.
+TEST(RelTracker, LastReplicaLossDemotesCoverage) {
+  RelTracker tracker(parity_config());
+  tracker.on_fill(kBlock, 0, 0);
+  tracker.on_replica_create(kBlock, 0);
+  tracker.on_replica_evict(kBlock, 80);   // e_cov = (80/2)/8 = 5 -> e_unc
+  tracker.on_read(kBlock, 0, /*dirty=*/false, /*parity_regime=*/true, 160);
+  // 80 more cycles at V=1 add (80/1)/8 = 10 uncovered; clean -> refetch.
+  const RelReport report = tracker.report(160);
+
+  EXPECT_DOUBLE_EQ(report.corrected_coef, 15.0);
+  EXPECT_DOUBLE_EQ(report.replica_coef, 0.0);
+  expect_conserved(report);
+}
+
+// Dirty eviction writes the (possibly corrupted) bits to L2; refilling the
+// block resurrects the mass as a standing wrong value that every consuming
+// load reports as silent. The backing store stays corrupted (pending).
+TEST(RelTracker, DirtyEvictionLaundersIntoSilentReloads) {
+  RelTracker tracker(parity_config());
+  tracker.on_fill(kBlock, 0, 0);
+  tracker.on_write(kBlock, 0, /*dirty_after=*/true, 0);
+  tracker.on_evict(kBlock, /*dirty=*/true, 80);
+  // Every word deposited (80/1)/8 = 10 to the backing store.
+  tracker.on_fill(kBlock, 0, 80);
+  tracker.on_read(kBlock, 0, /*dirty=*/false, /*parity_regime=*/true, 160);
+  tracker.on_read(kBlock, 0, /*dirty=*/false, /*parity_regime=*/true, 160);
+  const RelReport report = tracker.report(160);
+
+  EXPECT_DOUBLE_EQ(report.deposited_coef, 80.0);
+  // Two consuming loads of the laundered word: one silent verdict each.
+  EXPECT_DOUBLE_EQ(report.silent_coef, 20.0);
+  // The second-life accrual (80 cycles at V=1) is refetched on read.
+  EXPECT_DOUBLE_EQ(report.corrected_coef, 10.0);
+  // Backing store still holds all eight corrupted words.
+  EXPECT_DOUBLE_EQ(report.pending_residual, 80.0);
+  expect_conserved(report);
+}
+
+// An overwrite destroys accrued strike mass without any check observing it.
+TEST(RelTracker, OverwriteIsUnobserved) {
+  RelTracker tracker(parity_config());
+  tracker.on_fill(kBlock, 0, 0);
+  tracker.on_write(kBlock, 0, /*dirty_after=*/true, 100);
+  const RelReport report = tracker.report(100);
+
+  EXPECT_DOUBLE_EQ(report.unobserved_coef, 12.5);
+  EXPECT_DOUBLE_EQ(report.corrected_coef, 0.0);
+  expect_conserved(report);
+}
+
+// A second resident line halves every word's strike rate.
+TEST(RelTracker, ValidLinesDiluteExposure) {
+  RelTracker tracker(parity_config());
+  tracker.on_fill(kBlock, 0, 0);
+  tracker.on_fill(kOther, 0, 0);
+  tracker.on_read(kBlock, 0, /*dirty=*/false, /*parity_regime=*/true, 100);
+  const RelReport report = tracker.report(100);
+
+  EXPECT_DOUBLE_EQ(report.corrected_coef, 6.25);  // (100/2)/8
+  expect_conserved(report);
+}
+
+// SEC-DED scrubbing repairs everything in place; the following read finds
+// nothing left to correct.
+TEST(RelTracker, EccScrubCleanses) {
+  RelTracker tracker(ecc_config());
+  tracker.on_fill(kBlock, 0, 0);
+  tracker.on_scrub_visit(kBlock, /*dirty=*/false, /*parity_regime=*/false,
+                         100);
+  tracker.on_read(kBlock, 0, /*dirty=*/false, /*parity_regime=*/false, 100);
+  const RelReport report = tracker.report(100);
+
+  EXPECT_DOUBLE_EQ(report.scrub_coef, 100.0);  // all 8 words x 12.5
+  EXPECT_DOUBLE_EQ(report.corrected_coef, 0.0);
+  expect_conserved(report);
+}
+
+// A parity scrub on a dirty unreplicated line can detect but not repair:
+// the uncovered mass survives to the next load.
+TEST(RelTracker, ParityScrubCannotHealDirtyUncoveredWords) {
+  RelTracker tracker(parity_config());
+  tracker.on_fill(kBlock, 0, 0);
+  tracker.on_write(kBlock, 0, /*dirty_after=*/true, 0);
+  tracker.on_scrub_visit(kBlock, /*dirty=*/true, /*parity_regime=*/true, 80);
+  tracker.on_read(kBlock, 0, /*dirty=*/true, /*parity_regime=*/true, 80);
+  const RelReport report = tracker.report(80);
+
+  EXPECT_DOUBLE_EQ(report.scrub_coef, 0.0);
+  EXPECT_DOUBLE_EQ(report.detected_coef, 10.0);
+  expect_conserved(report);
+}
+
+// The interval taxonomy: one fill->read interval for the consumed word, a
+// read->evict-clean tail for its second life, and fill->evict-clean rows
+// for the seven never-read words.
+TEST(RelTracker, IntervalTaxonomyRows) {
+  RelTracker tracker(parity_config());
+  tracker.on_fill(kBlock, 0, 0);
+  tracker.on_read(kBlock, 0, /*dirty=*/false, /*parity_regime=*/true, 100);
+  tracker.on_evict(kBlock, /*dirty=*/false, 200);
+  const RelReport report = tracker.report(200);
+
+  ASSERT_EQ(report.intervals.size(), 3u);
+  const std::size_t clean = static_cast<std::size_t>(RelState::kParityClean);
+
+  const IntervalClassRow& fill_read = report.intervals[0];
+  EXPECT_EQ(fill_read.start, IntervalStart::kFill);
+  EXPECT_EQ(fill_read.end, IntervalEnd::kRead);
+  EXPECT_EQ(fill_read.state, RelState::kParityClean);
+  EXPECT_EQ(fill_read.count, 1u);
+  EXPECT_DOUBLE_EQ(fill_read.cycles, 100.0);
+  EXPECT_DOUBLE_EQ(fill_read.exposure, 12.5);
+
+  const IntervalClassRow& fill_evict = report.intervals[1];
+  EXPECT_EQ(fill_evict.start, IntervalStart::kFill);
+  EXPECT_EQ(fill_evict.end, IntervalEnd::kEvictClean);
+  EXPECT_EQ(fill_evict.count, 7u);
+  EXPECT_DOUBLE_EQ(fill_evict.cycles, 1400.0);
+  EXPECT_DOUBLE_EQ(fill_evict.exposure, 175.0);
+
+  const IntervalClassRow& read_evict = report.intervals[2];
+  EXPECT_EQ(read_evict.start, IntervalStart::kRead);
+  EXPECT_EQ(read_evict.end, IntervalEnd::kEvictClean);
+  EXPECT_EQ(read_evict.count, 1u);
+  EXPECT_DOUBLE_EQ(read_evict.cycles, 100.0);
+  EXPECT_DOUBLE_EQ(read_evict.exposure, 12.5);
+
+  // Clean-evicted mass is never consumed: benign.
+  EXPECT_DOUBLE_EQ(report.unobserved_coef, 187.5);
+  EXPECT_DOUBLE_EQ(report.state_exposure[clean], 200.0);
+  expect_conserved(report);
+}
+
+// report() must be a pure snapshot: calling it twice gives identical
+// results and does not perturb the tracker.
+TEST(RelTracker, ReportIsIdempotent) {
+  RelTracker tracker(parity_config());
+  tracker.on_fill(kBlock, 0, 0);
+  tracker.on_read(kBlock, 0, false, true, 100);
+  const RelReport a = tracker.report(150);
+  const RelReport b = tracker.report(150);
+  EXPECT_EQ(a.total_exposure, b.total_exposure);
+  EXPECT_EQ(a.open_exposure, b.open_exposure);
+  EXPECT_EQ(a.intervals.size(), b.intervals.size());
+  // The tracker keeps accepting events after a snapshot.
+  tracker.on_read(kBlock, 1, false, true, 200);
+  const RelReport c = tracker.report(200);
+  EXPECT_GT(c.corrected_coef, a.corrected_coef);
+}
+
+// Write-through stores refresh the backing word too, clearing its pending
+// corruption; the other seven words stay pending.
+TEST(RelTracker, WriteThroughClearsPendingWord) {
+  RelTracker::Config config = parity_config();
+  config.write_through = true;
+  RelTracker tracker(config);
+  tracker.on_fill(kBlock, 0, 0);
+  tracker.on_write(kBlock, 0, /*dirty_after=*/true, 0);
+  tracker.on_evict(kBlock, /*dirty=*/true, 80);  // deposits 10 per word
+  tracker.on_fill(kBlock, 0, 80);
+  tracker.on_write(kBlock, 0, /*dirty_after=*/false, 80);
+  const RelReport report = tracker.report(80);
+
+  EXPECT_DOUBLE_EQ(report.pending_residual, 70.0);  // 7 words x 10
+  expect_conserved(report);
+}
+
+TEST(RelReport, DerivedQuantities) {
+  RelReport report;
+  report.cycles = 1000;
+  report.clock_ghz = 1.0;
+  report.total_exposure = 200.0;
+  report.corrected_coef = 50.0;
+  report.replica_coef = 30.0;
+  report.detected_coef = 20.0;
+  report.silent_coef = 5.0;
+  report.deposited_coef = 40.0;
+
+  EXPECT_DOUBLE_EQ(report.vf_corrected(), 0.25);
+  EXPECT_DOUBLE_EQ(report.vf_replica_recovered(), 0.15);
+  EXPECT_DOUBLE_EQ(report.vf_detected_uncorrectable(), 0.10);
+  EXPECT_DOUBLE_EQ(report.vf_uncorrected(), 0.30);  // (20 + 40) / 200
+
+  const RelPrediction at = report.evaluate(1e-3);
+  EXPECT_DOUBLE_EQ(at.corrected, 0.05);
+  EXPECT_DOUBLE_EQ(at.silent, 0.005);
+  EXPECT_DOUBLE_EQ(at.total(), 0.105);
+
+  // cycle_scale stretches an injection run that took twice as long.
+  const RelPrediction scaled = report.evaluate(1e-3, 2.0);
+  EXPECT_DOUBLE_EQ(scaled.corrected, 0.10);
+
+  // FIT scale: events/run / cycles * (1e9 cycles/s * 3600 s/h) * 1e9 h.
+  const RelPrediction fit = report.fit(1e-3);
+  EXPECT_DOUBLE_EQ(fit.silent,
+                   0.005 / 1000.0 * (1e9 * 3600.0) * 1e9);
+
+  // Zero-exposure reports stay finite.
+  RelReport empty;
+  EXPECT_DOUBLE_EQ(empty.vf_uncorrected(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.fit(1e-3).total(), 0.0);
+}
+
+TEST(RelModel, EnumNamesAreStable) {
+  EXPECT_STREQ(to_string(RelState::kParityClean), "parity_clean");
+  EXPECT_STREQ(to_string(RelState::kEccDirty), "ecc_dirty");
+  EXPECT_STREQ(to_string(IntervalStart::kFill), "fill");
+  EXPECT_STREQ(to_string(IntervalEnd::kEvictDirty), "evict_dirty");
+  EXPECT_STREQ(to_string(IntervalEnd::kRefresh), "refresh");
+}
+
+}  // namespace
+}  // namespace icr::rel

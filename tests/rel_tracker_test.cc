@@ -1,0 +1,130 @@
+// Campaign-level contract of the reliability tracker:
+//   * attaching it never changes simulated behaviour — per-cell metrics are
+//     bit-identical with rel on vs off, at 1 and 8 worker threads (the
+//     acceptance guard for the src/rel subsystem);
+//   * the rel exports themselves are bit-identical across thread counts;
+//   * the exposure-conservation invariant holds on real runs, including
+//     under fault injection where the recovery hooks fire.
+#include "src/rel/rel_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/campaign.h"
+#include "src/sim/results_io.h"
+
+namespace icr::sim {
+namespace {
+
+CampaignSpec small_spec(double fault_probability) {
+  CampaignSpec spec;
+  spec.variants = {
+      {"BaseP", core::Scheme::BaseP()},
+      {"ICR-P-PS(S)", core::Scheme::IcrPPS_S()
+                          .with_decay_window(1000)
+                          .with_victim_policy(
+                              core::ReplicaVictimPolicy::kDeadFirst)},
+  };
+  spec.apps = {trace::App::kVortex, trace::App::kGzip};
+  spec.instructions = 20000;
+  spec.derive_seeds = true;
+  spec.base_seed = 0xD5DB2003ULL;
+  spec.config.fault_model = fault::FaultModel::kRandom;
+  spec.config.fault_probability = fault_probability;
+  return spec;
+}
+
+TEST(RelCampaign, SimulationBitIdenticalWithRelEnabled) {
+  const CampaignSpec off = small_spec(1e-4);
+  CampaignSpec on = off;
+  on.rel.enabled = true;
+  on.rel.probability = 1e-4;
+
+  const CampaignResult base = CampaignRunner(1).run(off);
+  const CampaignResult rel1 = CampaignRunner(1).run(on);
+  const CampaignResult rel8 = CampaignRunner(8).run(on);
+
+  ASSERT_EQ(base.cells.size(), rel1.cells.size());
+  ASSERT_EQ(base.cells.size(), rel8.cells.size());
+  for (std::size_t i = 0; i < base.cells.size(); ++i) {
+    const std::vector<double> want = metric_values(base.cells[i].result);
+    EXPECT_EQ(want, metric_values(rel1.cells[i].result))
+        << "cell " << i << ": rel tracker perturbed the simulation";
+    EXPECT_EQ(want, metric_values(rel8.cells[i].result))
+        << "cell " << i << ": rel tracker perturbed the simulation (8 thr)";
+    EXPECT_EQ(base.cells[i].rel, nullptr);
+    ASSERT_NE(rel1.cells[i].rel, nullptr);
+  }
+  // RelOptions are excluded from the experiment fingerprint by design.
+  EXPECT_EQ(base.meta.config_hash, rel1.meta.config_hash);
+}
+
+TEST(RelCampaign, ExportsBitIdenticalAcrossThreadCounts) {
+  CampaignSpec spec = small_spec(0.0);
+  spec.rel.enabled = true;
+  spec.rel.probability = 1e-3;
+
+  const CampaignResult one = CampaignRunner(1).run(spec);
+  const CampaignResult eight = CampaignRunner(8).run(spec);
+
+  const std::string csv = rel_to_csv(one);
+  EXPECT_EQ(csv, rel_to_csv(eight));
+  EXPECT_EQ(rel_intervals_to_csv(one), rel_intervals_to_csv(eight));
+  EXPECT_EQ(rel_to_json(one), rel_to_json(eight));
+
+  // The summary export carries one row per cell plus the header.
+  std::size_t lines = 0;
+  for (const char c : csv) lines += c == '\n';
+  EXPECT_EQ(lines, spec.cell_count() + 1);
+}
+
+TEST(RelCampaign, ConservationHoldsOnRealRuns) {
+  // Clean run: every accrued exposure unit must land in exactly one
+  // conservation bucket.
+  CampaignSpec clean = small_spec(0.0);
+  clean.rel.enabled = true;
+  const CampaignResult clean_result = CampaignRunner(2).run(clean);
+  for (const CellResult& cell : clean_result.cells) {
+    ASSERT_NE(cell.rel, nullptr);
+    const rel::RelReport& r = *cell.rel;
+    EXPECT_GT(r.total_exposure, 0.0);
+    EXPECT_NEAR(r.conservation_sum(), r.total_exposure,
+                1e-9 * (1.0 + r.total_exposure))
+        << cell.result.scheme << "/" << cell.result.app;
+    EXPECT_TRUE(r.model_supported);
+    EXPECT_EQ(r.cycles, cell.result.cycles);
+  }
+
+  // Injected run: the repair/refetch hooks fire; the invariant must still
+  // hold (recovered mass is credited to the scrub bucket).
+  CampaignSpec injected = small_spec(1e-3);
+  injected.rel.enabled = true;
+  const CampaignResult inj_result = CampaignRunner(2).run(injected);
+  for (const CellResult& cell : inj_result.cells) {
+    ASSERT_NE(cell.rel, nullptr);
+    const rel::RelReport& r = *cell.rel;
+    EXPECT_NEAR(r.conservation_sum(), r.total_exposure,
+                1e-9 * (1.0 + r.total_exposure))
+        << cell.result.scheme << "/" << cell.result.app;
+  }
+}
+
+TEST(RelCampaign, UnsupportedFaultModelIsFlagged) {
+  CampaignSpec spec = small_spec(1e-3);
+  spec.config.fault_model = fault::FaultModel::kAdjacent;
+  spec.rel.enabled = true;
+  spec.variants.resize(1);
+  spec.apps.resize(1);
+  const CampaignResult result = CampaignRunner(1).run(spec);
+  ASSERT_EQ(result.cells.size(), 1u);
+  ASSERT_NE(result.cells[0].rel, nullptr);
+  // The exposure integrals are still computed, but the outcome split is
+  // out of the model's scope for burst models.
+  EXPECT_FALSE(result.cells[0].rel->model_supported);
+  EXPECT_GT(result.cells[0].rel->total_exposure, 0.0);
+}
+
+}  // namespace
+}  // namespace icr::sim

@@ -218,23 +218,106 @@ int report_heatmap(const std::string& path) {
   return 0;
 }
 
+int report_rel(const std::string& path) {
+  const Csv csv = read_csv(path);
+  const std::size_t exposure_idx =
+      require_column(csv, "total_exposure", path.c_str());
+  static const char* kStates[] = {"parity_clean",     "parity_dirty",
+                                  "replicated_clean", "replicated_dirty",
+                                  "ecc_clean",        "ecc_dirty"};
+  struct Outcome {
+    const char* label;
+    const char* coef;
+    const char* vf;
+    const char* expected;
+  };
+  static const Outcome kOutcomes[] = {
+      {"corrected", "coef_corrected", "vf_corrected", "expected_corrected"},
+      {"replica recovered", "coef_replica_recovered", "vf_replica_recovered",
+       "expected_replica_recovered"},
+      {"detected uncorrectable", "coef_detected_uncorrectable",
+       "vf_detected_uncorrectable", "expected_detected_uncorrectable"},
+      {"silent", "coef_silent", nullptr, "expected_silent"},
+  };
+
+  const auto groups = group_cells(csv);
+  if (groups.empty()) {
+    std::printf("no reliability rows in %s\n", path.c_str());
+    return 0;
+  }
+  const std::size_t prob_idx = column_index(csv, "probability");
+  const std::size_t supported_idx = column_index(csv, "supported");
+
+  for (const auto& [key, row_indices] : groups) {
+    for (const std::size_t r : row_indices) {
+      const auto& row = csv.rows[r];
+      const double total = field_double(row, exposure_idx);
+      const double p = field_double(row, prob_idx);
+      std::string title = key + " — vulnerability breakdown";
+      if (supported_idx != static_cast<std::size_t>(-1) &&
+          field_double(row, supported_idx) == 0.0) {
+        title += " [fault model unsupported]";
+      }
+      TextTable t(std::move(title),
+                  {"exposure by state", "strikes/p", "share"});
+      for (const char* state : kStates) {
+        const double v =
+            field_double(row, column_index(csv, (std::string("exp_") + state).c_str()));
+        if (v == 0.0) continue;
+        t.add_row({state, format_double(v, 4),
+                   format_double(total > 0.0 ? v / total : 0.0, 4)});
+      }
+      t.add_row({"total", format_double(total, 4), "1.0"});
+      t.print();
+
+      TextTable o(key + " — first-order outcomes",
+                  {"outcome", "coefficient", "vulnerability factor",
+                   p > 0.0 ? "expected @ p" : "-"});
+      for (const Outcome& out : kOutcomes) {
+        const double coef = field_double(row, column_index(csv, out.coef));
+        const double vf =
+            out.vf != nullptr
+                ? field_double(row, column_index(csv, out.vf))
+                : 0.0;
+        const double expected =
+            field_double(row, column_index(csv, out.expected));
+        o.add_row({out.label, format_double(coef, 4),
+                   out.vf != nullptr ? format_double(vf, 4) : "-",
+                   p > 0.0 ? format_double(expected, 4) : "-"});
+      }
+      const double vf_unc =
+          field_double(row, column_index(csv, "vf_uncorrected"));
+      o.add_row({"uncorrected (headline)", "-", format_double(vf_unc, 4),
+                 "-"});
+      o.print();
+    }
+  }
+  return 0;
+}
+
 void usage() {
   std::puts(
       "icr_report — render observability CSVs as text tables\n"
       "  icr_report [--intervals] FILE   per-cell summary + phase tables\n"
-      "  icr_report --heatmap FILE       ASCII replica-occupancy heatmap\n");
+      "  icr_report --heatmap FILE       ASCII replica-occupancy heatmap\n"
+      "  icr_report --rel FILE           per-cell vulnerability breakdown\n"
+      "                                  (the rel summary CSV of run_campaign\n"
+      "                                  --rel-csv / icr_sim --rel-out)\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool heatmap = false;
+  enum class Mode { kIntervals, kHeatmap, kRel };
+  Mode mode = Mode::kIntervals;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--heatmap") == 0) {
-      heatmap = true;
+      mode = Mode::kHeatmap;
     } else if (std::strcmp(argv[i], "--intervals") == 0) {
-      heatmap = false;
+      mode = Mode::kIntervals;
+    } else if (std::strcmp(argv[i], "--rel") == 0) {
+      mode = Mode::kRel;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       usage();
@@ -251,5 +334,10 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
-  return heatmap ? report_heatmap(path) : report_intervals(path);
+  switch (mode) {
+    case Mode::kHeatmap: return report_heatmap(path);
+    case Mode::kRel: return report_rel(path);
+    case Mode::kIntervals: break;
+  }
+  return report_intervals(path);
 }

@@ -16,6 +16,8 @@
 #include <string>
 
 #include "src/obs/obs_io.h"
+#include "src/rel/rel_io.h"
+#include "src/sim/cli.h"
 #include "src/sim/experiment.h"
 #include "src/sim/results_io.h"
 #include "src/sim/simulator.h"
@@ -23,6 +25,11 @@
 #include "src/util/table.h"
 
 using namespace icr;
+using sim::cli::app_by_name;
+using sim::cli::fault_by_name;
+using sim::cli::parse_flag;
+using sim::cli::scheme_by_name;
+using sim::cli::victim_by_name;
 
 namespace {
 
@@ -45,6 +52,9 @@ struct Options {
   std::string heatmap_out;
   std::string trace_out;
   std::string trace_filter = "all";
+  bool rel = false;
+  std::string rel_out;
+  std::string rel_intervals_out;
 };
 
 void usage() {
@@ -69,52 +79,11 @@ void usage() {
       "  --heatmap-out=FILE    write the per-set replica occupancy CSV\n"
       "  --trace-out=FILE      write the NDJSON event trace\n"
       "  --trace-filter=LIST   categories: replication,eviction,fault,decay\n"
-      "                        or 'all' (default)\n");
-}
-
-bool parse_flag(const char* arg, const char* name, std::string& out) {
-  const std::size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
-    out = arg + len + 1;
-    return true;
-  }
-  return false;
-}
-
-core::Scheme scheme_by_name(const std::string& name) {
-  for (core::Scheme s : core::Scheme::all_paper_schemes()) {
-    if (s.name == name) return s;
-  }
-  if (name == "BaseECC-spec") return core::Scheme::BaseECCSpeculative();
-  std::fprintf(stderr, "unknown scheme '%s'\n", name.c_str());
-  std::exit(2);
-}
-
-core::ReplicaVictimPolicy victim_by_name(const std::string& name) {
-  using P = core::ReplicaVictimPolicy;
-  for (const P p : {P::kDeadOnly, P::kDeadFirst, P::kReplicaFirst,
-                    P::kReplicaOnly}) {
-    if (name == core::to_string(p)) return p;
-  }
-  std::fprintf(stderr, "unknown victim policy '%s'\n", name.c_str());
-  std::exit(2);
-}
-
-fault::FaultModel fault_by_name(const std::string& name) {
-  using M = fault::FaultModel;
-  for (const M m : {M::kRandom, M::kAdjacent, M::kColumn, M::kDirect}) {
-    if (name == fault::to_string(m)) return m;
-  }
-  std::fprintf(stderr, "unknown fault model '%s'\n", name.c_str());
-  std::exit(2);
-}
-
-trace::App app_by_name(const std::string& name) {
-  for (const trace::App a : trace::all_apps()) {
-    if (name == trace::to_string(a)) return a;
-  }
-  std::fprintf(stderr, "unknown app '%s'\n", name.c_str());
-  std::exit(2);
+      "                        or 'all' (default)\n"
+      "  --rel                 analytical reliability model: vulnerability\n"
+      "                        breakdown appended to the report\n"
+      "  --rel-out=FILE        write the reliability report as JSON\n"
+      "  --rel-intervals-out=F write the lifetime-interval taxonomy CSV\n");
 }
 
 void print_csv(const sim::RunResult& r) {
@@ -206,6 +175,12 @@ int main(int argc, char** argv) {
       opt.trace_out = value;
     } else if (parse_flag(argv[i], "--trace-filter", value)) {
       opt.trace_filter = value;
+    } else if (std::strcmp(argv[i], "--rel") == 0) {
+      opt.rel = true;
+    } else if (parse_flag(argv[i], "--rel-out", value)) {
+      opt.rel_out = value;
+    } else if (parse_flag(argv[i], "--rel-intervals-out", value)) {
+      opt.rel_intervals_out = value;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       usage();
@@ -256,8 +231,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!opt.rel_out.empty() || !opt.rel_intervals_out.empty()) opt.rel = true;
+  rel::RelOptions relopt;
+  relopt.enabled = opt.rel;
+  relopt.probability = opt.fault_prob;
+
   sim::RunResult result;
   obs::CellObservability telemetry;
+  rel::RelReport rel_report;
   if (!opt.trace_path.empty()) {
     // Replay path: assemble the system around the recorded trace.
     trace::FileTraceSource source(opt.trace_path);
@@ -276,6 +257,23 @@ int main(int argc, char** argv) {
     }
     cpu::Pipeline pipeline(config.pipeline, source, dl1, hierarchy,
                            injector.get());
+
+    // Manual rel wiring, mirroring sim::Simulator::enable_rel.
+    std::unique_ptr<rel::RelTracker> rel_tracker;
+    if (relopt.enabled) {
+      rel::RelTracker::Config rc;
+      rc.words_per_line = config.dl1.words_per_line();
+      rc.scheme_parity = scheme.protection == core::Protection::kParity;
+      rc.write_through =
+          scheme.write_policy == core::WritePolicy::kWriteThrough;
+      rc.model_supported = config.fault_probability == 0.0 ||
+                           config.fault_model == fault::FaultModel::kRandom;
+      rc.probability = relopt.probability > 0.0 ? relopt.probability
+                                                : config.fault_probability;
+      rc.clock_ghz = relopt.clock_ghz;
+      rel_tracker = std::make_unique<rel::RelTracker>(rc);
+      dl1.attach_rel(rel_tracker.get());
+    }
 
     // Manual observability wiring (the replay path assembles the system
     // itself instead of going through sim::Simulator).
@@ -314,6 +312,9 @@ int main(int argc, char** argv) {
     } else {
       pipeline.run(instructions);
     }
+    if (rel_tracker != nullptr) {
+      rel_report = rel_tracker->report(pipeline.cycle());
+    }
     if (sampler != nullptr) telemetry.intervals = sampler->take_series();
     if (observability.trace != nullptr) {
       telemetry.events = observability.trace->events();
@@ -338,12 +339,14 @@ int main(int argc, char** argv) {
     ev.ecc_computations = result.dl1.ecc_computations;
     result.energy_events = ev;
     result.energy = energy::EnergyModel(config.energy).evaluate(ev);
-  } else if (obsopt.any()) {
+  } else if (obsopt.any() || relopt.enabled) {
     sim::Simulator simulator(config, scheme,
                              trace::profile_for(app_by_name(opt.app)));
-    simulator.enable_observability(obsopt);
+    if (obsopt.any()) simulator.enable_observability(obsopt);
+    if (relopt.enabled) simulator.enable_rel(relopt);
     result = simulator.run(instructions);
-    telemetry = simulator.collect_observability();
+    if (obsopt.any()) telemetry = simulator.collect_observability();
+    if (relopt.enabled) rel_report = simulator.collect_rel();
   } else {
     result =
         sim::run_one(app_by_name(opt.app), scheme, config, instructions);
@@ -353,9 +356,23 @@ int main(int argc, char** argv) {
     print_csv(result);
   } else {
     print_report(result);
+    if (opt.rel) std::fputs(rel::format_report(rel_report).c_str(), stdout);
   }
 
   const obs::CellTag tag{result.scheme, result.app, 0};
+  if (!opt.rel_out.empty()) {
+    std::string json;
+    rel::append_json_object(json, rel_report, tag, 0);
+    json += '\n';
+    sim::write_text_file(opt.rel_out, json);
+    std::printf("wrote reliability report to %s\n", opt.rel_out.c_str());
+  }
+  if (!opt.rel_intervals_out.empty()) {
+    sim::write_text_file(opt.rel_intervals_out,
+                         rel::intervals_to_csv(rel_report, tag));
+    std::printf("wrote %zu interval classes to %s\n",
+                rel_report.intervals.size(), opt.rel_intervals_out.c_str());
+  }
   if (!opt.intervals_out.empty()) {
     sim::write_text_file(opt.intervals_out,
                          obs::intervals_to_csv(telemetry.intervals, tag));

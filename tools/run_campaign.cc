@@ -18,10 +18,16 @@
 #include <vector>
 
 #include "src/sim/campaign.h"
+#include "src/sim/cli.h"
 #include "src/sim/results_io.h"
 #include "src/util/table.h"
 
 using namespace icr;
+using sim::cli::app_by_name;
+using sim::cli::fault_by_name;
+using sim::cli::parse_flag;
+using sim::cli::scheme_by_name;
+using sim::cli::split_csv;
 
 namespace {
 
@@ -44,6 +50,10 @@ struct Options {
   std::string heatmap_out;
   std::string trace_out;
   std::string trace_filter = "all";
+  bool rel = false;
+  std::string rel_csv;
+  std::string rel_json;
+  std::string rel_intervals;
 };
 
 void usage() {
@@ -74,57 +84,15 @@ void usage() {
       "  --trace-out=FILE      write all cells' NDJSON event trace\n"
       "  --trace-filter=LIST   categories: replication,eviction,fault,decay\n"
       "                        or 'all' (default)\n"
+      "  --rel                 per-cell analytical reliability tracking\n"
+      "                        (implies --rel-csv=rel.csv unless given)\n"
+      "  --rel-csv=FILE        write per-cell vulnerability summary CSV\n"
+      "  --rel-json=FILE       write per-cell reliability reports as JSON\n"
+      "  --rel-intervals=FILE  write lifetime-interval taxonomy CSV\n"
       "\n"
       "Seeding: trials > 1 (or an explicit --seed) derives each cell's\n"
       "workload and injection seeds via SplitMix64 from (seed, scheme,\n"
       "app, trial), so results never depend on thread count or schedule.");
-}
-
-bool parse_flag(const char* arg, const char* name, std::string& out) {
-  const std::size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
-    out = arg + len + 1;
-    return true;
-  }
-  return false;
-}
-
-std::vector<std::string> split_csv(const std::string& list) {
-  std::vector<std::string> items;
-  std::size_t start = 0;
-  while (start <= list.size()) {
-    std::size_t comma = list.find(',', start);
-    if (comma == std::string::npos) comma = list.size();
-    if (comma > start) items.push_back(list.substr(start, comma - start));
-    start = comma + 1;
-  }
-  return items;
-}
-
-core::Scheme scheme_by_name(const std::string& name) {
-  for (core::Scheme s : core::Scheme::all_paper_schemes()) {
-    if (s.name == name) return s;
-  }
-  if (name == "BaseECC-spec") return core::Scheme::BaseECCSpeculative();
-  std::fprintf(stderr, "unknown scheme '%s'\n", name.c_str());
-  std::exit(2);
-}
-
-trace::App app_by_name(const std::string& name) {
-  for (const trace::App a : trace::all_apps()) {
-    if (name == trace::to_string(a)) return a;
-  }
-  std::fprintf(stderr, "unknown app '%s'\n", name.c_str());
-  std::exit(2);
-}
-
-fault::FaultModel fault_by_name(const std::string& name) {
-  using M = fault::FaultModel;
-  for (const M m : {M::kRandom, M::kAdjacent, M::kColumn, M::kDirect}) {
-    if (name == fault::to_string(m)) return m;
-  }
-  std::fprintf(stderr, "unknown fault model '%s'\n", name.c_str());
-  std::exit(2);
 }
 
 }  // namespace
@@ -173,6 +141,14 @@ int main(int argc, char** argv) {
       opt.trace_out = value;
     } else if (parse_flag(argv[i], "--trace-filter", value)) {
       opt.trace_filter = value;
+    } else if (std::strcmp(argv[i], "--rel") == 0) {
+      opt.rel = true;
+    } else if (parse_flag(argv[i], "--rel-csv", value)) {
+      opt.rel_csv = value;
+    } else if (parse_flag(argv[i], "--rel-json", value)) {
+      opt.rel_json = value;
+    } else if (parse_flag(argv[i], "--rel-intervals", value)) {
+      opt.rel_intervals = value;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       usage();
@@ -226,6 +202,20 @@ int main(int argc, char** argv) {
       (!opt.intervals_out.empty() || !opt.heatmap_out.empty())) {
     opt.stats_interval = obs::kDefaultStatsInterval;
   }
+  // Analytical reliability tracking: any rel export implies enabling the
+  // tracker; --rel alone defaults to rel.csv. Like obs, rel options never
+  // enter the config hash.
+  if (!opt.rel_csv.empty() || !opt.rel_json.empty() ||
+      !opt.rel_intervals.empty()) {
+    opt.rel = true;
+  }
+  if (opt.rel && opt.rel_csv.empty() && opt.rel_json.empty() &&
+      opt.rel_intervals.empty()) {
+    opt.rel_csv = "rel.csv";
+  }
+  spec.rel.enabled = opt.rel;
+  spec.rel.probability = opt.fault_prob;
+
   spec.obs.stats_interval = opt.stats_interval;
   if (!opt.trace_out.empty()) {
     spec.obs.trace_categories = obs::parse_category_list(opt.trace_filter);
@@ -298,6 +288,19 @@ int main(int argc, char** argv) {
     if (!opt.trace_out.empty()) {
       sim::write_text_file(opt.trace_out, sim::trace_to_ndjson(campaign));
       std::printf("wrote %s\n", opt.trace_out.c_str());
+    }
+    if (!opt.rel_csv.empty()) {
+      sim::write_text_file(opt.rel_csv, sim::rel_to_csv(campaign));
+      std::printf("wrote %s\n", opt.rel_csv.c_str());
+    }
+    if (!opt.rel_json.empty()) {
+      sim::write_text_file(opt.rel_json, sim::rel_to_json(campaign));
+      std::printf("wrote %s\n", opt.rel_json.c_str());
+    }
+    if (!opt.rel_intervals.empty()) {
+      sim::write_text_file(opt.rel_intervals,
+                           sim::rel_intervals_to_csv(campaign));
+      std::printf("wrote %s\n", opt.rel_intervals.c_str());
     }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "export failed: %s\n", error.what());
