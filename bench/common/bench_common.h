@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/common/bench_json.h"
 #include "src/sim/campaign.h"
 #include "src/sim/experiment.h"
 #include "src/util/table.h"
@@ -22,12 +23,27 @@ namespace icr::bench {
 //   --progress          force progress reporting even with --quiet
 //   --instructions=N    per-point instruction budget (sets ICR_SIM_INSTRUCTIONS)
 //   --threads=N         campaign worker threads (sets ICR_SIM_THREADS)
-// Unknown flags are ignored so individual benches can layer their own.
+//   --json-out=FILE     write an icr-bench-v1 JSON document on exit
+// Unrecognized "--" flags draw a warning on stderr (they are still
+// tolerated, so individual benches can layer their own after declaring
+// them via claim_flag()).
 // Call first thing in every bench main().
 void init(int argc, char** argv);
 
+// Registers `flag` (e.g. "--trials") as known to this binary before
+// calling init(), suppressing the unknown-flag warning for it.
+void claim_flag(const std::string& flag);
+
 // True once init() ran with --quiet.
 [[nodiscard]] bool quiet();
+
+// Destination of --json-out, empty when the flag was absent.
+[[nodiscard]] const std::string& json_out_path();
+
+// Appends one metric to the pending bench JSON document (no-op without
+// --json-out). The document is written once at process exit.
+void record_metric(const std::string& name, double value,
+                   Better better = Better::kNone, double noise = 0.0);
 
 // Prints the standard bench header (figure id, settings, instruction count).
 void print_header(const std::string& figure, const std::string& description);

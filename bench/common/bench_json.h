@@ -1,0 +1,89 @@
+// Machine-readable bench results ("icr-bench-v1").
+//
+// Every bench binary can emit one JSON document describing the run: which
+// bench, which source revision, the campaign configuration fingerprint,
+// wall time, simulated MIPS, and a flat list of named metrics. Each metric
+// carries a direction ("better": lower/higher/none) and an optional
+// per-metric relative noise threshold, so tools/bench_compare can diff two
+// documents without any out-of-band knowledge of what the numbers mean.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace icr::bench {
+
+inline constexpr const char* kBenchJsonSchema = "icr-bench-v1";
+
+// Direction in which a metric improves.
+enum class Better { kLower, kHigher, kNone };
+
+[[nodiscard]] const char* to_string(Better better) noexcept;
+
+struct BenchMetric {
+  std::string name;
+  double value = 0.0;
+  Better better = Better::kNone;
+  // Relative change below this is noise for this metric; 0 defers to the
+  // comparer's default threshold.
+  double noise = 0.0;
+};
+
+struct BenchJson {
+  std::string bench;        // bench binary / figure id
+  std::string git_sha;      // build-time SHA (GITHUB_SHA overrides at runtime)
+  std::string config_hash;  // campaign config fingerprint, hex
+  double wall_seconds = 0.0;
+  double mips = 0.0;  // simulated instructions per wall microsecond
+  std::vector<BenchMetric> metrics;
+
+  [[nodiscard]] const BenchMetric* find(const std::string& name) const;
+};
+
+// Serializes `doc` as a schema-tagged JSON object.
+[[nodiscard]] std::string to_json(const BenchJson& doc);
+
+// Parses a document written by to_json. Throws std::runtime_error on
+// malformed JSON or a schema mismatch.
+[[nodiscard]] BenchJson from_json_text(const std::string& text);
+
+struct CompareOptions {
+  // Relative change treated as noise when a metric carries no `noise` of
+  // its own. 0.1 = 10%, comfortably below the 20% regressions the compare
+  // gate must catch while riding out simulator wall-clock jitter.
+  double default_threshold = 0.1;
+};
+
+struct MetricDelta {
+  std::string name;
+  double base = 0.0;
+  double current = 0.0;
+  double rel_change = 0.0;  // (current - base) / |base|
+  double threshold = 0.0;   // resolved noise bound for this metric
+  Better better = Better::kNone;
+  bool regressed = false;
+  bool improved = false;
+};
+
+struct CompareResult {
+  std::vector<MetricDelta> deltas;          // base order
+  std::vector<std::string> missing_in_current;
+  std::vector<std::string> extra_in_current;
+
+  // True when any directional metric moved the wrong way past its noise
+  // threshold, or the current run lost metrics the baseline had.
+  [[nodiscard]] bool regressed() const;
+};
+
+// Diffs `current` against `base`, matching metrics by name.
+[[nodiscard]] CompareResult compare(const BenchJson& base,
+                                    const BenchJson& current,
+                                    const CompareOptions& options = {});
+
+// Renders a compare as an aligned table plus a one-line verdict.
+[[nodiscard]] std::string format_compare(const CompareResult& result,
+                                         const BenchJson& base,
+                                         const BenchJson& current);
+
+}  // namespace icr::bench

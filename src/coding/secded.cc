@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "src/obs/prof.h"
 #include "src/util/bitops.h"
 
 namespace icr {
@@ -48,6 +49,7 @@ unsigned data_bit_position(unsigned data_bit) noexcept {
 }  // namespace secded_internal
 
 std::uint8_t secded_encode(std::uint64_t data) noexcept {
+  ICR_PROF_ZONE_HOT("secded_encode");
   const std::uint8_t hamming = hamming_checks(data);
   // Overall parity covers every codeword bit: all data bits plus the seven
   // Hamming checks. Stored in bit 7 of the check byte.
@@ -58,6 +60,7 @@ std::uint8_t secded_encode(std::uint64_t data) noexcept {
 }
 
 SecDedResult secded_decode(std::uint64_t data, std::uint8_t check) noexcept {
+  ICR_PROF_ZONE_HOT("secded_decode");
   const std::uint8_t stored_hamming = check & 0x7F;
   const unsigned stored_overall = (check >> 7) & 1U;
 

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/coding/parity.h"
+#include "src/obs/prof.h"
 #include "src/coding/secded.h"
 #include "src/rel/rel_tracker.h"
 #include "src/util/check.h"
@@ -181,6 +182,7 @@ IcrLine& IcrCache::allocate_primary_slot(std::uint64_t block,
 IcrLine* IcrCache::select_replica_victim(std::uint32_t set,
                                          std::uint64_t block,
                                          std::uint64_t cycle) {
+  ICR_PROF_ZONE_HOT("IcrCache::select_replica_victim");
   IcrLine* base = set_base(set);
   IcrLine* invalid = nullptr;
   IcrLine* dead = nullptr;     // LRU dead primary
@@ -233,6 +235,7 @@ void IcrCache::attempt_replication(IcrLine& primary, std::uint64_t cycle) {
   }
 
   ++stats_.site_searches;
+  ICR_PROF_ZONE_HOT("IcrCache::site_search");
   const std::uint32_t home = geometry_.set_index(primary.block_addr);
 
   for (std::uint32_t d : distances_) {
@@ -310,6 +313,7 @@ void IcrCache::attempt_replication(IcrLine& primary, std::uint64_t cycle) {
 void IcrCache::verify_and_recover(IcrLine& line, std::uint32_t word_index,
                                   std::uint64_t cycle,
                                   AccessOutcome& outcome) {
+  ICR_PROF_ZONE_HOT("IcrCache::verify_and_recover");
   std::uint64_t word = read_word(line, word_index);
 
   if (parity_regime(line)) {
@@ -442,6 +446,7 @@ void IcrCache::verify_and_recover(IcrLine& line, std::uint32_t word_index,
 
 IcrCache::AccessOutcome IcrCache::load(std::uint64_t addr,
                                        std::uint64_t cycle) {
+  ICR_PROF_ZONE_HOT("IcrCache::load");
   AccessOutcome outcome;
   ++stats_.loads;
   ++stats_.l1_read_accesses;
@@ -543,6 +548,7 @@ IcrCache::AccessOutcome IcrCache::load(std::uint64_t addr,
 IcrCache::AccessOutcome IcrCache::store(std::uint64_t addr,
                                         std::uint64_t value,
                                         std::uint64_t cycle) {
+  ICR_PROF_ZONE_HOT("IcrCache::store");
   AccessOutcome outcome;
   ++stats_.stores;
   ++stats_.l1_write_accesses;
@@ -619,6 +625,7 @@ IcrCache::AccessOutcome IcrCache::store(std::uint64_t addr,
 
 void IcrCache::advance_scrubber(std::uint64_t cycle) {
   if (scheme_.scrub_interval == 0 || cycle < next_scrub_cycle_) return;
+  ICR_PROF_ZONE_HOT("IcrCache::scrub");
   next_scrub_cycle_ = cycle + scheme_.scrub_interval;
 
   const std::uint32_t set = scrub_cursor_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/prof.h"
 #include "src/util/check.h"
 
 namespace icr::cpu {
@@ -247,8 +248,10 @@ const PipelineStats& Pipeline::run(std::uint64_t instruction_count,
   if (max_cycles == 0) {
     max_cycles = cycle_ + 10000 * std::max<std::uint64_t>(1, instruction_count);
   }
+  ICR_PROF_ZONE("Pipeline::run");
   const std::uint64_t target = stats_.committed + instruction_count;
   while (stats_.committed < target) {
+    ICR_PROF_ZONE_HOT("Pipeline::tick");
     ICR_CHECK(cycle_ < max_cycles);  // model deadlock guard
     do_commit();
     do_writeback();

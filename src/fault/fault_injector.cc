@@ -1,5 +1,7 @@
 #include "src/fault/fault_injector.h"
 
+#include "src/obs/prof.h"
+
 namespace icr::fault {
 
 const char* to_string(FaultModel model) noexcept {
@@ -45,6 +47,7 @@ bool FaultInjector::pick_valid_line(const core::IcrCache& cache,
 }
 
 void FaultInjector::inject_once(core::IcrCache& cache, std::uint64_t cycle) {
+  ICR_PROF_ZONE_HOT("FaultInjector::inject_once");
   std::uint32_t set = 0;
   std::uint32_t way = 0;
   if (!pick_valid_line(cache, set, way)) {
@@ -97,6 +100,7 @@ void FaultInjector::inject_once(core::IcrCache& cache, std::uint64_t cycle) {
 
 void FaultInjector::tick(core::IcrCache& cache, std::uint64_t cycle) {
   if (probability_ <= 0.0) return;
+  ICR_PROF_ZONE_HOT("FaultInjector::tick");
   if (rng_.bernoulli(probability_)) inject_once(cache, cycle);
 }
 

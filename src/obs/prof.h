@@ -1,0 +1,158 @@
+// Host-side profiler for the simulator itself.
+//
+// Where src/obs instruments the *simulated* cache hierarchy, this profiles
+// the *simulating* process: RAII scoped zones record where wall time goes
+// (pipeline tick vs. replication-site search vs. SEC-DED decode vs. rel
+// hooks vs. export), so "make it faster" PRs know what to attack first.
+//
+// Design constraints, in order:
+//   * Always compiled, runtime-toggleable. When no capture is active every
+//     zone costs one relaxed atomic load and a predictable branch — cheap
+//     enough to leave in per-cycle paths (guarded by the micro_ops wall-time
+//     budget in the acceptance tests).
+//   * Per-thread, lock-free recording. Each thread owns its buffer; the
+//     global registry mutex is taken only on first use of a thread per
+//     capture. Campaign workers therefore never contend.
+//   * Deterministic merge. end_capture() folds all per-thread aggregation
+//     trees into one tree keyed by zone *path* (strings, not pointers) with
+//     children sorted by name, so the merged zone table is independent of
+//     thread scheduling. Timings vary run to run; structure does not.
+//
+// Two detail levels keep traces usable:
+//   * kCoarse zones (campaign cells, run chunks, exports) aggregate AND
+//     record a trace event each — they become slices in the Chrome trace.
+//   * kHot zones (per-cycle tick, per-access cache paths, SEC-DED decode)
+//     aggregate only: they appear in the self-time table with call counts
+//     but never flood the event ring.
+//
+// Threading contract: begin_capture()/end_capture() must be called while no
+// zone is live and no worker thread is still recording (CampaignRunner joins
+// its pool before returning, so tool code is naturally safe).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace icr::obs::prof {
+
+inline constexpr int kOff = 0;
+inline constexpr int kCoarse = 1;  // cells, run chunks, exports
+inline constexpr int kHot = 2;     // per-cycle / per-access zones
+
+namespace internal {
+extern std::atomic<int> g_level;
+}  // namespace internal
+
+// Current capture level; zones with zone_level > level() record nothing.
+[[nodiscard]] inline int level() noexcept {
+  return internal::g_level.load(std::memory_order_relaxed);
+}
+
+// True between begin_capture() and end_capture().
+[[nodiscard]] bool capturing() noexcept;
+
+struct CaptureOptions {
+  int level = kHot;  // record coarse + hot zones by default
+  // Ring capacity of each thread's trace-event buffer; the ring keeps the
+  // most recent events and counts the overwritten ones as dropped.
+  std::size_t events_per_thread = std::size_t{1} << 16;
+};
+
+// Starts a capture: resets all buffers, stamps the epoch, and raises the
+// level so zones begin recording. Restarting an active capture is allowed
+// and simply begins a fresh one.
+void begin_capture(const CaptureOptions& options = {});
+
+// One aggregated zone (a unique path through the zone nesting).
+struct ZoneNode {
+  std::string path;  // "Campaign::cell/Pipeline::run/Pipeline::tick"
+  std::string name;  // last path component
+  int depth = 0;     // 0 for root zones
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;  // inclusive wall time
+  std::uint64_t self_ns = 0;   // total minus instrumented children
+};
+
+// One retained trace event (coarse zones only).
+struct SpanEvent {
+  std::string name;
+  std::string label;  // dynamic detail ("BaseP/mcf/0"); empty for most
+  std::uint64_t start_ns = 0;  // since capture epoch
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;  // per-capture thread index
+  std::uint16_t depth = 0;
+};
+
+// Merged snapshot of one finished capture.
+struct Profile {
+  // Depth-first over the merged tree, children in name order: a parent
+  // always precedes its children, and the order is schedule-independent.
+  std::vector<ZoneNode> zones;
+  std::vector<SpanEvent> events;  // grouped by tid, chronological within
+  std::uint64_t wall_ns = 0;      // begin_capture .. end_capture
+  std::uint64_t dropped_events = 0;
+  std::uint32_t threads = 0;
+
+  // Sum of every zone's self time == sum of root totals. On a single
+  // recording thread this is <= wall_ns; with N threads it can reach
+  // N * wall_ns.
+  [[nodiscard]] std::uint64_t total_self_ns() const noexcept;
+
+  [[nodiscard]] const ZoneNode* find(const std::string& path) const noexcept;
+};
+
+// Stops the capture (level drops to kOff) and merges all thread buffers.
+[[nodiscard]] Profile end_capture();
+
+// RAII zone. Construct via the ICR_PROF_ZONE* macros; the object is inert
+// (one load + branch) unless a capture at a sufficient level is active.
+class ScopedZone {
+ public:
+  explicit ScopedZone(const char* name, int zone_level = kCoarse) noexcept {
+    if (zone_level <= level()) begin(name, zone_level, nullptr);
+  }
+  // Coarse zone with a dynamic label (campaign cells). The label is only
+  // evaluated into the per-thread pool while recording.
+  ScopedZone(const char* name, const std::string& label) noexcept {
+    if (kCoarse <= level()) begin(name, kCoarse, &label);
+  }
+  ~ScopedZone() {
+    if (armed_) end();
+  }
+  ScopedZone(const ScopedZone&) = delete;
+  ScopedZone& operator=(const ScopedZone&) = delete;
+
+ private:
+  void begin(const char* name, int zone_level, const std::string* label) noexcept;
+  void end() noexcept;
+
+  bool armed_ = false;
+  bool emit_event_ = false;
+  int node_ = 0;
+  std::uint32_t label_idx_ = 0;  // 0 = none, else pool index + 1
+  std::uint64_t start_ns_ = 0;
+};
+
+#define ICR_PROF_CAT2(a, b) a##b
+#define ICR_PROF_CAT(a, b) ICR_PROF_CAT2(a, b)
+
+// Coarse zone: aggregated + retained as a trace slice.
+#define ICR_PROF_ZONE(name) \
+  ::icr::obs::prof::ScopedZone ICR_PROF_CAT(icr_prof_zone_, __LINE__)(name)
+
+// Hot zone: aggregated only (call counts + self time), never traced.
+#define ICR_PROF_ZONE_HOT(name)                                    \
+  ::icr::obs::prof::ScopedZone ICR_PROF_CAT(icr_prof_zone_,        \
+                                            __LINE__)(name,        \
+                                                      ::icr::obs:: \
+                                                          prof::kHot)
+
+// Coarse zone with a dynamic label; label_expr is evaluated only while a
+// capture is live.
+#define ICR_PROF_ZONE_LABELED(name, label_expr)                         \
+  ::icr::obs::prof::ScopedZone ICR_PROF_CAT(icr_prof_zone_, __LINE__)(  \
+      name, ::icr::obs::prof::level() > 0 ? (label_expr) : std::string())
+
+}  // namespace icr::obs::prof

@@ -1,0 +1,209 @@
+#include "src/obs/prof_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "src/util/json.h"
+#include "src/util/table.h"
+
+namespace icr::obs::prof {
+
+namespace {
+
+void append_number(std::string& out, double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof buffer, "%.3f", value);
+  out += buffer;
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%llu",
+                static_cast<unsigned long long>(value));
+  out += buffer;
+}
+
+std::string format_ms(std::uint64_t ns) {
+  return format_double(static_cast<double>(ns) / 1e6, 3);
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const Profile& profile,
+                            const std::string& process_name) {
+  std::string out = "[\n";
+
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"" + util::json_escape(process_name) + "\"}}";
+  for (std::uint32_t t = 0; t < profile.threads; ++t) {
+    out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    append_u64(out, t);
+    out += ",\"args\":{\"name\":\"worker ";
+    append_u64(out, t);
+    out += "\"}}";
+  }
+
+  // Capture-level metadata: wall time, thread count, ring drops.
+  out += ",\n{\"name\":\"icr_capture\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"wall_ns\":";
+  append_u64(out, profile.wall_ns);
+  out += ",\"threads\":";
+  append_u64(out, profile.threads);
+  out += ",\"dropped_events\":";
+  append_u64(out, profile.dropped_events);
+  out += "}}";
+
+  // The aggregated zone table (covers hot zones that never emit spans).
+  for (const ZoneNode& zone : profile.zones) {
+    out += ",\n{\"name\":\"icr_zone_stats\",\"ph\":\"M\",\"pid\":1,"
+           "\"tid\":0,\"args\":{\"path\":\"" + util::json_escape(zone.path) +
+           "\",\"zone\":\"" + util::json_escape(zone.name) + "\",\"depth\":";
+    append_u64(out, static_cast<std::uint64_t>(zone.depth));
+    out += ",\"count\":";
+    append_u64(out, zone.count);
+    out += ",\"total_ns\":";
+    append_u64(out, zone.total_ns);
+    out += ",\"self_ns\":";
+    append_u64(out, zone.self_ns);
+    out += "}}";
+  }
+
+  for (const SpanEvent& event : profile.events) {
+    out += ",\n{\"name\":\"" + util::json_escape(event.name) +
+           "\",\"cat\":\"zone\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    append_u64(out, event.tid);
+    out += ",\"ts\":";
+    append_number(out, static_cast<double>(event.start_ns) / 1000.0);
+    out += ",\"dur\":";
+    append_number(out, static_cast<double>(event.dur_ns) / 1000.0);
+    if (!event.label.empty()) {
+      out += ",\"args\":{\"label\":\"" + util::json_escape(event.label) + "\"}";
+    }
+    out += "}";
+  }
+
+  out += "\n]\n";
+  return out;
+}
+
+ParsedTrace parse_chrome_trace(const std::string& text) {
+  const util::JsonValue doc = util::JsonValue::parse(text);
+  if (!doc.is_array()) {
+    throw std::runtime_error("profile trace: top-level JSON array expected");
+  }
+  ParsedTrace parsed;
+  for (const util::JsonValue& event : doc.items()) {
+    const std::string& ph = event.get("ph").as_string();
+    const std::string& name = event.get("name").as_string();
+    if (ph == "X") {
+      ++parsed.span_events;
+      continue;
+    }
+    if (ph != "M") continue;
+    if (name == "icr_capture") {
+      const util::JsonValue& args = event.get("args");
+      parsed.profile.wall_ns =
+          static_cast<std::uint64_t>(args.get("wall_ns").as_double());
+      parsed.profile.threads =
+          static_cast<std::uint32_t>(args.get("threads").as_double());
+      parsed.profile.dropped_events =
+          static_cast<std::uint64_t>(args.get("dropped_events").as_double());
+    } else if (name == "icr_zone_stats") {
+      const util::JsonValue& args = event.get("args");
+      ZoneNode zone;
+      zone.path = args.get("path").as_string();
+      zone.name = args.get("zone").as_string();
+      zone.depth = static_cast<int>(args.get("depth").as_double());
+      zone.count = static_cast<std::uint64_t>(args.get("count").as_double());
+      zone.total_ns =
+          static_cast<std::uint64_t>(args.get("total_ns").as_double());
+      zone.self_ns =
+          static_cast<std::uint64_t>(args.get("self_ns").as_double());
+      parsed.profile.zones.push_back(std::move(zone));
+    }
+  }
+  return parsed;
+}
+
+namespace {
+
+// Re-links the flat DFS zone list into a tree (parent precedes children,
+// depth gives nesting) so siblings can be displayed hottest-first.
+struct DisplayNode {
+  const ZoneNode* zone = nullptr;
+  std::vector<std::size_t> children;
+};
+
+void emit_rows(const std::vector<DisplayNode>& nodes, std::size_t index,
+               std::uint64_t denom, TextTable& table) {
+  const ZoneNode& zone = *nodes[index].zone;
+  const double self_pct =
+      denom == 0 ? 0.0
+                 : 100.0 * static_cast<double>(zone.self_ns) /
+                       static_cast<double>(denom);
+  const double ns_per_call =
+      zone.count == 0 ? 0.0
+                      : static_cast<double>(zone.total_ns) /
+                            static_cast<double>(zone.count);
+  table.add_row({std::string(static_cast<std::size_t>(zone.depth) * 2, ' ') +
+                     zone.name,
+                 std::to_string(zone.count), format_ms(zone.total_ns),
+                 format_ms(zone.self_ns), format_double(self_pct, 1),
+                 format_double(ns_per_call, 0)});
+  std::vector<std::size_t> order = nodes[index].children;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return nodes[a].zone->self_ns > nodes[b].zone->self_ns;
+                   });
+  for (const std::size_t child : order) {
+    emit_rows(nodes, child, denom, table);
+  }
+}
+
+}  // namespace
+
+std::string format_self_time_table(const Profile& profile) {
+  std::vector<DisplayNode> nodes(profile.zones.size());
+  std::vector<std::size_t> roots;
+  std::vector<std::size_t> stack;  // indices of the current ancestor chain
+  for (std::size_t i = 0; i < profile.zones.size(); ++i) {
+    const ZoneNode& zone = profile.zones[i];
+    nodes[i].zone = &zone;
+    while (stack.size() > static_cast<std::size_t>(zone.depth)) {
+      stack.pop_back();
+    }
+    if (stack.empty()) {
+      roots.push_back(i);
+    } else {
+      nodes[stack.back()].children.push_back(i);
+    }
+    stack.push_back(i);
+  }
+
+  const std::uint64_t total_self = profile.total_self_ns();
+  TextTable table(
+      "host profile — " + std::to_string(profile.zones.size()) + " zones, " +
+          std::to_string(profile.threads) + " thread(s), wall " +
+          format_ms(profile.wall_ns) + " ms",
+      {"zone", "calls", "total ms", "self ms", "self %", "ns/call"});
+
+  std::vector<std::size_t> order = roots;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return nodes[a].zone->self_ns > nodes[b].zone->self_ns;
+                   });
+  for (const std::size_t root : order) {
+    emit_rows(nodes, root, total_self, table);
+  }
+  table.add_row({"(instrumented total)", "-", format_ms(total_self),
+                 format_ms(total_self), "100.0", "-"});
+  if (profile.dropped_events > 0) {
+    table.add_row({"(dropped trace events)",
+                   std::to_string(profile.dropped_events), "-", "-", "-",
+                   "-"});
+  }
+  return table.render();
+}
+
+}  // namespace icr::obs::prof

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "src/obs/prof.h"
 #include "src/sim/simulator.h"
 #include "src/util/rng.h"
 #include "src/util/thread_pool.h"
@@ -46,6 +47,10 @@ CellResult run_cell(const CampaignSpec& spec, std::size_t variant_idx,
                     std::uint64_t instructions) {
   const SchemeVariant& variant = spec.variants[variant_idx];
   const trace::App app = spec.apps[app_idx];
+  ICR_PROF_ZONE_LABELED(
+      "Campaign::cell",
+      variant.label + "/" + trace::to_string(app) + "/trial " +
+          std::to_string(trial_idx));
 
   SimConfig config = variant.config ? *variant.config : spec.config;
   trace::WorkloadProfile profile = trace::profile_for(app);
@@ -86,9 +91,12 @@ CellResult run_cell(const CampaignSpec& spec, std::size_t variant_idx,
 // limited) printing takes a mutex.
 class ProgressReporter {
  public:
-  ProgressReporter(const ProgressOptions& options, std::size_t total)
+  // `instructions_per_cell` feeds the simulated-MIPS readout; 0 hides it.
+  ProgressReporter(const ProgressOptions& options, std::size_t total,
+                   std::uint64_t instructions_per_cell)
       : options_(options),
         total_(total),
+        instructions_per_cell_(instructions_per_cell),
         start_(std::chrono::steady_clock::now()),
         last_print_(start_) {}
 
@@ -107,13 +115,28 @@ class ProgressReporter {
     const double rate =
         elapsed.count() > 0.0 ? static_cast<double>(done) / elapsed.count()
                               : 0.0;
-    const double eta =
-        rate > 0.0 ? static_cast<double>(total_ - done) / rate : 0.0;
+    // Before any cell completes (or when the clock has not advanced) there
+    // is no rate to divide by; print "ETA --" instead of a bogus number.
+    char eta[32];
+    if (rate > 0.0 && done <= total_) {
+      std::snprintf(eta, sizeof eta, "ETA %.0fs",
+                    static_cast<double>(total_ - done) / rate);
+    } else {
+      std::snprintf(eta, sizeof eta, "ETA --");
+    }
+    const double mips =
+        elapsed.count() > 0.0
+            ? static_cast<double>(done) *
+                  static_cast<double>(instructions_per_cell_) /
+                  elapsed.count() / 1e6
+            : 0.0;
     std::fprintf(stderr,
-                 "campaign: %zu/%zu cells (%.1f%%)  %.2f cells/s  ETA %.0fs\n",
-                 done, total_, 100.0 * static_cast<double>(done) /
-                                   static_cast<double>(total_ == 0 ? 1 : total_),
-                 rate, eta);
+                 "campaign: %zu/%zu cells (%.1f%%)  %.2f cells/s  "
+                 "%.1f MIPS  %s\n",
+                 done, total_,
+                 100.0 * static_cast<double>(done) /
+                     static_cast<double>(total_ == 0 ? 1 : total_),
+                 rate, mips, eta);
     last_print_ = now;
     printed_ = true;
     return done;
@@ -126,6 +149,7 @@ class ProgressReporter {
  private:
   ProgressOptions options_;
   std::size_t total_;
+  std::uint64_t instructions_per_cell_;
   std::chrono::steady_clock::time_point start_;
   std::chrono::steady_clock::time_point last_print_;
   std::atomic<std::size_t> completed_{0};
@@ -201,6 +225,7 @@ std::uint64_t campaign_config_hash(const CampaignSpec& spec) {
 }
 
 CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
+  ICR_PROF_ZONE("Campaign::run");
   const std::uint64_t instructions = spec.instructions != 0
                                          ? spec.instructions
                                          : default_instruction_count();
@@ -220,7 +245,7 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
       static_cast<unsigned>(std::min<std::size_t>(threads_, total == 0 ? 1 : total));
   result.meta.threads = threads;
 
-  ProgressReporter reporter(progress_, total);
+  ProgressReporter reporter(progress_, total, instructions);
   auto run_index = [&](std::size_t index) {
     const std::size_t variant_idx = index / (apps * trials);
     const std::size_t app_idx = (index / trials) % apps;
@@ -246,6 +271,8 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
   result.meta.cells_per_second =
       elapsed.count() > 0.0 ? static_cast<double>(total) / elapsed.count()
                             : 0.0;
+  result.meta.mips = result.meta.cells_per_second *
+                     static_cast<double>(instructions) / 1e6;
   return result;
 }
 

@@ -95,6 +95,10 @@ struct CampaignMeta {
   std::uint64_t completed_cells = 0;
   double wall_seconds = 0.0;
   double cells_per_second = 0.0;
+  // Simulated MIPS: cells * instructions-per-cell / wall seconds / 1e6 —
+  // the throughput number the ROADMAP's "fast as the hardware allows"
+  // north star is judged by.
+  double mips = 0.0;
 };
 
 struct CampaignResult {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/obs/obs_io.h"
+#include "src/obs/prof.h"
 #include "src/rel/rel_io.h"
 
 namespace icr::sim {
@@ -123,6 +124,7 @@ std::vector<double> metric_values(const RunResult& r) {
 }
 
 std::string to_csv(const CampaignResult& campaign) {
+  ICR_PROF_ZONE("ResultsIO::to_csv");
   std::string out = "variant,app,trial,seed";
   for (const std::string& column : metric_columns()) {
     out += ',';
@@ -147,6 +149,7 @@ std::string to_csv(const CampaignResult& campaign) {
 }
 
 std::string to_json(const CampaignResult& campaign, bool include_timing) {
+  ICR_PROF_ZONE("ResultsIO::to_json");
   const CampaignMeta& meta = campaign.meta;
   std::string out = "{\n  \"campaign\": {\n";
   out += "    \"base_seed\": \"" + hex64(meta.base_seed) + "\",\n";
@@ -160,7 +163,9 @@ std::string to_json(const CampaignResult& campaign, bool include_timing) {
            ",\n";
     out += "    \"wall_seconds\": " + format_value(meta.wall_seconds) + ",\n";
     out +=
-        "    \"cells_per_second\": " + format_value(meta.cells_per_second);
+        "    \"cells_per_second\": " + format_value(meta.cells_per_second) +
+        ",\n";
+    out += "    \"mips\": " + format_value(meta.mips);
   }
   out += "\n  },\n  \"cells\": [\n";
   for (std::size_t i = 0; i < campaign.cells.size(); ++i) {
@@ -261,6 +266,7 @@ std::string rel_to_json(const CampaignResult& campaign) {
 }
 
 void write_text_file(const std::string& path, const std::string& text) {
+  ICR_PROF_ZONE("ResultsIO::write_text_file");
   std::ofstream file(path, std::ios::binary | std::ios::trunc);
   if (!file) throw std::runtime_error("cannot open '" + path + "' for write");
   file << text;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/prof.h"
+
 namespace icr::sim {
 
 Simulator::Simulator(SimConfig config, core::Scheme scheme,
@@ -77,6 +79,7 @@ rel::RelReport Simulator::collect_rel() const {
 }
 
 RunResult Simulator::run(std::uint64_t instructions) {
+  ICR_PROF_ZONE("Simulator::run");
   if (obs_ != nullptr && obs_->sampler != nullptr) {
     // Run in sampling-interval chunks. Targets are absolute so the commit
     // stage's overshoot (up to commit_width-1 per chunk) never accumulates:

@@ -1,0 +1,148 @@
+// bench/common/bench_json: icr-bench-v1 round-trip and the compare gate
+// that backs tools/bench_compare (CI regression detection).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "bench/common/bench_json.h"
+
+namespace {
+
+using icr::bench::BenchJson;
+using icr::bench::BenchMetric;
+using icr::bench::Better;
+using icr::bench::CompareOptions;
+using icr::bench::CompareResult;
+
+BenchJson sample_doc() {
+  BenchJson doc;
+  doc.bench = "synthetic";
+  doc.git_sha = "abc123";
+  doc.config_hash = "0x00000000deadbeef";
+  doc.wall_seconds = 1.25;
+  doc.mips = 3.5;
+  doc.metrics = {
+      {"end_to_end/ns_per_op", 100.0, Better::kLower, 0.0},
+      {"throughput/items_per_second", 500.0, Better::kHigher, 0.0},
+      {"cells", 16.0, Better::kNone, 0.0},
+      {"noisy/ns_per_op", 100.0, Better::kLower, 0.5},
+  };
+  return doc;
+}
+
+TEST(BenchJsonTest, RoundTripsThroughText) {
+  const BenchJson doc = sample_doc();
+  const BenchJson back = icr::bench::from_json_text(icr::bench::to_json(doc));
+  EXPECT_EQ(back.bench, doc.bench);
+  EXPECT_EQ(back.git_sha, doc.git_sha);
+  EXPECT_EQ(back.config_hash, doc.config_hash);
+  EXPECT_DOUBLE_EQ(back.wall_seconds, doc.wall_seconds);
+  EXPECT_DOUBLE_EQ(back.mips, doc.mips);
+  ASSERT_EQ(back.metrics.size(), doc.metrics.size());
+  for (std::size_t i = 0; i < doc.metrics.size(); ++i) {
+    EXPECT_EQ(back.metrics[i].name, doc.metrics[i].name);
+    EXPECT_DOUBLE_EQ(back.metrics[i].value, doc.metrics[i].value);
+    EXPECT_EQ(back.metrics[i].better, doc.metrics[i].better);
+    EXPECT_DOUBLE_EQ(back.metrics[i].noise, doc.metrics[i].noise);
+  }
+}
+
+TEST(BenchJsonTest, RejectsWrongSchema) {
+  EXPECT_THROW(icr::bench::from_json_text("{\"schema\": \"other-v9\"}"),
+               std::runtime_error);
+  EXPECT_THROW(icr::bench::from_json_text("[1,2]"), std::runtime_error);
+  EXPECT_THROW(icr::bench::from_json_text("not json"), std::runtime_error);
+}
+
+TEST(BenchJsonTest, IdenticalInputsPass) {
+  const BenchJson doc = sample_doc();
+  const CompareResult result = icr::bench::compare(doc, doc);
+  EXPECT_FALSE(result.regressed());
+  ASSERT_EQ(result.deltas.size(), doc.metrics.size());
+  for (const auto& delta : result.deltas) {
+    EXPECT_FALSE(delta.regressed);
+    EXPECT_DOUBLE_EQ(delta.rel_change, 0.0);
+  }
+}
+
+// Acceptance gate: a synthetic 20% regression on a lower-is-better metric
+// must trip the default 10% threshold.
+TEST(BenchJsonTest, DetectsTwentyPercentRegression) {
+  const BenchJson base = sample_doc();
+  BenchJson current = base;
+  current.metrics[0].value = 120.0;  // end_to_end/ns_per_op: +20%
+  const CompareResult result = icr::bench::compare(base, current);
+  EXPECT_TRUE(result.regressed());
+  EXPECT_TRUE(result.deltas[0].regressed);
+  EXPECT_NEAR(result.deltas[0].rel_change, 0.20, 1e-12);
+  // The other metrics stay clean.
+  EXPECT_FALSE(result.deltas[1].regressed);
+  EXPECT_FALSE(result.deltas[2].regressed);
+}
+
+TEST(BenchJsonTest, HigherIsBetterDirectionRespected) {
+  const BenchJson base = sample_doc();
+  BenchJson faster = base;
+  faster.metrics[1].value = 600.0;  // +20% throughput: an improvement
+  EXPECT_FALSE(icr::bench::compare(base, faster).regressed());
+  EXPECT_TRUE(icr::bench::compare(base, faster).deltas[1].improved);
+
+  BenchJson slower = base;
+  slower.metrics[1].value = 400.0;  // -20% throughput: a regression
+  EXPECT_TRUE(icr::bench::compare(base, slower).regressed());
+}
+
+TEST(BenchJsonTest, PerMetricNoiseOverridesDefault) {
+  const BenchJson base = sample_doc();
+  BenchJson current = base;
+  current.metrics[3].value = 130.0;  // noisy metric: +30% < its 50% bound
+  EXPECT_FALSE(icr::bench::compare(base, current).regressed());
+  current.metrics[3].value = 160.0;  // +60% > 50%
+  EXPECT_TRUE(icr::bench::compare(base, current).regressed());
+}
+
+TEST(BenchJsonTest, ThresholdOptionWidensTheGate) {
+  const BenchJson base = sample_doc();
+  BenchJson current = base;
+  current.metrics[0].value = 120.0;
+  CompareOptions wide;
+  wide.default_threshold = 0.5;
+  EXPECT_FALSE(icr::bench::compare(base, current, wide).regressed());
+}
+
+TEST(BenchJsonTest, DirectionlessMetricsNeverRegress) {
+  const BenchJson base = sample_doc();
+  BenchJson current = base;
+  current.metrics[2].value = 999.0;  // "cells" is informational
+  EXPECT_FALSE(icr::bench::compare(base, current).regressed());
+}
+
+TEST(BenchJsonTest, MissingMetricIsARegression) {
+  const BenchJson base = sample_doc();
+  BenchJson current = base;
+  current.metrics.erase(current.metrics.begin());
+  const CompareResult result = icr::bench::compare(base, current);
+  EXPECT_TRUE(result.regressed());
+  ASSERT_EQ(result.missing_in_current.size(), 1u);
+  EXPECT_EQ(result.missing_in_current[0], "end_to_end/ns_per_op");
+
+  // New metrics in current are informational, not regressions.
+  BenchJson extra = base;
+  extra.metrics.push_back({"brand_new", 1.0, Better::kNone, 0.0});
+  const CompareResult grown = icr::bench::compare(base, extra);
+  EXPECT_FALSE(grown.regressed());
+  ASSERT_EQ(grown.extra_in_current.size(), 1u);
+}
+
+TEST(BenchJsonTest, FormatCompareNamesTheVerdict) {
+  const BenchJson base = sample_doc();
+  BenchJson current = base;
+  current.metrics[0].value = 120.0;
+  const std::string text = icr::bench::format_compare(
+      icr::bench::compare(base, current), base, current);
+  EXPECT_NE(text.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(text.find("end_to_end/ns_per_op"), std::string::npos);
+}
+
+}  // namespace

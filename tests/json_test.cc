@@ -1,0 +1,75 @@
+// util/json: the minimal JSON reader behind bench JSON and profile traces.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "src/util/json.h"
+
+namespace {
+
+using icr::util::JsonValue;
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(JsonValue::parse("false").as_bool(true));
+  EXPECT_DOUBLE_EQ(JsonValue::parse("42").as_double(), 42.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-1.5e3").as_double(), -1500.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonTest, ParsesStringEscapes) {
+  const JsonValue v = JsonValue::parse(R"("a\"b\\c\nd\teAé")");
+  EXPECT_EQ(v.as_string(), "a\"b\\c\nd\teA\xC3\xA9");
+  // \uXXXX escapes decode to UTF-8 (1-, 2- and 3-byte code points).
+  EXPECT_EQ(JsonValue::parse("\"\\u0041\\u00e9\\u20ac\"").as_string(),
+            "A\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(JsonTest, ParsesNestedStructures) {
+  const JsonValue doc = JsonValue::parse(
+      R"({"meta": {"count": 3, "ok": true}, "items": [1, 2, 3]})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc.get("meta").get("count").as_double(), 3.0);
+  EXPECT_TRUE(doc.get("meta").get("ok").as_bool());
+  const auto& items = doc.get("items").items();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_DOUBLE_EQ(items[2].as_double(), 3.0);
+}
+
+TEST(JsonTest, PreservesObjectKeyOrder) {
+  const JsonValue doc = JsonValue::parse(R"({"z": 1, "a": 2, "m": 3})");
+  const auto& members = doc.members();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(JsonTest, GetToleratesMissingChains) {
+  const JsonValue doc = JsonValue::parse(R"({"a": 1})");
+  // get() on a missing key yields null; chaining keeps yielding null.
+  EXPECT_TRUE(doc.get("nope").is_null());
+  EXPECT_DOUBLE_EQ(doc.get("nope").get("deeper").as_double(7.0), 7.0);
+  EXPECT_EQ(doc.find("nope"), nullptr);
+  ASSERT_NE(doc.find("a"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.find("a")->as_double(), 1.0);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("[1, 2,]"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("[1] trailing"), std::runtime_error);
+}
+
+TEST(JsonTest, EscapeIsInverseOfParse) {
+  const std::string nasty = "line1\nquote\" slash\\ tab\t\x01";
+  const std::string doc = "\"" + icr::util::json_escape(nasty) + "\"";
+  EXPECT_EQ(JsonValue::parse(doc).as_string(), nasty);
+}
+
+}  // namespace

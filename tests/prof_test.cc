@@ -1,0 +1,239 @@
+// Host profiler (src/obs/prof.h): zone nesting, cross-thread merge
+// determinism, event-ring wrap accounting, Chrome trace round-trip, and
+// the tier-1 guard that profiling never perturbs simulation results.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/obs/prof.h"
+#include "src/obs/prof_io.h"
+#include "src/sim/experiment.h"
+#include "src/sim/results_io.h"
+#include "src/util/thread_pool.h"
+
+namespace prof = icr::obs::prof;
+
+namespace {
+
+void burn(volatile int iterations) {
+  for (volatile int i = 0; i < iterations; ++i) {
+  }
+}
+
+TEST(ProfTest, OffByDefaultAndZonesAreInert) {
+  ASSERT_FALSE(prof::capturing());
+  ASSERT_EQ(prof::level(), prof::kOff);
+  {
+    ICR_PROF_ZONE("never_recorded");
+    ICR_PROF_ZONE_HOT("never_recorded_hot");
+  }
+  prof::begin_capture();
+  const prof::Profile profile = prof::end_capture();
+  EXPECT_TRUE(profile.zones.empty());
+  EXPECT_TRUE(profile.events.empty());
+  EXPECT_FALSE(prof::capturing());
+}
+
+TEST(ProfTest, NestedZonesAggregateByPath) {
+  prof::begin_capture();
+  {
+    ICR_PROF_ZONE("outer");
+    for (int i = 0; i < 3; ++i) {
+      ICR_PROF_ZONE("inner");
+      ICR_PROF_ZONE_HOT("leaf");
+      burn(100);
+    }
+  }
+  const prof::Profile profile = prof::end_capture();
+
+  ASSERT_EQ(profile.zones.size(), 3u);
+  // DFS order: parent precedes child.
+  EXPECT_EQ(profile.zones[0].path, "outer");
+  EXPECT_EQ(profile.zones[1].path, "outer/inner");
+  EXPECT_EQ(profile.zones[2].path, "outer/inner/leaf");
+  EXPECT_EQ(profile.zones[0].depth, 0);
+  EXPECT_EQ(profile.zones[1].depth, 1);
+  EXPECT_EQ(profile.zones[2].depth, 2);
+  EXPECT_EQ(profile.zones[0].count, 1u);
+  EXPECT_EQ(profile.zones[1].count, 3u);
+  EXPECT_EQ(profile.zones[2].count, 3u);
+
+  // Inclusive time dominates children; self = total - instrumented kids.
+  const prof::ZoneNode* outer = profile.find("outer");
+  const prof::ZoneNode* inner = profile.find("outer/inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_GE(outer->total_ns, inner->total_ns);
+  EXPECT_EQ(outer->self_ns, outer->total_ns - inner->total_ns);
+  EXPECT_LE(profile.total_self_ns(), profile.wall_ns);
+}
+
+TEST(ProfTest, SameNameDifferentParentsStaysDistinct) {
+  prof::begin_capture();
+  {
+    ICR_PROF_ZONE("a");
+    { ICR_PROF_ZONE("shared"); }
+  }
+  {
+    ICR_PROF_ZONE("b");
+    { ICR_PROF_ZONE("shared"); }
+  }
+  const prof::Profile profile = prof::end_capture();
+  EXPECT_NE(profile.find("a/shared"), nullptr);
+  EXPECT_NE(profile.find("b/shared"), nullptr);
+  EXPECT_EQ(profile.find("shared"), nullptr);
+}
+
+// The merged zone table must not depend on which threads ran what or in
+// which order: same work on 1 thread and on 4 yields identical structure.
+TEST(ProfTest, ThreadMergeIsDeterministic) {
+  const auto run_capture = [](unsigned workers) {
+    icr::util::ThreadPool pool(workers);
+    prof::begin_capture();
+    icr::util::parallel_for(pool, 16, [](std::size_t i) {
+      ICR_PROF_ZONE("task");
+      if (i % 2 == 0) {
+        ICR_PROF_ZONE("even");
+        burn(50);
+      } else {
+        ICR_PROF_ZONE("odd");
+        burn(50);
+      }
+    });
+    return prof::end_capture();
+  };
+
+  const prof::Profile serial = run_capture(1);
+  const prof::Profile parallel = run_capture(4);
+
+  ASSERT_EQ(serial.zones.size(), parallel.zones.size());
+  for (std::size_t i = 0; i < serial.zones.size(); ++i) {
+    EXPECT_EQ(serial.zones[i].path, parallel.zones[i].path);
+    EXPECT_EQ(serial.zones[i].depth, parallel.zones[i].depth);
+    EXPECT_EQ(serial.zones[i].count, parallel.zones[i].count);
+  }
+  EXPECT_EQ(serial.find("task")->count, 16u);
+  EXPECT_EQ(serial.find("task/even")->count, 8u);
+  EXPECT_EQ(serial.find("task/odd")->count, 8u);
+}
+
+TEST(ProfTest, EventRingKeepsMostRecentAndCountsDrops) {
+  prof::CaptureOptions options;
+  options.level = prof::kCoarse;
+  options.events_per_thread = 8;
+  prof::begin_capture(options);
+  for (int i = 0; i < 20; ++i) {
+    ICR_PROF_ZONE("span");
+  }
+  const prof::Profile profile = prof::end_capture();
+  EXPECT_EQ(profile.events.size(), 8u);
+  EXPECT_EQ(profile.dropped_events, 12u);
+  // Aggregation is unaffected by the ring: every call still counted.
+  ASSERT_NE(profile.find("span"), nullptr);
+  EXPECT_EQ(profile.find("span")->count, 20u);
+  // Retained events are in chronological order (oldest first).
+  for (std::size_t i = 1; i < profile.events.size(); ++i) {
+    EXPECT_GE(profile.events[i].start_ns, profile.events[i - 1].start_ns);
+  }
+}
+
+TEST(ProfTest, HotZonesAggregateWithoutEvents) {
+  prof::begin_capture();
+  {
+    ICR_PROF_ZONE("coarse");
+    for (int i = 0; i < 5; ++i) {
+      ICR_PROF_ZONE_HOT("hot");
+    }
+  }
+  const prof::Profile profile = prof::end_capture();
+  EXPECT_EQ(profile.find("coarse/hot")->count, 5u);
+  std::size_t hot_events = 0;
+  for (const prof::SpanEvent& event : profile.events) {
+    if (event.name == "hot") ++hot_events;
+  }
+  EXPECT_EQ(hot_events, 0u);
+  EXPECT_EQ(profile.events.size(), 1u);  // just "coarse"
+}
+
+TEST(ProfTest, CoarseCaptureSkipsHotZones) {
+  prof::CaptureOptions options;
+  options.level = prof::kCoarse;
+  prof::begin_capture(options);
+  {
+    ICR_PROF_ZONE("coarse");
+    ICR_PROF_ZONE_HOT("hot");
+  }
+  const prof::Profile profile = prof::end_capture();
+  EXPECT_NE(profile.find("coarse"), nullptr);
+  EXPECT_EQ(profile.find("coarse/hot"), nullptr);
+}
+
+TEST(ProfTest, LabeledZonesRetainLabels) {
+  prof::begin_capture();
+  {
+    ICR_PROF_ZONE_LABELED("cell", std::string("BaseP/mcf/0"));
+  }
+  const prof::Profile profile = prof::end_capture();
+  ASSERT_EQ(profile.events.size(), 1u);
+  EXPECT_EQ(profile.events[0].name, "cell");
+  EXPECT_EQ(profile.events[0].label, "BaseP/mcf/0");
+}
+
+TEST(ProfIoTest, ChromeTraceRoundTrip) {
+  prof::begin_capture();
+  {
+    ICR_PROF_ZONE("outer");
+    ICR_PROF_ZONE_LABELED("cell", std::string("with \"quotes\""));
+    ICR_PROF_ZONE_HOT("hot");
+    burn(100);
+  }
+  const prof::Profile profile = prof::end_capture();
+  const std::string trace = prof::to_chrome_trace(profile, "prof_test");
+
+  // Chrome trace-event format: a top-level JSON array.
+  EXPECT_EQ(trace.front(), '[');
+  const prof::ParsedTrace parsed = prof::parse_chrome_trace(trace);
+  EXPECT_EQ(parsed.span_events, profile.events.size());
+  EXPECT_EQ(parsed.profile.wall_ns, profile.wall_ns);
+  EXPECT_EQ(parsed.profile.threads, profile.threads);
+  ASSERT_EQ(parsed.profile.zones.size(), profile.zones.size());
+  for (std::size_t i = 0; i < profile.zones.size(); ++i) {
+    EXPECT_EQ(parsed.profile.zones[i].path, profile.zones[i].path);
+    EXPECT_EQ(parsed.profile.zones[i].count, profile.zones[i].count);
+    EXPECT_EQ(parsed.profile.zones[i].total_ns, profile.zones[i].total_ns);
+    EXPECT_EQ(parsed.profile.zones[i].self_ns, profile.zones[i].self_ns);
+  }
+
+  const std::string table = prof::format_self_time_table(parsed.profile);
+  EXPECT_NE(table.find("outer"), std::string::npos);
+  EXPECT_NE(table.find("hot"), std::string::npos);
+  EXPECT_NE(table.find("instrumented total"), std::string::npos);
+}
+
+// Tier-1 guard: profiling observes the simulation, never perturbs it. A
+// run with a capture live must produce bit-identical metrics to runs
+// without, and prof-off runs are deterministic to begin with.
+TEST(ProfTest, CaptureNeverChangesRunResults) {
+  const icr::core::Scheme scheme = icr::core::Scheme::IcrPPS_S();
+  const auto run = [&] {
+    return icr::sim::run_one(icr::trace::App::kGzip, scheme,
+                             icr::sim::SimConfig::table1(), 20000);
+  };
+
+  const std::vector<double> off_a = icr::sim::metric_values(run());
+  const std::vector<double> off_b = icr::sim::metric_values(run());
+  EXPECT_EQ(off_a, off_b) << "prof-off runs must be bit-identical";
+
+  prof::begin_capture();
+  const std::vector<double> on = icr::sim::metric_values(run());
+  const prof::Profile profile = prof::end_capture();
+  EXPECT_EQ(off_a, on) << "a live capture must not change any metric";
+
+  // Sanity: the capture did see the simulator's hot zones.
+  EXPECT_NE(profile.find("Simulator::run"), nullptr);
+  EXPECT_NE(profile.find("Simulator::run/Pipeline::run/Pipeline::tick"),
+            nullptr);
+}
+
+}  // namespace

@@ -1,0 +1,90 @@
+// Diffs two icr-bench-v1 JSON documents (bench/common/bench_json.h).
+//
+//   bench_compare BASE.json CURRENT.json [--threshold=F] [--warn-only]
+//
+// Prints a per-metric table and exits 1 when any directional metric moved
+// the wrong way past its noise threshold (or a baseline metric vanished).
+// --threshold overrides the default noise bound for metrics that carry
+// none of their own; --warn-only reports regressions but always exits 0,
+// which is how CI gates stay informative before baselines stabilize.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/common/bench_json.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare BASE.json CURRENT.json"
+               " [--threshold=F] [--warn-only]\n");
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string base_path;
+  std::string current_path;
+  icr::bench::CompareOptions options;
+  bool warn_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threshold=", 12) == 0) {
+      char* end = nullptr;
+      options.default_threshold = std::strtod(arg + 12, &end);
+      if (end == arg + 12 || *end != '\0' || options.default_threshold < 0) {
+        std::fprintf(stderr, "bench_compare: bad --threshold '%s'\n",
+                     arg + 12);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--warn-only") == 0) {
+      warn_only = true;
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      std::fprintf(stderr, "bench_compare: unknown flag '%s'\n", arg);
+      return usage();
+    } else if (base_path.empty()) {
+      base_path = arg;
+    } else if (current_path.empty()) {
+      current_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (base_path.empty() || current_path.empty()) return usage();
+
+  try {
+    const icr::bench::BenchJson base =
+        icr::bench::from_json_text(read_file(base_path));
+    const icr::bench::BenchJson current =
+        icr::bench::from_json_text(read_file(current_path));
+    if (base.bench != current.bench) {
+      std::fprintf(stderr,
+                   "bench_compare: warning: comparing different benches"
+                   " ('%s' vs '%s')\n",
+                   base.bench.c_str(), current.bench.c_str());
+    }
+    const icr::bench::CompareResult result =
+        icr::bench::compare(base, current, options);
+    std::fputs(icr::bench::format_compare(result, base, current).c_str(),
+               stdout);
+    if (result.regressed()) return warn_only ? 0 : 1;
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "bench_compare: %s\n", error.what());
+    return 2;
+  }
+}

@@ -13,11 +13,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "src/obs/obs_io.h"
+#include "src/obs/prof_io.h"
 #include "src/util/table.h"
 
 using namespace icr;
@@ -295,6 +297,28 @@ int report_rel(const std::string& path) {
   return 0;
 }
 
+int report_prof(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "icr_report: cannot open '%s'\n", path.c_str());
+    return 2;
+  }
+  const std::string text{std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>()};
+  try {
+    const obs::prof::ParsedTrace parsed = obs::prof::parse_chrome_trace(text);
+    std::fputs(obs::prof::format_self_time_table(parsed.profile).c_str(),
+               stdout);
+    std::printf("%zu trace span(s) retained — open %s in Perfetto or "
+                "chrome://tracing for the timeline\n",
+                parsed.span_events, path.c_str());
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "icr_report: %s: %s\n", path.c_str(), error.what());
+    return 2;
+  }
+}
+
 void usage() {
   std::puts(
       "icr_report — render observability CSVs as text tables\n"
@@ -302,13 +326,15 @@ void usage() {
       "  icr_report --heatmap FILE       ASCII replica-occupancy heatmap\n"
       "  icr_report --rel FILE           per-cell vulnerability breakdown\n"
       "                                  (the rel summary CSV of run_campaign\n"
-      "                                  --rel-csv / icr_sim --rel-out)\n");
+      "                                  --rel-csv / icr_sim --rel-out)\n"
+      "  icr_report --prof FILE          host-profiler self-time table from\n"
+      "                                  a --prof-out Chrome trace JSON\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  enum class Mode { kIntervals, kHeatmap, kRel };
+  enum class Mode { kIntervals, kHeatmap, kRel, kProf };
   Mode mode = Mode::kIntervals;
   std::string path;
   for (int i = 1; i < argc; ++i) {
@@ -318,6 +344,8 @@ int main(int argc, char** argv) {
       mode = Mode::kIntervals;
     } else if (std::strcmp(argv[i], "--rel") == 0) {
       mode = Mode::kRel;
+    } else if (std::strcmp(argv[i], "--prof") == 0) {
+      mode = Mode::kProf;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       usage();
@@ -337,6 +365,7 @@ int main(int argc, char** argv) {
   switch (mode) {
     case Mode::kHeatmap: return report_heatmap(path);
     case Mode::kRel: return report_rel(path);
+    case Mode::kProf: return report_prof(path);
     case Mode::kIntervals: break;
   }
   return report_intervals(path);

@@ -16,6 +16,8 @@
 #include <string>
 
 #include "src/obs/obs_io.h"
+#include "src/obs/prof.h"
+#include "src/obs/prof_io.h"
 #include "src/rel/rel_io.h"
 #include "src/sim/cli.h"
 #include "src/sim/experiment.h"
@@ -55,6 +57,8 @@ struct Options {
   bool rel = false;
   std::string rel_out;
   std::string rel_intervals_out;
+  bool prof = false;
+  std::string prof_out;
 };
 
 void usage() {
@@ -83,7 +87,11 @@ void usage() {
       "  --rel                 analytical reliability model: vulnerability\n"
       "                        breakdown appended to the report\n"
       "  --rel-out=FILE        write the reliability report as JSON\n"
-      "  --rel-intervals-out=F write the lifetime-interval taxonomy CSV\n");
+      "  --rel-intervals-out=F write the lifetime-interval taxonomy CSV\n"
+      "  --prof                profile the simulator itself: self-time\n"
+      "                        table of host-side zones on stderr\n"
+      "  --prof-out=FILE       write the capture as Chrome trace-event JSON\n"
+      "                        (open in Perfetto; implies --prof)\n");
 }
 
 void print_csv(const sim::RunResult& r) {
@@ -181,6 +189,11 @@ int main(int argc, char** argv) {
       opt.rel_out = value;
     } else if (parse_flag(argv[i], "--rel-intervals-out", value)) {
       opt.rel_intervals_out = value;
+    } else if (std::strcmp(argv[i], "--prof") == 0) {
+      opt.prof = true;
+    } else if (parse_flag(argv[i], "--prof-out", value)) {
+      opt.prof_out = value;
+      opt.prof = true;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       usage();
@@ -235,6 +248,8 @@ int main(int argc, char** argv) {
   rel::RelOptions relopt;
   relopt.enabled = opt.rel;
   relopt.probability = opt.fault_prob;
+
+  if (opt.prof) obs::prof::begin_capture();
 
   sim::RunResult result;
   obs::CellObservability telemetry;
@@ -350,6 +365,20 @@ int main(int argc, char** argv) {
   } else {
     result =
         sim::run_one(app_by_name(opt.app), scheme, config, instructions);
+  }
+
+  // End the capture before reporting: the simulation is what we profile,
+  // not the table rendering. The table goes to stderr so --csv stdout
+  // stays machine-readable.
+  if (opt.prof) {
+    const obs::prof::Profile profile = obs::prof::end_capture();
+    std::fputs(obs::prof::format_self_time_table(profile).c_str(), stderr);
+    if (!opt.prof_out.empty()) {
+      sim::write_text_file(opt.prof_out, obs::prof::to_chrome_trace(
+                                             profile, "icr_sim"));
+      std::fprintf(stderr, "wrote host profile to %s\n",
+                   opt.prof_out.c_str());
+    }
   }
 
   if (opt.csv) {

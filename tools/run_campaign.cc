@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/prof.h"
+#include "src/obs/prof_io.h"
 #include "src/sim/campaign.h"
 #include "src/sim/cli.h"
 #include "src/sim/results_io.h"
@@ -54,6 +56,8 @@ struct Options {
   std::string rel_csv;
   std::string rel_json;
   std::string rel_intervals;
+  bool prof = false;
+  std::string prof_out;
 };
 
 void usage() {
@@ -89,6 +93,10 @@ void usage() {
       "  --rel-csv=FILE        write per-cell vulnerability summary CSV\n"
       "  --rel-json=FILE       write per-cell reliability reports as JSON\n"
       "  --rel-intervals=FILE  write lifetime-interval taxonomy CSV\n"
+      "  --prof                profile the campaign itself: host-side\n"
+      "                        self-time table after the summary\n"
+      "  --prof-out=FILE       write the capture as Chrome trace-event JSON\n"
+      "                        (cells become spans; implies --prof)\n"
       "\n"
       "Seeding: trials > 1 (or an explicit --seed) derives each cell's\n"
       "workload and injection seeds via SplitMix64 from (seed, scheme,\n"
@@ -149,6 +157,11 @@ int main(int argc, char** argv) {
       opt.rel_json = value;
     } else if (parse_flag(argv[i], "--rel-intervals", value)) {
       opt.rel_intervals = value;
+    } else if (std::strcmp(argv[i], "--prof") == 0) {
+      opt.prof = true;
+    } else if (parse_flag(argv[i], "--prof-out", value)) {
+      opt.prof_out = value;
+      opt.prof = true;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       usage();
@@ -237,6 +250,7 @@ int main(int argc, char** argv) {
               spec.variants.size(), spec.apps.size(), spec.trials,
               spec.cell_count(), runner.threads());
 
+  if (opt.prof) obs::prof::begin_capture();
   const sim::CampaignResult campaign = runner.run(spec);
 
   if (!opt.quiet) {
@@ -305,6 +319,24 @@ int main(int argc, char** argv) {
   } catch (const std::exception& error) {
     std::fprintf(stderr, "export failed: %s\n", error.what());
     return 1;
+  }
+
+  // Capture ends after the exports so ResultsIO zones are included; each
+  // campaign cell shows up as a labelled span in the trace.
+  if (opt.prof) {
+    const obs::prof::Profile profile = obs::prof::end_capture();
+    std::fputs(obs::prof::format_self_time_table(profile).c_str(), stdout);
+    if (!opt.prof_out.empty()) {
+      try {
+        sim::write_text_file(
+            opt.prof_out, obs::prof::to_chrome_trace(profile, "run_campaign"));
+        std::printf("wrote host profile to %s (open in Perfetto)\n",
+                    opt.prof_out.c_str());
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "profile export failed: %s\n", error.what());
+        return 1;
+      }
+    }
   }
   return 0;
 }
