@@ -86,6 +86,18 @@ class Pipeline {
   const PipelineStats& run(std::uint64_t instruction_count,
                            std::uint64_t max_cycles = 0);
 
+  // Functional fast-forward: advances architectural state — dL1/L2/L1I
+  // contents, branch predictor, decay and scrub clocks, fault injection,
+  // golden memory — by `instruction_count` committed instructions without
+  // modelling out-of-order timing. Instructions in flight from a preceding
+  // detailed run() are first drained with fetch frozen (detailed ticks), so
+  // the trace position stays exact; the drain can overshoot the target by
+  // at most the in-flight capacity (fetch queue + RUU). The clock advances
+  // at the cumulative CPI observed so far (1.0 from cold) so cycle-driven
+  // machinery ticks at a realistic rate. Used by the sampling controller
+  // (src/sim/sampling.h) for checkpointed warmup and inter-window gaps.
+  const PipelineStats& fast_forward(std::uint64_t instruction_count);
+
   [[nodiscard]] const PipelineStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const BranchPredictor& branch_predictor() const noexcept {
     return predictor_;
@@ -108,6 +120,10 @@ class Pipeline {
   void do_dispatch();
   void do_fetch();
 
+  // Detailed ticks with fetch frozen until every in-flight instruction has
+  // committed; entry point of fast_forward().
+  void drain_in_flight();
+
   [[nodiscard]] bool operands_ready(const RuuEntry& entry) noexcept;
   void verify_load(std::uint64_t addr,
                    const core::IcrCache::AccessOutcome& outcome);
@@ -126,6 +142,7 @@ class Pipeline {
 
   std::uint64_t cycle_ = 0;
   std::uint64_t next_seq_ = 1;
+  bool fetch_frozen_ = false;  // drain_in_flight(): no new source reads
   std::uint64_t fetch_blocked_until_ = 0;   // icache miss / mispredict bubble
   std::uint64_t mispredict_wait_seq_ = 0;   // branch fetch waits on
   std::uint64_t commit_blocked_until_ = 0;  // write-buffer stalls

@@ -34,6 +34,17 @@ void IntervalSampler::sample(std::uint64_t instructions, std::uint64_t cycles) {
   s.counters = registry_.snapshot_counters();
   s.gauges = registry_.snapshot_gauges();
   if (occupancy_probe_) s.occupancy = occupancy_probe_();
+  // Chunked runs (Simulator::run / fast_forward, the sampling controller)
+  // can land a chunk boundary exactly on the final instruction of the
+  // previous segment and sample the same progress point twice. A
+  // zero-length interval would poison every per-interval rate downstream
+  // (0/0 miss rates, infinite IPC weights), so collapse the duplicate into
+  // the existing sample, keeping the freshest gauge/occupancy readings.
+  if (!series_.samples.empty() &&
+      series_.samples.back().instructions == instructions) {
+    series_.samples.back() = std::move(s);
+    return;
+  }
   series_.samples.push_back(std::move(s));
 }
 

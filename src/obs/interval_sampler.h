@@ -55,7 +55,10 @@ class IntervalSampler {
   // Records sample 0 and captures the registry's instrument names.
   void record_baseline(std::uint64_t instructions, std::uint64_t cycles);
 
-  // Records one cumulative snapshot at the given progress point.
+  // Records one cumulative snapshot at the given progress point. Sampling
+  // the same instruction count twice (a chunk boundary on the final
+  // instruction of the previous segment) replaces the last sample instead
+  // of emitting a zero-length interval.
   void sample(std::uint64_t instructions, std::uint64_t cycles);
 
   [[nodiscard]] std::uint64_t interval_instructions() const noexcept {

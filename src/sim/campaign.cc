@@ -74,7 +74,21 @@ CellResult run_cell(const CampaignSpec& spec, std::size_t variant_idx,
   Simulator simulator(config, variant.scheme, std::move(profile));
   if (spec.obs.any()) simulator.enable_observability(spec.obs);
   if (spec.rel.any()) simulator.enable_rel(spec.rel);
-  cell.result = simulator.run(instructions);
+  if (spec.sampling.enabled()) {
+    SamplingOptions sampling = spec.sampling;
+    if (sampling.mode == SampleMode::kRandom) {
+      // Per-cell placement stream, stateless like the workload/fault seeds
+      // above, so sampled campaigns stay thread-count independent.
+      sampling.seed = derive_cell_seed(spec.base_seed ^ mix64(sampling.seed),
+                                       variant_idx, app_idx, trial_idx);
+    }
+    SampledRunResult sampled =
+        SamplingController(simulator, sampling).run(instructions);
+    cell.result = std::move(sampled.estimate);
+    cell.sampling = sampled.provenance;
+  } else {
+    cell.result = simulator.run(instructions);
+  }
   cell.result.scheme = variant.label;
   if (spec.obs.any()) {
     cell.obs = std::make_unique<obs::CellObservability>(
@@ -221,6 +235,16 @@ std::uint64_t campaign_config_hash(const CampaignSpec& spec) {
   hash_fold(state, spec.trials);
   hash_fold(state, spec.base_seed);
   hash_fold(state, spec.derive_seeds ? 1 : 0);
+  if (spec.sampling.enabled()) {
+    // Sampling changes the numbers, so it fingerprints — but only when
+    // enabled, keeping hashes of unsampled specs stable across versions.
+    hash_fold(state, 0x5A3D11ULL);  // domain separator
+    hash_fold(state, spec.sampling.warmup_instructions);
+    hash_fold(state, spec.sampling.windows);
+    hash_fold(state, spec.sampling.window_width);
+    hash_fold(state, static_cast<std::uint64_t>(spec.sampling.mode));
+    hash_fold(state, spec.sampling.seed);
+  }
   return state;
 }
 
@@ -238,6 +262,7 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
   result.meta.config_hash = campaign_config_hash(spec);
   result.meta.instructions = instructions;
   result.meta.trials = static_cast<std::uint32_t>(trials);
+  result.meta.sampling = spec.sampling;
   result.cells.resize(total);
 
   const auto start = std::chrono::steady_clock::now();

@@ -25,6 +25,7 @@
 #include "src/obs/observability.h"
 #include "src/rel/rel_tracker.h"
 #include "src/sim/experiment.h"
+#include "src/sim/sampling.h"
 
 namespace icr::sim {
 
@@ -63,6 +64,16 @@ struct CampaignSpec {
   // guarded by tier-1 test).
   rel::RelOptions rel;
 
+  // Checkpointed warmup / interval sampling (src/sim/sampling.h). Unlike
+  // obs/rel this DOES change the numbers (estimates, not full
+  // measurements), so when enabled() it folds into campaign_config_hash
+  // and every cell carries a SampleProvenance. Disabled sampling leaves
+  // hash, results and exports byte-identical to a spec without the field.
+  // Random-mode placement derives a per-cell stream from
+  // (base_seed ^ mix64(sampling.seed), cell coordinates), so sampled
+  // campaigns stay bit-identical at any thread count.
+  SamplingOptions sampling;
+
   [[nodiscard]] std::size_t cell_count() const noexcept {
     return variants.size() * apps.size() * trials;
   }
@@ -79,6 +90,8 @@ struct CampaignCell {
 struct CellResult {
   CampaignCell cell;
   RunResult result;
+  // How the result was obtained; sampling.sampled is false for full runs.
+  SampleProvenance sampling;
   // Telemetry extract; null when the spec's ObsOptions asked for nothing.
   std::unique_ptr<obs::CellObservability> obs;
   // Analytical reliability report; null unless the spec enabled rel.
@@ -92,6 +105,7 @@ struct CampaignMeta {
   std::uint64_t instructions = 0;
   std::uint32_t trials = 1;
   unsigned threads = 1;
+  SamplingOptions sampling;  // copy of the spec's sampling request
   std::uint64_t completed_cells = 0;
   double wall_seconds = 0.0;
   double cells_per_second = 0.0;

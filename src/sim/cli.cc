@@ -63,4 +63,12 @@ core::ReplicaVictimPolicy victim_by_name(const std::string& name) {
   std::exit(2);
 }
 
+SampleMode sample_mode_by_name(const std::string& name) {
+  for (const SampleMode m : {SampleMode::kSystematic, SampleMode::kRandom}) {
+    if (name == to_string(m)) return m;
+  }
+  std::fprintf(stderr, "unknown sample mode '%s'\n", name.c_str());
+  std::exit(2);
+}
+
 }  // namespace icr::sim::cli

@@ -13,6 +13,7 @@
 #include "src/core/scheme.h"
 #include "src/core/replication_policy.h"
 #include "src/fault/fault_injector.h"
+#include "src/sim/sampling.h"
 #include "src/trace/workloads.h"
 
 namespace icr::sim::cli {
@@ -36,5 +37,8 @@ namespace icr::sim::cli {
 
 // Replica victim policy by name ("dead-only", "dead-first", ...).
 [[nodiscard]] core::ReplicaVictimPolicy victim_by_name(const std::string& name);
+
+// Sample-window placement mode by name ("systematic", "random").
+[[nodiscard]] SampleMode sample_mode_by_name(const std::string& name);
 
 }  // namespace icr::sim::cli

@@ -52,4 +52,31 @@ struct RunResult {
 // Arithmetic mean of a metric over per-app values.
 [[nodiscard]] double mean(const std::vector<double>& values) noexcept;
 
+// ---------------------------------------------------------------------------
+// Counter-level arithmetic for snapshot-and-subtract sampling
+// (src/sim/sampling.h). Every cumulative uint64 counter of a RunResult —
+// including the nested dl1/l1i/l2/pipeline/branch/fault/rcache/energy-event
+// stats — is visited in one fixed order, so window deltas and weighted
+// whole-run reconstructions stay exact field for field.
+// ---------------------------------------------------------------------------
+
+// All counters of `r`, flattened in the canonical visit order.
+[[nodiscard]] std::vector<std::uint64_t> counter_vector(const RunResult& r);
+
+// `end - begin` over every counter (clamped at zero for safety; counters
+// are monotone over a run). Strings are copied from `end`; the energy
+// breakdown is NOT recomputed — callers holding the EnergyParams re-price
+// the subtracted energy_events (see sampling.cc).
+[[nodiscard]] RunResult subtract_counters(const RunResult& end,
+                                          const RunResult& begin);
+
+// Whole-run reconstruction from weighted window deltas:
+//   counter[i] = round(sum_j weights[j] * counter_vector(deltas[j])[i])
+// With a single delta at weight 1.0 this is the identity, which is what
+// makes full-coverage sampling bit-identical to an unsampled run. Strings
+// are copied from deltas.front(); requires deltas.size() == weights.size()
+// and at least one delta.
+[[nodiscard]] RunResult reconstruct_weighted(
+    const std::vector<RunResult>& deltas, const std::vector<double>& weights);
+
 }  // namespace icr::sim

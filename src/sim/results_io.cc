@@ -125,10 +125,18 @@ std::vector<double> metric_values(const RunResult& r) {
 
 std::string to_csv(const CampaignResult& campaign) {
   ICR_PROF_ZONE("ResultsIO::to_csv");
+  // Sampled campaigns report estimates, not full measurements; mark every
+  // row with its provenance so downstream analysis can never confuse the
+  // two. Unsampled campaigns keep the historical schema byte for byte.
+  const bool sampled = campaign.meta.sampling.enabled();
   std::string out = "variant,app,trial,seed";
   for (const std::string& column : metric_columns()) {
     out += ',';
     out += column;
+  }
+  if (sampled) {
+    out += ",sampled,warmup,sample_windows,measured_instructions,"
+           "sample_coverage";
   }
   out += '\n';
   for (const CellResult& cell : campaign.cells) {
@@ -142,6 +150,17 @@ std::string to_csv(const CampaignResult& campaign) {
     for (const double value : metric_values(cell.result)) {
       out += ',';
       out += format_value(value);
+    }
+    if (sampled) {
+      const SampleProvenance& p = cell.sampling;
+      out += p.sampled ? ",1," : ",0,";
+      out += std::to_string(p.warmup_instructions);
+      out += ',';
+      out += std::to_string(p.windows);
+      out += ',';
+      out += std::to_string(p.measured_instructions);
+      out += ',';
+      out += format_value(p.coverage());
     }
     out += '\n';
   }
@@ -157,6 +176,15 @@ std::string to_json(const CampaignResult& campaign, bool include_timing) {
   out += "    \"instructions\": " + std::to_string(meta.instructions) + ",\n";
   out += "    \"trials\": " + std::to_string(meta.trials) + ",\n";
   out += "    \"cells\": " + std::to_string(campaign.cells.size());
+  if (meta.sampling.enabled()) {
+    const SamplingOptions& s = meta.sampling;
+    out += ",\n    \"sampling\": {\"warmup\": " +
+           std::to_string(s.warmup_instructions) +
+           ", \"windows\": " + std::to_string(s.windows) +
+           ", \"window_width\": " + std::to_string(s.window_width) +
+           ", \"mode\": \"" + to_string(s.mode) + "\", \"seed\": \"" +
+           hex64(s.seed) + "\"}";
+  }
   if (include_timing) {
     out += ",\n    \"threads\": " + std::to_string(meta.threads) + ",\n";
     out += "    \"completed_cells\": " + std::to_string(meta.completed_cells) +
@@ -180,7 +208,18 @@ std::string to_json(const CampaignResult& campaign, bool include_timing) {
       if (m != 0) out += ", ";
       out += "\"" + columns[m] + "\": " + format_value(values[m]);
     }
-    out += "}}";
+    out += '}';
+    if (campaign.meta.sampling.enabled()) {
+      const SampleProvenance& p = cell.sampling;
+      out += std::string(", \"sampling\": {\"sampled\": ") +
+             (p.sampled ? "true" : "false") +
+             ", \"warmup\": " + std::to_string(p.warmup_instructions) +
+             ", \"windows\": " + std::to_string(p.windows) +
+             ", \"measured_instructions\": " +
+             std::to_string(p.measured_instructions) +
+             ", \"coverage\": " + format_value(p.coverage()) + "}";
+    }
+    out += '}';
     if (i + 1 != campaign.cells.size()) out += ',';
     out += '\n';
   }

@@ -11,6 +11,13 @@
 // run-dependent outputs; pass include_timing = false to omit them and get
 // byte-identical text for byte-identical experiments — the property
 // tests/campaign_test.cc locks in across thread counts.
+//
+// Sampled campaigns (meta.sampling.enabled()) additionally carry
+// provenance: CSV rows gain sampled/warmup/sample_windows/
+// measured_instructions/sample_coverage columns, the JSON grows a
+// campaign-level "sampling" options object and a per-cell "sampling"
+// provenance object. Unsampled campaigns keep the historical schema byte
+// for byte (guarded by tests/sampling_test.cc).
 #pragma once
 
 #include <string>

@@ -99,6 +99,24 @@ RunResult Simulator::run(std::uint64_t instructions) {
   return result();
 }
 
+void Simulator::fast_forward(std::uint64_t instructions) {
+  ICR_PROF_ZONE("Simulator::fast_forward");
+  if (obs_ != nullptr && obs_->sampler != nullptr) {
+    // Keep the telemetry cadence through fast-forwarded regions, same
+    // chunking as run(). Boundary duplicates collapse inside the sampler.
+    const std::uint64_t interval = obs_->sampler->interval_instructions();
+    const std::uint64_t target = pipeline_->stats().committed + instructions;
+    while (pipeline_->stats().committed < target) {
+      const std::uint64_t next =
+          std::min(pipeline_->stats().committed + interval, target);
+      pipeline_->fast_forward(next - pipeline_->stats().committed);
+      obs_->sampler->sample(pipeline_->stats().committed, pipeline_->cycle());
+    }
+    return;
+  }
+  pipeline_->fast_forward(instructions);
+}
+
 obs::CellObservability Simulator::collect_observability() const {
   obs::CellObservability cell;
   if (obs_ == nullptr) return cell;

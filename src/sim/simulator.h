@@ -27,6 +27,11 @@ class Simulator {
   // Runs `instructions` more instructions and returns cumulative results.
   RunResult run(std::uint64_t instructions);
 
+  // Advances `instructions` more instructions functionally (caches,
+  // predictor, decay/fault/scrub state live; no detailed OoO modelling) —
+  // the fast-forward leg of warmup/interval sampling (src/sim/sampling.h).
+  void fast_forward(std::uint64_t instructions);
+
   [[nodiscard]] core::IcrCache& dl1() noexcept { return *dl1_; }
   [[nodiscard]] mem::MemoryHierarchy& hierarchy() noexcept {
     return *hierarchy_;
@@ -35,6 +40,7 @@ class Simulator {
   [[nodiscard]] fault::FaultInjector* injector() noexcept {
     return injector_.get();
   }
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
 
   // Snapshot of all metrics without running further.
   [[nodiscard]] RunResult result() const;

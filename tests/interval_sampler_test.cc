@@ -97,6 +97,37 @@ TEST(IntervalSampler, WeightedMeansReconstructAggregates) {
   EXPECT_DOUBLE_EQ(s.mean_ipc, 300.0 / 1000.0);
 }
 
+// Regression: chunked runs (Simulator::run / fast_forward, the sampling
+// controller) can land a chunk boundary exactly on the final instruction of
+// the previous segment and sample the same progress point twice. The
+// duplicate must collapse into the previous sample — a zero-length interval
+// would produce 0/0 rates and infinite weights downstream.
+TEST(IntervalSampler, DuplicateProgressPointCollapsesIntoLastSample) {
+  StatRegistry reg;
+  FakeDl1 dl1;
+  dl1.wire(reg);
+
+  IntervalSampler sampler(reg, 100);
+  sampler.record_baseline(0, 0);
+
+  dl1.loads = 50;
+  sampler.sample(100, 200);
+  // Same instruction count again, fresher counters: replaces, not appends.
+  dl1.loads = 60;
+  sampler.sample(100, 200);
+  dl1.loads = 90;
+  sampler.sample(200, 400);
+
+  const IntervalSeries& series = sampler.series();
+  ASSERT_EQ(series.samples.size(), 3u);  // baseline + two distinct points
+  EXPECT_EQ(series.samples[1].instructions, 100u);
+  EXPECT_EQ(series.samples[1].counters[0], 60u);  // freshest snapshot kept
+  EXPECT_EQ(series.samples[2].instructions, 200u);
+  for (const auto& pt : interval_points(series)) {
+    EXPECT_GT(pt.d_instructions, 0.0);
+  }
+}
+
 TEST(IntervalSampler, DefaultIntervalWhenZero) {
   StatRegistry reg;
   IntervalSampler sampler(reg, 0);

@@ -185,3 +185,94 @@ INSTANTIATE_TEST_SUITE_P(Seeds, CodingProperty,
 
 }  // namespace
 }  // namespace icr::core
+
+// ---------------------------------------------------------------------------
+// Window-plan invariants of the sampling controller (src/sim/sampling.h):
+// every (budget, warmup, windows, width, mode, seed) tuple must yield a
+// sorted, non-overlapping, in-budget plan whose spans partition the budget,
+// and the weighted reconstruction must be exact on piecewise-constant data.
+// ---------------------------------------------------------------------------
+#include "src/sim/sampling.h"
+
+namespace icr::sim {
+namespace {
+
+TEST(SamplingProperty, RandomPlansAreAlwaysWellFormed) {
+  Rng rng(0x5A3DF00DULL);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t budget = 1 + rng.next_below(1u << 20);
+    SamplingOptions options;
+    options.warmup_instructions = rng.next_below(budget + budget / 2 + 1);
+    options.windows = static_cast<std::uint32_t>(rng.next_below(33));
+    options.window_width = rng.next_below(budget / 4 + 1);
+    options.mode =
+        rng.bernoulli(0.5) ? SampleMode::kRandom : SampleMode::kSystematic;
+    options.seed = rng.next_u64();
+
+    const std::vector<SampleWindow> plan = plan_windows(budget, options);
+    ASSERT_FALSE(plan.empty())
+        << "budget " << budget << " warmup " << options.warmup_instructions;
+    std::uint64_t span_sum = 0;
+    for (std::size_t j = 0; j < plan.size(); ++j) {
+      EXPECT_LT(plan[j].begin, plan[j].end) << "trial " << trial;
+      EXPECT_LE(plan[j].end, budget) << "trial " << trial;
+      EXPECT_GE(plan[j].width(), std::min(budget, kMinWindowWidth))
+          << "trial " << trial;
+      if (j > 0) {
+        EXPECT_GE(plan[j].begin, plan[j - 1].end)
+            << "trial " << trial << " window " << j;
+      }
+      span_sum += plan[j].span;
+    }
+    EXPECT_EQ(span_sum, budget) << "trial " << trial;
+    // Plans are pure functions of (budget, options).
+    const std::vector<SampleWindow> again = plan_windows(budget, options);
+    ASSERT_EQ(again.size(), plan.size());
+    for (std::size_t j = 0; j < plan.size(); ++j) {
+      EXPECT_EQ(again[j].begin, plan[j].begin);
+      EXPECT_EQ(again[j].end, plan[j].end);
+      EXPECT_EQ(again[j].span, plan[j].span);
+    }
+  }
+}
+
+TEST(SamplingProperty, WeightedReconstructionExactOnPiecewiseConstantRates) {
+  // Synthetic run whose per-instruction counter rates are constant: any
+  // window measures rate * width, so the span-weighted reconstruction must
+  // recover rate * budget exactly (up to the documented llround).
+  Rng rng(0xC0FFEEULL);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t budget = 4096 + rng.next_below(1u << 18);
+    SamplingOptions options;
+    options.warmup_instructions = rng.next_below(budget / 2);
+    options.windows = 1 + static_cast<std::uint32_t>(rng.next_below(12));
+    options.mode =
+        rng.bernoulli(0.5) ? SampleMode::kRandom : SampleMode::kSystematic;
+    options.seed = rng.next_u64();
+    const std::vector<SampleWindow> plan = plan_windows(budget, options);
+
+    const std::uint64_t loads_per_instr = 1 + rng.next_below(4);
+    const std::uint64_t cycles_per_instr = 1 + rng.next_below(8);
+    std::vector<RunResult> deltas;
+    std::vector<double> weights;
+    for (const SampleWindow& w : plan) {
+      RunResult delta;
+      delta.instructions = w.width();
+      delta.cycles = w.width() * cycles_per_instr;
+      delta.dl1.loads = w.width() * loads_per_instr;
+      deltas.push_back(delta);
+      weights.push_back(static_cast<double>(w.span) /
+                        static_cast<double>(w.width()));
+    }
+    const RunResult estimate = reconstruct_weighted(deltas, weights);
+    // Sum_j (span_j/width_j) * (rate * width_j) = rate * budget, exactly.
+    EXPECT_EQ(estimate.instructions, budget) << "trial " << trial;
+    EXPECT_EQ(estimate.cycles, budget * cycles_per_instr)
+        << "trial " << trial;
+    EXPECT_EQ(estimate.dl1.loads, budget * loads_per_instr)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace icr::sim

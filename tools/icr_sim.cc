@@ -22,6 +22,7 @@
 #include "src/sim/cli.h"
 #include "src/sim/experiment.h"
 #include "src/sim/results_io.h"
+#include "src/sim/sampling.h"
 #include "src/sim/simulator.h"
 #include "src/trace/trace_file.h"
 #include "src/util/table.h"
@@ -48,6 +49,11 @@ struct Options {
   std::uint32_t rcache = 0;
   std::string fault_model = "random";
   double fault_prob = 0.0;
+  std::uint64_t warmup = 0;
+  std::uint32_t sample_windows = 0;
+  std::uint64_t sample_width = 0;
+  std::string sample_mode = "systematic";
+  std::uint64_t sample_seed = 0x5A3D11ULL;
   bool csv = false;
   std::uint64_t stats_interval = 0;  // 0 = off (default when outputs ask)
   std::string intervals_out;
@@ -76,6 +82,13 @@ void usage() {
       "  --rcache=N            attach an N-entry Kim&Somani R-Cache\n"
       "  --fault-model=M       random|adjacent|column|direct\n"
       "  --fault-prob=P        per-cycle injection probability (default 0)\n"
+      "  --warmup=N            functional warmup for N instructions before\n"
+      "                        measuring (docs/SAMPLING.md)\n"
+      "  --sample-windows=K    interval sampling: measure K windows, report\n"
+      "                        weighted whole-run estimates\n"
+      "  --sample-width=N      instructions per window (default: budget/10K)\n"
+      "  --sample-mode=M       systematic|random window placement\n"
+      "  --sample-seed=S       placement stream for --sample-mode=random\n"
       "  --csv                 one CSV row instead of the report\n"
       "  --stats-interval=N    sample telemetry every N instructions\n"
       "                        (default 100000 when an output below is set)\n"
@@ -171,6 +184,17 @@ int main(int argc, char** argv) {
       opt.fault_model = value;
     } else if (parse_flag(argv[i], "--fault-prob", value)) {
       opt.fault_prob = std::atof(value.c_str());
+    } else if (parse_flag(argv[i], "--warmup", value)) {
+      opt.warmup = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--sample-windows", value)) {
+      opt.sample_windows = static_cast<std::uint32_t>(
+          std::strtoul(value.c_str(), nullptr, 10));
+    } else if (parse_flag(argv[i], "--sample-width", value)) {
+      opt.sample_width = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--sample-mode", value)) {
+      opt.sample_mode = value;
+    } else if (parse_flag(argv[i], "--sample-seed", value)) {
+      opt.sample_seed = std::strtoull(value.c_str(), nullptr, 0);
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       opt.csv = true;
     } else if (parse_flag(argv[i], "--stats-interval", value)) {
@@ -249,9 +273,17 @@ int main(int argc, char** argv) {
   relopt.enabled = opt.rel;
   relopt.probability = opt.fault_prob;
 
+  sim::SamplingOptions sampling;
+  sampling.warmup_instructions = opt.warmup;
+  sampling.windows = opt.sample_windows;
+  sampling.window_width = opt.sample_width;
+  sampling.mode = sim::cli::sample_mode_by_name(opt.sample_mode);
+  sampling.seed = opt.sample_seed;
+
   if (opt.prof) obs::prof::begin_capture();
 
   sim::RunResult result;
+  sim::SampleProvenance provenance;
   obs::CellObservability telemetry;
   rel::RelReport rel_report;
   if (!opt.trace_path.empty()) {
@@ -315,18 +347,63 @@ int main(int argc, char** argv) {
       }
     }
 
-    if (sampler != nullptr) {
-      // Absolute chunk targets: identical commit stream to one plain run.
+    auto snapshot = [&]() -> sim::RunResult {
+      sim::RunResult r;
+      r.scheme = scheme.name;
+      r.app = opt.trace_path;
+      r.instructions = pipeline.stats().committed;
+      r.cycles = pipeline.stats().cycles;
+      r.dl1 = dl1.stats();
+      r.l1i = hierarchy.l1i().stats();
+      r.l2 = hierarchy.l2().stats();
+      r.pipeline = pipeline.stats();
+      r.branch = pipeline.branch_predictor().stats();
+      energy::EnergyEvents ev;
+      ev.l1_reads = r.dl1.l1_read_accesses;
+      ev.l1_writes = r.dl1.l1_write_accesses;
+      ev.l2_reads = hierarchy.l2_read_accesses() - hierarchy.l2_ifetch_reads();
+      ev.l2_writes = hierarchy.l2_write_accesses();
+      ev.parity_computations = r.dl1.parity_computations;
+      ev.ecc_computations = r.dl1.ecc_computations;
+      r.energy_events = ev;
+      r.energy = energy::EnergyModel(config.energy).evaluate(ev);
+      return r;
+    };
+    // Both advance hooks keep the telemetry cadence through chunked
+    // execution; absolute chunk targets make the commit stream identical
+    // to one uninterrupted run.
+    auto chunked = [&](std::uint64_t n, bool detailed) {
+      if (sampler == nullptr) {
+        if (detailed) {
+          pipeline.run(n);
+        } else {
+          pipeline.fast_forward(n);
+        }
+        return;
+      }
       const std::uint64_t interval = sampler->interval_instructions();
-      while (pipeline.stats().committed < instructions) {
-        const std::uint64_t next = std::min(
-            pipeline.stats().committed + interval, instructions);
-        pipeline.run(next - pipeline.stats().committed);
+      const std::uint64_t target = pipeline.stats().committed + n;
+      while (pipeline.stats().committed < target) {
+        const std::uint64_t next =
+            std::min(pipeline.stats().committed + interval, target);
+        const std::uint64_t step = next - pipeline.stats().committed;
+        if (detailed) {
+          pipeline.run(step);
+        } else {
+          pipeline.fast_forward(step);
+        }
         sampler->sample(pipeline.stats().committed, pipeline.cycle());
       }
-    } else {
-      pipeline.run(instructions);
-    }
+    };
+    sim::SamplingController::Hooks hooks;
+    hooks.run = [&](std::uint64_t n) { chunked(n, true); };
+    hooks.fast_forward = [&](std::uint64_t n) { chunked(n, false); };
+    hooks.result = snapshot;
+    sim::SampledRunResult sampled =
+        sim::SamplingController(hooks, sampling, config.energy)
+            .run(instructions);
+    result = std::move(sampled.estimate);
+    provenance = sampled.provenance;
     if (rel_tracker != nullptr) {
       rel_report = rel_tracker->report(pipeline.cycle());
     }
@@ -336,30 +413,19 @@ int main(int argc, char** argv) {
       telemetry.trace_emitted = observability.trace->emitted();
       telemetry.trace_dropped = observability.trace->dropped();
     }
-    result.scheme = scheme.name;
-    result.app = opt.trace_path;
-    result.instructions = pipeline.stats().committed;
-    result.cycles = pipeline.stats().cycles;
-    result.dl1 = dl1.stats();
-    result.l1i = hierarchy.l1i().stats();
-    result.l2 = hierarchy.l2().stats();
-    result.pipeline = pipeline.stats();
-    result.branch = pipeline.branch_predictor().stats();
-    energy::EnergyEvents ev;
-    ev.l1_reads = result.dl1.l1_read_accesses;
-    ev.l1_writes = result.dl1.l1_write_accesses;
-    ev.l2_reads = hierarchy.l2_read_accesses() - hierarchy.l2_ifetch_reads();
-    ev.l2_writes = hierarchy.l2_write_accesses();
-    ev.parity_computations = result.dl1.parity_computations;
-    ev.ecc_computations = result.dl1.ecc_computations;
-    result.energy_events = ev;
-    result.energy = energy::EnergyModel(config.energy).evaluate(ev);
-  } else if (obsopt.any() || relopt.enabled) {
+  } else if (obsopt.any() || relopt.enabled || sampling.enabled()) {
     sim::Simulator simulator(config, scheme,
                              trace::profile_for(app_by_name(opt.app)));
     if (obsopt.any()) simulator.enable_observability(obsopt);
     if (relopt.enabled) simulator.enable_rel(relopt);
-    result = simulator.run(instructions);
+    if (sampling.enabled()) {
+      sim::SampledRunResult sampled =
+          sim::SamplingController(simulator, sampling).run(instructions);
+      result = std::move(sampled.estimate);
+      provenance = sampled.provenance;
+    } else {
+      result = simulator.run(instructions);
+    }
     if (obsopt.any()) telemetry = simulator.collect_observability();
     if (relopt.enabled) rel_report = simulator.collect_rel();
   } else {
@@ -385,6 +451,18 @@ int main(int argc, char** argv) {
     print_csv(result);
   } else {
     print_report(result);
+    if (provenance.sampled) {
+      std::printf("sampling: warmup %llu, %u window(s) (%s), measured "
+                  "%llu of %llu instructions (%.1f%% detailed coverage) — "
+                  "metrics are estimates\n",
+                  static_cast<unsigned long long>(
+                      provenance.warmup_instructions),
+                  provenance.windows, sim::to_string(sampling.mode),
+                  static_cast<unsigned long long>(
+                      provenance.measured_instructions),
+                  static_cast<unsigned long long>(provenance.budget),
+                  100.0 * provenance.coverage());
+    }
     if (opt.rel) std::fputs(rel::format_report(rel_report).c_str(), stdout);
   }
 

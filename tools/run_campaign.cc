@@ -41,6 +41,11 @@ struct Options {
   std::uint64_t seed = 0x1C9CA37ULL;
   std::uint64_t instructions = 0;
   std::uint64_t window = 0;
+  std::uint64_t warmup = 0;
+  std::uint32_t sample_windows = 0;
+  std::uint64_t sample_width = 0;
+  std::string sample_mode = "systematic";
+  std::uint64_t sample_seed = 0x5A3D11ULL;
   std::string fault_model = "random";
   double fault_prob = 0.0;
   std::string csv_path;
@@ -76,6 +81,14 @@ void usage() {
       "scheme\n"
       "  --fault-model=M       random|adjacent|column|direct\n"
       "  --fault-prob=P        per-cycle injection probability (default 0)\n"
+      "  --warmup=N            functionally warm caches/predictor for N\n"
+      "                        instructions before measuring (docs/SAMPLING.md)\n"
+      "  --sample-windows=K    measure K interval-sampling windows instead\n"
+      "                        of the whole budget; metrics become weighted\n"
+      "                        whole-run estimates with provenance columns\n"
+      "  --sample-width=N      instructions per window (default: budget/10K)\n"
+      "  --sample-mode=M       systematic|random window placement\n"
+      "  --sample-seed=S       placement stream for --sample-mode=random\n"
       "  --csv=FILE            write per-cell results as CSV\n"
       "  --json=FILE           write campaign metadata + cells as JSON\n"
       "  --quiet               skip the summary table\n"
@@ -127,6 +140,17 @@ int main(int argc, char** argv) {
       opt.instructions = std::strtoull(value.c_str(), nullptr, 10);
     } else if (parse_flag(argv[i], "--window", value)) {
       opt.window = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--warmup", value)) {
+      opt.warmup = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--sample-windows", value)) {
+      opt.sample_windows = static_cast<std::uint32_t>(
+          std::strtoul(value.c_str(), nullptr, 10));
+    } else if (parse_flag(argv[i], "--sample-width", value)) {
+      opt.sample_width = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--sample-mode", value)) {
+      opt.sample_mode = value;
+    } else if (parse_flag(argv[i], "--sample-seed", value)) {
+      opt.sample_seed = std::strtoull(value.c_str(), nullptr, 0);
     } else if (parse_flag(argv[i], "--fault-model", value)) {
       opt.fault_model = value;
     } else if (parse_flag(argv[i], "--fault-prob", value)) {
@@ -180,6 +204,11 @@ int main(int argc, char** argv) {
   spec.derive_seeds = spec.trials > 1 || seed_given;
   spec.config.fault_model = fault_by_name(opt.fault_model);
   spec.config.fault_probability = opt.fault_prob;
+  spec.sampling.warmup_instructions = opt.warmup;
+  spec.sampling.windows = opt.sample_windows;
+  spec.sampling.window_width = opt.sample_width;
+  spec.sampling.mode = sim::cli::sample_mode_by_name(opt.sample_mode);
+  spec.sampling.seed = opt.sample_seed;
 
   if (opt.schemes.empty()) {
     for (core::Scheme s : core::Scheme::all_paper_schemes()) {
@@ -275,6 +304,19 @@ int main(int argc, char** argv) {
     table.print();
   }
 
+  if (spec.sampling.enabled() && !campaign.cells.empty()) {
+    double coverage = 0.0;
+    for (const sim::CellResult& cell : campaign.cells) {
+      coverage += cell.sampling.coverage();
+    }
+    coverage /= static_cast<double>(campaign.cells.size());
+    std::printf("sampling: warmup %llu, %u window(s) (%s), mean detailed "
+                "coverage %.1f%% — metrics are estimates\n",
+                static_cast<unsigned long long>(
+                    spec.sampling.warmup_instructions),
+                spec.sampling.windows, sim::to_string(spec.sampling.mode),
+                100.0 * coverage);
+  }
   std::printf("%zu cells in %.2fs wall (%.2f cells/sec), config hash "
               "%016llx, base seed %016llx\n",
               campaign.cells.size(), campaign.meta.wall_seconds,
