@@ -5,6 +5,7 @@
 #include <cstring>
 #include <set>
 
+#include "src/sim/cli.h"
 #include "src/sim/results_io.h"
 #include "src/util/rng.h"
 
@@ -87,6 +88,9 @@ bool known_flag(const char* arg) {
   for (const char* flag : valued) {
     if (flag_value(arg, flag) != nullptr) return true;
   }
+  // google-benchmark binaries own the --benchmark_* namespace; their
+  // Initialize() consumes those after init() has seen them.
+  if (std::strncmp(arg, "--benchmark_", 12) == 0) return true;
   const std::string name(arg, std::strcspn(arg, "="));
   return claimed_flags().count(name) != 0;
 }
@@ -101,7 +105,18 @@ void init(int argc, char** argv) {
   bool progress_forced = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strcmp(arg, "--quiet") == 0 || std::strcmp(arg, "-q") == 0) {
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      std::printf(
+          "%s — ICR bench binary. Shared flags:\n"
+          "  --quiet / -q        suppress campaign progress on stderr\n"
+          "  --progress          force progress reporting even with --quiet\n"
+          "  --instructions=N    per-point budget (sets ICR_SIM_INSTRUCTIONS)\n"
+          "  --threads=N         worker threads (sets ICR_SIM_THREADS)\n"
+          "  --json-out=FILE     write an icr-bench-v1 JSON document on exit\n",
+          g_doc.bench.c_str());
+      std::exit(0);
+    } else if (std::strcmp(arg, "--quiet") == 0 ||
+               std::strcmp(arg, "-q") == 0) {
       g_quiet = true;
     } else if (std::strcmp(arg, "--progress") == 0) {
       progress_forced = true;
@@ -115,10 +130,11 @@ void init(int argc, char** argv) {
       g_json_out = value;
       std::atexit(write_json_at_exit);
     } else if (std::strncmp(arg, "--", 2) == 0 && !known_flag(arg)) {
-      // Tolerated (benches may consume their own flags after claiming
-      // them), but silence invites typos like --instruction=1000.
-      std::fprintf(stderr, "%s: warning: unknown flag '%s' ignored\n",
-                   g_doc.bench.c_str(), arg);
+      // Same hard rejection as the tools/ binaries (shared sim::cli path):
+      // a typo like --instruction=1000 must not silently run the wrong
+      // experiment. Benches that take their own flags declare them via
+      // claim_flag() before init().
+      sim::cli::unknown_flag(g_doc.bench.c_str(), arg);
     }
   }
   sim::CampaignRunner::set_default_progress_enabled(!g_quiet ||

@@ -24,9 +24,10 @@ namespace icr::bench {
 //   --instructions=N    per-point instruction budget (sets ICR_SIM_INSTRUCTIONS)
 //   --threads=N         campaign worker threads (sets ICR_SIM_THREADS)
 //   --json-out=FILE     write an icr-bench-v1 JSON document on exit
-// Unrecognized "--" flags draw a warning on stderr (they are still
-// tolerated, so individual benches can layer their own after declaring
-// them via claim_flag()).
+// Unrecognized "--" flags are rejected with exit code 2 through the shared
+// sim::cli::unknown_flag path (same behavior as the tools/ binaries);
+// benches that layer their own flags declare them via claim_flag() before
+// init(). --help/-h prints the shared flag list.
 // Call first thing in every bench main().
 void init(int argc, char** argv);
 

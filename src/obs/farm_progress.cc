@@ -1,0 +1,72 @@
+#include "src/obs/farm_progress.h"
+
+#include <cstdio>
+
+namespace icr::obs {
+
+FarmProgressReporter::FarmProgressReporter(const FarmProgressOptions& options,
+                                           std::uint32_t total_units,
+                                           std::uint64_t total_cells)
+    : options_(options),
+      total_units_(total_units),
+      total_cells_(total_cells),
+      start_(std::chrono::steady_clock::now()),
+      last_print_(start_) {}
+
+double FarmProgressReporter::elapsed_seconds() const {
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start_;
+  return elapsed.count();
+}
+
+void FarmProgressReporter::poll(std::uint32_t units_done,
+                                std::uint64_t cells_done,
+                                unsigned workers_alive) {
+  if (!options_.enabled) return;
+  const auto now = std::chrono::steady_clock::now();
+  const std::chrono::duration<double> since_print = now - last_print_;
+  if (since_print.count() < options_.min_interval_seconds) return;
+  // Nothing new to say until the first unit lands; the spawn line already
+  // told the user the farm is running.
+  if (cells_done == last_cells_ && cells_done == 0) return;
+  last_print_ = now;
+  last_cells_ = cells_done;
+  print_line(units_done, cells_done, workers_alive, /*final_line=*/false);
+}
+
+void FarmProgressReporter::finish(std::uint32_t units_done,
+                                  std::uint64_t cells_done) {
+  if (!options_.enabled) return;
+  print_line(units_done, cells_done, /*workers_alive=*/0,
+             /*final_line=*/true);
+}
+
+void FarmProgressReporter::print_line(std::uint32_t units_done,
+                                      std::uint64_t cells_done,
+                                      unsigned workers_alive,
+                                      bool final_line) {
+  const double elapsed = elapsed_seconds();
+  const double rate =
+      elapsed > 0.0 ? static_cast<double>(cells_done) / elapsed : 0.0;
+  char eta[32];
+  if (!final_line && rate > 0.0 && cells_done <= total_cells_) {
+    std::snprintf(eta, sizeof eta, "ETA %.0fs",
+                  static_cast<double>(total_cells_ - cells_done) / rate);
+  } else {
+    std::snprintf(eta, sizeof eta, final_line ? "done" : "ETA --");
+  }
+  const double percent =
+      total_cells_ == 0
+          ? 100.0
+          : 100.0 * static_cast<double>(cells_done) /
+                static_cast<double>(total_cells_);
+  std::fprintf(stderr,
+               "farm: %u/%u units  %llu/%llu cells (%.1f%%)  %u worker(s)  "
+               "%.2f cells/s  %s\n",
+               units_done, total_units_,
+               static_cast<unsigned long long>(cells_done),
+               static_cast<unsigned long long>(total_cells_), percent,
+               workers_alive, rate, eta);
+}
+
+}  // namespace icr::obs

@@ -1,0 +1,50 @@
+// Farm-level progress reporting (the multi-process sibling of the
+// per-campaign ProgressReporter in src/sim/campaign.cc).
+//
+// The coordinator polls the spool directory — units done, cells done,
+// workers alive — and feeds the counts here; this class owns the pacing
+// (at most one line per min_interval_seconds) and the arithmetic
+// (aggregate cells/sec across every worker process, ETA from the rate so
+// far). Pure counters in, stderr lines out: no dependency on the sim
+// layer, so it lives with the other observability sinks.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace icr::obs {
+
+struct FarmProgressOptions {
+  bool enabled = true;
+  double min_interval_seconds = 1.0;
+};
+
+class FarmProgressReporter {
+ public:
+  FarmProgressReporter(const FarmProgressOptions& options,
+                       std::uint32_t total_units, std::uint64_t total_cells);
+
+  // Rate-limited status line: units outstanding, aggregate cells/sec, ETA.
+  // Call as often as convenient; most calls print nothing.
+  void poll(std::uint32_t units_done, std::uint64_t cells_done,
+            unsigned workers_alive);
+
+  // Unconditional final line (unless disabled); reports the whole-farm
+  // rate over the reporter's lifetime.
+  void finish(std::uint32_t units_done, std::uint64_t cells_done);
+
+  [[nodiscard]] double elapsed_seconds() const;
+
+ private:
+  void print_line(std::uint32_t units_done, std::uint64_t cells_done,
+                  unsigned workers_alive, bool final_line);
+
+  FarmProgressOptions options_;
+  std::uint32_t total_units_;
+  std::uint64_t total_cells_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_print_;
+  std::uint64_t last_cells_ = 0;
+};
+
+}  // namespace icr::obs

@@ -175,6 +175,12 @@ std::atomic<bool> g_default_progress_enabled{false};
 
 }  // namespace
 
+CellResult run_campaign_cell(const CampaignSpec& spec, std::size_t variant_idx,
+                             std::size_t app_idx, std::size_t trial_idx,
+                             std::uint64_t instructions) {
+  return run_cell(spec, variant_idx, app_idx, trial_idx, instructions);
+}
+
 void CampaignRunner::set_default_progress_enabled(bool enabled) noexcept {
   g_default_progress_enabled.store(enabled, std::memory_order_relaxed);
 }

@@ -98,6 +98,19 @@ struct CellResult {
   std::unique_ptr<rel::RelReport> rel;
 };
 
+// Runs one cell of the expanded grid, exactly as CampaignRunner would:
+// same seed derivation, same sampling placement, same obs/rel wiring.
+// `instructions` must be the resolved budget (spec.instructions, or
+// default_instruction_count() when that is 0). Public so out-of-process
+// executors — the campaign farm's workers (src/sim/farm.h) — produce
+// bit-identical cells to an in-process run; which process runs a cell can
+// never change its numbers.
+[[nodiscard]] CellResult run_campaign_cell(const CampaignSpec& spec,
+                                           std::size_t variant_idx,
+                                           std::size_t app_idx,
+                                           std::size_t trial_idx,
+                                           std::uint64_t instructions);
+
 // Campaign-level metadata exported alongside the cells (results_io.h).
 struct CampaignMeta {
   std::uint64_t base_seed = 0;

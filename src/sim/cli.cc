@@ -15,6 +15,13 @@ bool parse_flag(const char* arg, const char* name, std::string& out) {
   return false;
 }
 
+void unknown_flag(const char* program, const char* arg) {
+  std::fprintf(stderr, "%s: unknown flag '%s' (run with --help for the flag "
+                       "list)\n",
+               program, arg);
+  std::exit(2);
+}
+
 std::vector<std::string> split_csv(const std::string& list) {
   std::vector<std::string> items;
   std::size_t start = 0;

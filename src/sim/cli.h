@@ -22,6 +22,13 @@ namespace icr::sim::cli {
 [[nodiscard]] bool parse_flag(const char* arg, const char* name,
                               std::string& out);
 
+// Shared unknown-flag rejection: prints "<program>: unknown flag '<arg>'"
+// and a --help hint to stderr, then exits 2. Every front-end (tools/ and
+// the bench harness) funnels unrecognized "--" arguments here so a typo
+// like --instruction=1000 fails loudly and identically everywhere instead
+// of silently running the wrong experiment.
+[[noreturn]] void unknown_flag(const char* program, const char* arg);
+
 // Splits a comma-separated list, dropping empty items.
 [[nodiscard]] std::vector<std::string> split_csv(const std::string& list);
 

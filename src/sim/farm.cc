@@ -1,0 +1,542 @@
+#include "src/sim/farm.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "src/sim/cli.h"
+#include "src/sim/results_io.h"
+#include "src/util/fs.h"
+#include "src/util/json.h"
+
+namespace icr::sim::farm {
+namespace {
+
+std::string hex64(std::uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "0x%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+// %.17g: shortest text that reparses (via the reader's strtod) to the
+// exact same double — manifest probabilities survive the round trip.
+std::string format_double(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+std::uint64_t parse_hex64(const util::JsonValue& value) {
+  return std::strtoull(value.as_string("0x0").c_str(), nullptr, 0);
+}
+
+std::uint64_t as_u64(const util::JsonValue& value) {
+  return static_cast<std::uint64_t>(value.as_double(0.0));
+}
+
+[[noreturn]] void bad_document(const std::string& what) {
+  throw std::runtime_error("farm: " + what);
+}
+
+void append_sampling_json(std::string& out, const SamplingOptions& s) {
+  out += "{\"warmup\": " + std::to_string(s.warmup_instructions) +
+         ", \"windows\": " + std::to_string(s.windows) +
+         ", \"window_width\": " + std::to_string(s.window_width) +
+         ", \"mode\": \"" + to_string(s.mode) + "\", \"seed\": \"" +
+         hex64(s.seed) + "\"}";
+}
+
+SamplingOptions parse_sampling(const util::JsonValue& v) {
+  SamplingOptions s;
+  s.warmup_instructions = as_u64(v.get("warmup"));
+  s.windows = static_cast<std::uint32_t>(as_u64(v.get("windows")));
+  s.window_width = as_u64(v.get("window_width"));
+  s.mode = cli::sample_mode_by_name(v.get("mode").as_string("systematic"));
+  s.seed = parse_hex64(v.get("seed"));
+  return s;
+}
+
+std::string unit_file_name(std::uint32_t unit) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "unit_%06u", unit);
+  return buffer;
+}
+
+}  // namespace
+
+std::vector<WorkUnit> shard_units(std::uint64_t total_cells,
+                                  std::uint64_t unit_cells) {
+  if (unit_cells == 0) unit_cells = 1;
+  std::vector<WorkUnit> units;
+  units.reserve(static_cast<std::size_t>(
+      (total_cells + unit_cells - 1) / unit_cells));
+  std::uint32_t index = 0;
+  for (std::uint64_t begin = 0; begin < total_cells; begin += unit_cells) {
+    WorkUnit unit;
+    unit.index = index++;
+    unit.begin = begin;
+    unit.end = std::min(begin + unit_cells, total_cells);
+    units.push_back(unit);
+  }
+  return units;
+}
+
+std::string Manifest::to_json() const {
+  std::string out = "{\n  \"farm\": {\n";
+  out += "    \"version\": " + std::to_string(version) + ",\n";
+  out += "    \"config_hash\": \"" + hex64(config_hash) + "\",\n";
+  out += "    \"base_seed\": \"" + hex64(base_seed) + "\",\n";
+  out += "    \"instructions\": " + std::to_string(instructions) + ",\n";
+  out += "    \"trials\": " + std::to_string(trials) + ",\n";
+  out += std::string("    \"derive_seeds\": ") +
+         (derive_seeds ? "true" : "false") + ",\n";
+  out += "    \"variant_count\": " + std::to_string(variant_count) + ",\n";
+  out += "    \"app_count\": " + std::to_string(app_count) + ",\n";
+  out += "    \"total_cells\": " + std::to_string(total_cells) + ",\n";
+  out += "    \"unit_cells\": " + std::to_string(unit_cells) + ",\n";
+  out += "    \"unit_count\": " + std::to_string(unit_count) + ",\n";
+  out += "    \"decay_window\": " + std::to_string(decay_window) + ",\n";
+  out += "    \"fault_model\": \"" + util::json_escape(fault_model) + "\",\n";
+  out += "    \"fault_probability\": " + format_double(fault_probability) +
+         ",\n";
+  out += "    \"sampling\": ";
+  append_sampling_json(out, sampling);
+  out += ",\n    \"schemes\": [";
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += '"';
+    out += util::json_escape(schemes[i]);
+    out += '"';
+  }
+  out += "],\n    \"apps\": [";
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += '"';
+    out += util::json_escape(apps[i]);
+    out += '"';
+  }
+  out += "]\n  }\n}\n";
+  return out;
+}
+
+Manifest Manifest::parse(const std::string& text) {
+  const util::JsonValue doc = util::JsonValue::parse(text);
+  const util::JsonValue& f = doc.get("farm");
+  if (!f.is_object()) bad_document("manifest has no \"farm\" object");
+  Manifest m;
+  m.version = static_cast<int>(f.get("version").as_double(-1));
+  if (m.version != kFormatVersion) {
+    bad_document("manifest version " + std::to_string(m.version) +
+                 " (this build reads version " +
+                 std::to_string(kFormatVersion) + ")");
+  }
+  m.config_hash = parse_hex64(f.get("config_hash"));
+  m.base_seed = parse_hex64(f.get("base_seed"));
+  m.instructions = as_u64(f.get("instructions"));
+  m.trials = static_cast<std::uint32_t>(as_u64(f.get("trials")));
+  m.derive_seeds = f.get("derive_seeds").as_bool(false);
+  m.variant_count = static_cast<std::uint32_t>(as_u64(f.get("variant_count")));
+  m.app_count = static_cast<std::uint32_t>(as_u64(f.get("app_count")));
+  m.total_cells = as_u64(f.get("total_cells"));
+  m.unit_cells = as_u64(f.get("unit_cells"));
+  m.unit_count = static_cast<std::uint32_t>(as_u64(f.get("unit_count")));
+  m.decay_window = as_u64(f.get("decay_window"));
+  m.fault_model = f.get("fault_model").as_string("random");
+  m.fault_probability = f.get("fault_probability").as_double(0.0);
+  if (f.get("sampling").is_object()) {
+    m.sampling = parse_sampling(f.get("sampling"));
+  }
+  for (const util::JsonValue& s : f.get("schemes").items()) {
+    m.schemes.push_back(s.as_string());
+  }
+  for (const util::JsonValue& a : f.get("apps").items()) {
+    m.apps.push_back(a.as_string());
+  }
+  if (m.total_cells == 0) bad_document("manifest grid is empty");
+  if (m.unit_count == 0 ||
+      m.unit_count != (m.total_cells + m.unit_cells - 1) / m.unit_cells) {
+    bad_document("manifest sharding is inconsistent");
+  }
+  return m;
+}
+
+Manifest manifest_for(const CampaignSpec& spec, std::uint64_t unit_cells) {
+  Manifest m;
+  m.config_hash = campaign_config_hash(spec);
+  m.base_seed = spec.base_seed;
+  m.instructions = spec.instructions != 0 ? spec.instructions
+                                          : default_instruction_count();
+  m.trials = spec.trials == 0 ? 1 : spec.trials;
+  m.derive_seeds = spec.derive_seeds;
+  m.variant_count = static_cast<std::uint32_t>(spec.variants.size());
+  m.app_count = static_cast<std::uint32_t>(spec.apps.size());
+  m.total_cells = static_cast<std::uint64_t>(spec.variants.size()) *
+                  spec.apps.size() * m.trials;
+  m.unit_cells = unit_cells == 0 ? 1 : unit_cells;
+  m.unit_count = static_cast<std::uint32_t>(
+      (m.total_cells + m.unit_cells - 1) / m.unit_cells);
+  for (const SchemeVariant& v : spec.variants) m.schemes.push_back(v.label);
+  for (const trace::App app : spec.apps) {
+    m.apps.push_back(trace::to_string(app));
+  }
+  // The window is uniform for CLI-built specs; take it from the first
+  // variant. Mixed-window specs are library territory — their workers get
+  // the spec programmatically and this field is ignored (the config hash,
+  // which folds every variant's window, still guards the match).
+  if (!spec.variants.empty()) {
+    m.decay_window = spec.variants.front().scheme.decay_window;
+  }
+  m.fault_model = fault::to_string(spec.config.fault_model);
+  m.fault_probability = spec.config.fault_probability;
+  m.sampling = spec.sampling;
+  return m;
+}
+
+CampaignSpec spec_from_manifest(const Manifest& manifest) {
+  CampaignSpec spec;
+  for (const std::string& name : manifest.schemes) {
+    spec.variants.emplace_back(
+        name, cli::scheme_by_name(name).with_decay_window(
+                  manifest.decay_window));
+  }
+  for (const std::string& name : manifest.apps) {
+    spec.apps.push_back(cli::app_by_name(name));
+  }
+  spec.trials = manifest.trials;
+  spec.base_seed = manifest.base_seed;
+  spec.instructions = manifest.instructions;
+  spec.derive_seeds = manifest.derive_seeds;
+  spec.config.fault_model = cli::fault_by_name(manifest.fault_model);
+  spec.config.fault_probability = manifest.fault_probability;
+  spec.sampling = manifest.sampling;
+  return spec;
+}
+
+std::string manifest_path(const std::string& spool) {
+  return spool + "/manifest.json";
+}
+
+std::string unit_path(const std::string& spool, std::uint32_t unit) {
+  return spool + "/units/" + unit_file_name(unit) + ".json";
+}
+
+std::string claim_path(const std::string& spool, std::uint32_t unit) {
+  return spool + "/claims/" + unit_file_name(unit) + ".claim";
+}
+
+void init_spool(const std::string& spool, const Manifest& manifest) {
+  util::fs::make_directories(spool + "/units");
+  util::fs::make_directories(spool + "/claims");
+  util::fs::atomic_write_text_file(manifest_path(spool), manifest.to_json());
+}
+
+Manifest load_manifest(const std::string& spool) {
+  return Manifest::parse(util::fs::read_text_file(manifest_path(spool)));
+}
+
+std::size_t clear_stale_claims(const std::string& spool,
+                               std::uint32_t unit_count) {
+  std::size_t cleared = 0;
+  for (std::uint32_t u = 0; u < unit_count; ++u) {
+    if (util::fs::exists(claim_path(spool, u)) &&
+        !util::fs::exists(unit_path(spool, u))) {
+      if (util::fs::remove_file(claim_path(spool, u))) ++cleared;
+    }
+  }
+  // A worker killed mid-publication can also leave a temp file next to the
+  // unit records; they are never read (readers open exact paths) but are
+  // dead weight, so sweep them too.
+  for (const std::string& name : util::fs::list_directory(spool + "/units")) {
+    if (name.find(".tmp.") != std::string::npos) {
+      util::fs::remove_file(spool + "/units/" + name);
+    }
+  }
+  return cleared;
+}
+
+CellRecord CellRecord::from_cell(const CellResult& cell) {
+  CellRecord record;
+  record.variant_idx = cell.cell.variant_idx;
+  record.app_idx = cell.cell.app_idx;
+  record.trial_idx = cell.cell.trial_idx;
+  record.seed = cell.cell.seed;
+  record.variant = cell.result.scheme;
+  record.app = cell.result.app;
+  const std::vector<double> values = metric_values(cell.result);
+  record.metric_bits.resize(values.size());
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  std::memcpy(record.metric_bits.data(), values.data(),
+              values.size() * sizeof(double));
+  record.sampling = cell.sampling;
+  return record;
+}
+
+std::vector<double> CellRecord::metrics() const {
+  std::vector<double> values(metric_bits.size());
+  std::memcpy(values.data(), metric_bits.data(),
+              metric_bits.size() * sizeof(double));
+  return values;
+}
+
+std::string unit_to_json(std::uint32_t unit,
+                         const std::vector<CellRecord>& cells) {
+  std::string out = "{\n  \"version\": " + std::to_string(kFormatVersion) +
+                    ",\n  \"unit\": " + std::to_string(unit) +
+                    ",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellRecord& c = cells[i];
+    out += "    {\"variant_idx\": " + std::to_string(c.variant_idx) +
+           ", \"app_idx\": " + std::to_string(c.app_idx) +
+           ", \"trial\": " + std::to_string(c.trial_idx) + ", \"seed\": \"" +
+           hex64(c.seed) + "\", \"variant\": \"" +
+           util::json_escape(c.variant) + "\", \"app\": \"" +
+           util::json_escape(c.app) + "\", \"metric_bits\": [";
+    for (std::size_t m = 0; m < c.metric_bits.size(); ++m) {
+      if (m != 0) out += ", ";
+      out += '"';
+      out += hex64(c.metric_bits[m]);
+      out += '"';
+    }
+    out += "], \"sampling\": {\"sampled\": ";
+    out += c.sampling.sampled ? "true" : "false";
+    out += ", \"budget\": " + std::to_string(c.sampling.budget) +
+           ", \"warmup\": " +
+           std::to_string(c.sampling.warmup_instructions) +
+           ", \"windows\": " + std::to_string(c.sampling.windows) +
+           ", \"measured\": " +
+           std::to_string(c.sampling.measured_instructions) + "}}";
+    if (i + 1 != cells.size()) out += ',';
+    out += '\n';
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::vector<CellRecord> parse_unit_json(const std::string& text,
+                                        std::uint32_t expected_unit) {
+  const util::JsonValue doc = util::JsonValue::parse(text);
+  const int version = static_cast<int>(doc.get("version").as_double(-1));
+  if (version != kFormatVersion) {
+    bad_document("unit record version " + std::to_string(version));
+  }
+  const std::uint32_t unit =
+      static_cast<std::uint32_t>(as_u64(doc.get("unit")));
+  if (unit != expected_unit) {
+    bad_document("unit record is for unit " + std::to_string(unit) +
+                 ", expected " + std::to_string(expected_unit));
+  }
+  std::vector<CellRecord> cells;
+  for (const util::JsonValue& c : doc.get("cells").items()) {
+    CellRecord record;
+    record.variant_idx =
+        static_cast<std::uint32_t>(as_u64(c.get("variant_idx")));
+    record.app_idx = static_cast<std::uint32_t>(as_u64(c.get("app_idx")));
+    record.trial_idx = static_cast<std::uint32_t>(as_u64(c.get("trial")));
+    record.seed = parse_hex64(c.get("seed"));
+    record.variant = c.get("variant").as_string();
+    record.app = c.get("app").as_string();
+    for (const util::JsonValue& bits : c.get("metric_bits").items()) {
+      record.metric_bits.push_back(parse_hex64(bits));
+    }
+    const util::JsonValue& s = c.get("sampling");
+    record.sampling.sampled = s.get("sampled").as_bool(false);
+    record.sampling.budget = as_u64(s.get("budget"));
+    record.sampling.warmup_instructions = as_u64(s.get("warmup"));
+    record.sampling.windows =
+        static_cast<std::uint32_t>(as_u64(s.get("windows")));
+    record.sampling.measured_instructions = as_u64(s.get("measured"));
+    cells.push_back(std::move(record));
+  }
+  return cells;
+}
+
+std::vector<CellRecord> run_unit(const CampaignSpec& spec,
+                                 const WorkUnit& unit,
+                                 std::uint64_t instructions) {
+  const std::size_t apps = spec.apps.size();
+  const std::size_t trials = spec.trials == 0 ? 1 : spec.trials;
+  std::vector<CellRecord> records;
+  records.reserve(static_cast<std::size_t>(unit.cells()));
+  for (std::uint64_t index = unit.begin; index < unit.end; ++index) {
+    // Same coordinate decomposition as CampaignRunner::run — grid order is
+    // the one total order every executor shares.
+    const std::size_t variant_idx =
+        static_cast<std::size_t>(index / (apps * trials));
+    const std::size_t app_idx =
+        static_cast<std::size_t>((index / trials) % apps);
+    const std::size_t trial_idx = static_cast<std::size_t>(index % trials);
+    records.push_back(CellRecord::from_cell(run_campaign_cell(
+        spec, variant_idx, app_idx, trial_idx, instructions)));
+  }
+  return records;
+}
+
+WorkerReport run_worker_loop(
+    const std::string& spool, const CampaignSpec& spec,
+    std::uint32_t max_units,
+    const std::function<void(const WorkUnit&)>& on_unit_done) {
+  const Manifest manifest = load_manifest(spool);
+  if (campaign_config_hash(spec) != manifest.config_hash) {
+    bad_document("spec does not match the spool manifest (config hash " +
+                 hex64(campaign_config_hash(spec)) + " vs manifest " +
+                 hex64(manifest.config_hash) + ")");
+  }
+  const std::vector<WorkUnit> units =
+      shard_units(manifest.total_cells, manifest.unit_cells);
+  const std::string claim_body =
+      "{\"pid\": " + std::to_string(::getpid()) + "}\n";
+
+  WorkerReport report;
+  for (const WorkUnit& unit : units) {
+    if (max_units != 0 && report.units_run >= max_units) break;
+    if (util::fs::exists(unit_path(spool, unit.index))) continue;
+    if (!util::fs::try_create_exclusive(claim_path(spool, unit.index),
+                                        claim_body)) {
+      continue;  // someone else owns it (or owned it and died — see resume)
+    }
+    const std::vector<CellRecord> records =
+        run_unit(spec, unit, manifest.instructions);
+    util::fs::atomic_write_text_file(unit_path(spool, unit.index),
+                                     unit_to_json(unit.index, records));
+    ++report.units_run;
+    report.cells_run += unit.cells();
+    if (on_unit_done) on_unit_done(unit);
+  }
+  return report;
+}
+
+SpoolStatus scan_spool(const std::string& spool, const Manifest& manifest) {
+  SpoolStatus status;
+  status.unit_count = manifest.unit_count;
+  const std::vector<WorkUnit> units =
+      shard_units(manifest.total_cells, manifest.unit_cells);
+  // One readdir per directory instead of unit_count stat calls: spools
+  // with hundreds of thousands of units scan in one pass.
+  std::vector<bool> done(manifest.unit_count, false);
+  for (const std::string& name : util::fs::list_directory(spool + "/units")) {
+    unsigned unit = 0;
+    if (std::sscanf(name.c_str(), "unit_%u.json", &unit) == 1 &&
+        name == unit_file_name(unit) + ".json" && unit < done.size()) {
+      done[unit] = true;
+      ++status.units_done;
+      status.cells_done += units[unit].cells();
+    }
+  }
+  for (const std::string& name :
+       util::fs::list_directory(spool + "/claims")) {
+    unsigned unit = 0;
+    if (std::sscanf(name.c_str(), "unit_%u.claim", &unit) == 1 &&
+        unit < done.size() && !done[unit]) {
+      ++status.claims_outstanding;
+    }
+  }
+  return status;
+}
+
+FarmAggregator::FarmAggregator(const Manifest& manifest, std::ostream* csv,
+                               std::ostream* json)
+    : manifest_(manifest), csv_(csv), json_(json) {
+  if (csv_ != nullptr) {
+    *csv_ << results_csv_header(manifest_.sampling.enabled());
+  }
+  if (json_ != nullptr) {
+    CampaignMeta meta;
+    meta.base_seed = manifest_.base_seed;
+    meta.config_hash = manifest_.config_hash;
+    meta.instructions = manifest_.instructions;
+    meta.trials = manifest_.trials;
+    meta.sampling = manifest_.sampling;
+    // Farm exports never carry timing: wall time depends on the worker
+    // fleet, and the byte-identity guarantee is against
+    // to_json(campaign, include_timing=false).
+    *json_ << results_json_prologue(
+        meta, static_cast<std::size_t>(manifest_.total_cells),
+        /*include_timing=*/false);
+  }
+}
+
+void FarmAggregator::add_unit(std::uint32_t unit,
+                              const std::vector<CellRecord>& records) {
+  if (finished_) bad_document("aggregator already finished");
+  if (unit != next_unit_) {
+    bad_document("units must stream in order: got unit " +
+                 std::to_string(unit) + ", expected " +
+                 std::to_string(next_unit_));
+  }
+  ++next_unit_;
+  const bool sampled = manifest_.sampling.enabled();
+  std::string row;  // scratch for one cell; capacity bounded by the schema
+  for (const CellRecord& record : records) {
+    ++cells_emitted_;
+    if (cells_emitted_ > manifest_.total_cells) {
+      bad_document("more cells than the manifest grid holds");
+    }
+    const std::vector<double> metrics = record.metrics();
+    if (csv_ != nullptr) {
+      row.clear();
+      append_results_csv_row(row, record.variant, record.app,
+                             record.trial_idx, record.seed, metrics,
+                             sampled ? &record.sampling : nullptr);
+      *csv_ << row;
+    }
+    if (json_ != nullptr) {
+      row.clear();
+      append_results_json_cell(row, record.variant, record.app,
+                               record.trial_idx, record.seed, metrics,
+                               sampled ? &record.sampling : nullptr,
+                               cells_emitted_ == manifest_.total_cells);
+      *json_ << row;
+    }
+  }
+}
+
+void FarmAggregator::finish() {
+  if (finished_) return;
+  if (cells_emitted_ != manifest_.total_cells) {
+    bad_document("aggregated " + std::to_string(cells_emitted_) + " of " +
+                 std::to_string(manifest_.total_cells) +
+                 " cells — refusing to export a truncated campaign");
+  }
+  if (json_ != nullptr) *json_ << results_json_epilogue();
+  finished_ = true;
+}
+
+std::size_t FarmAggregator::state_bytes() const noexcept {
+  // Fixed-size fields only: the streamed cells never accumulate here.
+  return sizeof(*this);
+}
+
+void aggregate_spool(const std::string& spool, const Manifest& manifest,
+                     const std::string& csv_out, const std::string& json_out) {
+  std::ofstream csv;
+  std::ofstream json;
+  if (!csv_out.empty()) {
+    csv.open(csv_out, std::ios::binary | std::ios::trunc);
+    if (!csv) bad_document("cannot open '" + csv_out + "' for write");
+  }
+  if (!json_out.empty()) {
+    json.open(json_out, std::ios::binary | std::ios::trunc);
+    if (!json) bad_document("cannot open '" + json_out + "' for write");
+  }
+  FarmAggregator aggregator(manifest, csv.is_open() ? &csv : nullptr,
+                            json.is_open() ? &json : nullptr);
+  for (std::uint32_t u = 0; u < manifest.unit_count; ++u) {
+    aggregator.add_unit(
+        u, parse_unit_json(util::fs::read_text_file(unit_path(spool, u)), u));
+  }
+  aggregator.finish();
+  if (csv.is_open()) {
+    csv.flush();
+    if (!csv) bad_document("write to '" + csv_out + "' failed");
+  }
+  if (json.is_open()) {
+    json.flush();
+    if (!json) bad_document("write to '" + json_out + "' failed");
+  }
+}
+
+}  // namespace icr::sim::farm

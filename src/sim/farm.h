@@ -1,0 +1,236 @@
+// Multi-process campaign farm: sharding, spool protocol, checkpointed cell
+// records, and the streaming aggregator.
+//
+// The campaign engine (src/sim/campaign.h) scales a (variants x apps x
+// trials) grid to one machine's threads; the farm scales it to any number
+// of worker *processes* — spawned by one coordinator or started by hand on
+// several hosts sharing a spool directory — while keeping the engine's
+// determinism contract: exported results are bit-identical at any worker
+// count, including after an arbitrary kill/resume, because every cell's
+// seed comes from derive_cell_seed() and never from which process ran it.
+//
+// Spool directory layout:
+//
+//   spool/
+//     manifest.json              # grid + sharding + config fingerprint
+//     claims/unit_NNNNNN.claim   # exclusive-create claim lock per unit
+//     units/unit_NNNNNN.json     # completed unit: per-cell records
+//
+// Protocol (docs/CAMPAIGN.md has the full write-up):
+//
+//   * The coordinator shards the grid into contiguous work units of
+//     `unit_cells` cells and atomically writes manifest.json.
+//   * A worker scans units in index order; for each unit whose record file
+//     does not exist it tries to claim it by exclusively creating the
+//     claim file (util::fs::try_create_exclusive — at most one winner per
+//     unit, on any POSIX filesystem). The winner runs the unit's cells
+//     through run_campaign_cell() and publishes units/unit_N.json by
+//     atomic rename. Workers exit when a full scan finds nothing to claim.
+//   * A killed worker leaves a claim without a record (and possibly a temp
+//     file). Resume = clear_stale_claims() + run more workers: the unit is
+//     re-run from scratch and — cells being deterministic — produces the
+//     exact bytes the killed worker would have.
+//   * The aggregator streams completed units in index order (== grid
+//     order, units are contiguous ranges) into the CSV/JSON exporters
+//     through the shared results_io building blocks. Memory is bounded by
+//     one unit, never the grid.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/sim/campaign.h"
+
+namespace icr::sim::farm {
+
+// Bumped when the manifest/unit schema changes incompatibly; readers
+// reject other versions instead of misparsing them.
+inline constexpr int kFormatVersion = 1;
+
+// Contiguous half-open range [begin, end) of grid cell indices.
+struct WorkUnit {
+  std::uint32_t index = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  [[nodiscard]] std::uint64_t cells() const noexcept { return end - begin; }
+};
+
+// Deterministic sharding: ceil(total/unit_cells) contiguous units in index
+// order; every cell index in [0, total) lands in exactly one unit
+// (property-tested in tests/farm_test.cc). unit_cells == 0 is treated as 1.
+[[nodiscard]] std::vector<WorkUnit> shard_units(std::uint64_t total_cells,
+                                                std::uint64_t unit_cells);
+
+// Everything a worker process needs to reproduce the campaign spec, plus
+// the sharding and the config fingerprint that guards against running a
+// spool with mismatched code or flags. The scheme/app name lists rebuild
+// the spec CLI-style (spec_from_manifest); library users that construct
+// specs programmatically can leave them empty and pass the spec to
+// run_worker_loop directly — the config_hash check still applies.
+struct Manifest {
+  int version = kFormatVersion;
+  std::uint64_t config_hash = 0;  // campaign_config_hash of the spec
+  std::uint64_t base_seed = 0;
+  std::uint64_t instructions = 0;  // resolved budget per cell (never 0)
+  std::uint32_t trials = 1;
+  bool derive_seeds = false;
+  std::uint32_t variant_count = 0;
+  std::uint32_t app_count = 0;
+  std::uint64_t total_cells = 0;
+  std::uint64_t unit_cells = 0;  // shard size
+  std::uint32_t unit_count = 0;
+  std::vector<std::string> schemes;  // variant labels, cli-resolvable
+  std::vector<std::string> apps;     // app names, cli-resolvable
+  std::uint64_t decay_window = 0;
+  std::string fault_model = "random";
+  double fault_probability = 0.0;
+  SamplingOptions sampling;
+
+  [[nodiscard]] std::string to_json() const;
+  // Parses a manifest document (throws std::runtime_error on malformed
+  // input or a format-version mismatch).
+  [[nodiscard]] static Manifest parse(const std::string& text);
+};
+
+// Manifest for `spec`, with the grid expanded and instructions resolved.
+// The scheme/app name lists are filled from the spec's variant labels and
+// app names — resolvable back through sim::cli for CLI-built specs.
+[[nodiscard]] Manifest manifest_for(const CampaignSpec& spec,
+                                    std::uint64_t unit_cells);
+
+// Rebuilds the CampaignSpec of a CLI-built manifest (scheme/app names plus
+// the flag-level knobs). Exits via sim::cli lookups on unknown names;
+// callers must verify campaign_config_hash(spec) == manifest.config_hash
+// before trusting the reconstruction (the CLI worker does).
+[[nodiscard]] CampaignSpec spec_from_manifest(const Manifest& manifest);
+
+// Spool paths. unit/claim files embed the unit index zero-padded so
+// lexicographic directory order equals index order.
+[[nodiscard]] std::string manifest_path(const std::string& spool);
+[[nodiscard]] std::string unit_path(const std::string& spool,
+                                    std::uint32_t unit);
+[[nodiscard]] std::string claim_path(const std::string& spool,
+                                     std::uint32_t unit);
+
+// Creates the spool directories and atomically writes the manifest.
+void init_spool(const std::string& spool, const Manifest& manifest);
+
+// Reads and parses spool/manifest.json (throws on absence or mismatch).
+[[nodiscard]] Manifest load_manifest(const std::string& spool);
+
+// Removes claims whose unit record was never published — the footprint of
+// killed workers — so their units become claimable again. Returns how many
+// were cleared. Only safe when no worker is currently running; the
+// coordinator calls it on --resume before spawning workers.
+std::size_t clear_stale_claims(const std::string& spool,
+                               std::uint32_t unit_count);
+
+// One checkpointed cell: grid coordinates, labels, the exported metric
+// vector as raw IEEE-754 bit patterns (exact round-trip — format_value of
+// a reloaded metric prints the same bytes the in-memory exporter would),
+// and sampling provenance.
+struct CellRecord {
+  std::uint32_t variant_idx = 0;
+  std::uint32_t app_idx = 0;
+  std::uint32_t trial_idx = 0;
+  std::uint64_t seed = 0;
+  std::string variant;
+  std::string app;
+  std::vector<std::uint64_t> metric_bits;
+  SampleProvenance sampling;
+
+  [[nodiscard]] static CellRecord from_cell(const CellResult& cell);
+  [[nodiscard]] std::vector<double> metrics() const;
+};
+
+// Unit record document: {"version", "unit", "cells": [...]}.
+[[nodiscard]] std::string unit_to_json(std::uint32_t unit,
+                                       const std::vector<CellRecord>& cells);
+// Throws on malformed input, version mismatch, or a record for a
+// different unit index.
+[[nodiscard]] std::vector<CellRecord> parse_unit_json(
+    const std::string& text, std::uint32_t expected_unit);
+
+// Runs the cells of `unit` sequentially through run_campaign_cell().
+// `instructions` must equal the manifest's resolved budget.
+[[nodiscard]] std::vector<CellRecord> run_unit(const CampaignSpec& spec,
+                                               const WorkUnit& unit,
+                                               std::uint64_t instructions);
+
+struct WorkerReport {
+  std::uint32_t units_run = 0;
+  std::uint64_t cells_run = 0;
+};
+
+// The worker loop: scan, claim, run, publish, until a full scan claims
+// nothing (or `max_units` units were run; 0 = unlimited). `spec` must
+// hash-match the manifest (checked; throws on mismatch). `on_unit_done`,
+// when set, fires after each published unit — the CLI worker uses it for
+// progress lines.
+WorkerReport run_worker_loop(
+    const std::string& spool, const CampaignSpec& spec,
+    std::uint32_t max_units = 0,
+    const std::function<void(const WorkUnit&)>& on_unit_done = nullptr);
+
+// Completion census of a spool, by unit record files present.
+struct SpoolStatus {
+  std::uint32_t unit_count = 0;
+  std::uint32_t units_done = 0;
+  std::uint64_t cells_done = 0;
+  std::uint32_t claims_outstanding = 0;  // claimed but not yet published
+
+  [[nodiscard]] bool complete() const noexcept {
+    return units_done == unit_count;
+  }
+};
+
+[[nodiscard]] SpoolStatus scan_spool(const std::string& spool,
+                                     const Manifest& manifest);
+
+// Streams completed units, in index order, into CSV and/or JSON sinks
+// through the shared results_io building blocks. State is a fixed set of
+// counters — independent of grid size (asserted in tests/farm_test.cc) —
+// so a million-cell campaign aggregates in constant memory.
+class FarmAggregator {
+ public:
+  // Either sink may be null; the other still streams.
+  FarmAggregator(const Manifest& manifest, std::ostream* csv,
+                 std::ostream* json);
+
+  // Must be called with consecutive unit indices starting at 0; the cells
+  // of `records` are appended in their stored order.
+  void add_unit(std::uint32_t unit, const std::vector<CellRecord>& records);
+
+  // Finishes the JSON document; throws if the streamed cell count does not
+  // equal the manifest's grid size (an incomplete spool must never silently
+  // export a truncated campaign).
+  void finish();
+
+  // Bytes of aggregator-owned state (excluding the manifest copy's name
+  // lists, which scale with the spec, not with cells): the bounded-memory
+  // guarantee the tests pin down.
+  [[nodiscard]] std::size_t state_bytes() const noexcept;
+
+  [[nodiscard]] std::uint64_t cells_emitted() const noexcept {
+    return cells_emitted_;
+  }
+
+ private:
+  Manifest manifest_;
+  std::ostream* csv_;
+  std::ostream* json_;
+  std::uint32_t next_unit_ = 0;
+  std::uint64_t cells_emitted_ = 0;
+  bool finished_ = false;
+};
+
+// Aggregates a complete spool to files (empty path = skip that format).
+// Throws if the spool is incomplete or a unit fails to parse.
+void aggregate_spool(const std::string& spool, const Manifest& manifest,
+                     const std::string& csv_out, const std::string& json_out);
+
+}  // namespace icr::sim::farm

@@ -123,12 +123,7 @@ std::vector<double> metric_values(const RunResult& r) {
   };
 }
 
-std::string to_csv(const CampaignResult& campaign) {
-  ICR_PROF_ZONE("ResultsIO::to_csv");
-  // Sampled campaigns report estimates, not full measurements; mark every
-  // row with its provenance so downstream analysis can never confuse the
-  // two. Unsampled campaigns keep the historical schema byte for byte.
-  const bool sampled = campaign.meta.sampling.enabled();
+std::string results_csv_header(bool sampled) {
   std::string out = "variant,app,trial,seed";
   for (const std::string& column : metric_columns()) {
     out += ',';
@@ -139,43 +134,46 @@ std::string to_csv(const CampaignResult& campaign) {
            "sample_coverage";
   }
   out += '\n';
-  for (const CellResult& cell : campaign.cells) {
-    out += cell.result.scheme;
-    out += ',';
-    out += cell.result.app;
-    out += ',';
-    out += std::to_string(cell.cell.trial_idx);
-    out += ',';
-    out += hex64(cell.cell.seed);
-    for (const double value : metric_values(cell.result)) {
-      out += ',';
-      out += format_value(value);
-    }
-    if (sampled) {
-      const SampleProvenance& p = cell.sampling;
-      out += p.sampled ? ",1," : ",0,";
-      out += std::to_string(p.warmup_instructions);
-      out += ',';
-      out += std::to_string(p.windows);
-      out += ',';
-      out += std::to_string(p.measured_instructions);
-      out += ',';
-      out += format_value(p.coverage());
-    }
-    out += '\n';
-  }
   return out;
 }
 
-std::string to_json(const CampaignResult& campaign, bool include_timing) {
-  ICR_PROF_ZONE("ResultsIO::to_json");
-  const CampaignMeta& meta = campaign.meta;
+void append_results_csv_row(std::string& out, const std::string& variant,
+                            const std::string& app, std::uint32_t trial,
+                            std::uint64_t seed,
+                            const std::vector<double>& metrics,
+                            const SampleProvenance* sampling) {
+  out += variant;
+  out += ',';
+  out += app;
+  out += ',';
+  out += std::to_string(trial);
+  out += ',';
+  out += hex64(seed);
+  for (const double value : metrics) {
+    out += ',';
+    out += format_value(value);
+  }
+  if (sampling != nullptr) {
+    out += sampling->sampled ? ",1," : ",0,";
+    out += std::to_string(sampling->warmup_instructions);
+    out += ',';
+    out += std::to_string(sampling->windows);
+    out += ',';
+    out += std::to_string(sampling->measured_instructions);
+    out += ',';
+    out += format_value(sampling->coverage());
+  }
+  out += '\n';
+}
+
+std::string results_json_prologue(const CampaignMeta& meta, std::size_t cells,
+                                  bool include_timing) {
   std::string out = "{\n  \"campaign\": {\n";
   out += "    \"base_seed\": \"" + hex64(meta.base_seed) + "\",\n";
   out += "    \"config_hash\": \"" + hex64(meta.config_hash) + "\",\n";
   out += "    \"instructions\": " + std::to_string(meta.instructions) + ",\n";
   out += "    \"trials\": " + std::to_string(meta.trials) + ",\n";
-  out += "    \"cells\": " + std::to_string(campaign.cells.size());
+  out += "    \"cells\": " + std::to_string(cells);
   if (meta.sampling.enabled()) {
     const SamplingOptions& s = meta.sampling;
     out += ",\n    \"sampling\": {\"warmup\": " +
@@ -196,34 +194,70 @@ std::string to_json(const CampaignResult& campaign, bool include_timing) {
     out += "    \"mips\": " + format_value(meta.mips);
   }
   out += "\n  },\n  \"cells\": [\n";
+  return out;
+}
+
+void append_results_json_cell(std::string& out, const std::string& variant,
+                              const std::string& app, std::uint32_t trial,
+                              std::uint64_t seed,
+                              const std::vector<double>& metrics,
+                              const SampleProvenance* sampling, bool last) {
+  out += "    {\"variant\": \"" + json_escape(variant) + "\", \"app\": \"" +
+         json_escape(app) + "\", \"trial\": " + std::to_string(trial) +
+         ", \"seed\": \"" + hex64(seed) + "\", \"metrics\": {";
+  const std::vector<std::string>& columns = metric_columns();
+  for (std::size_t m = 0; m < columns.size(); ++m) {
+    if (m != 0) out += ", ";
+    out += "\"" + columns[m] + "\": " + format_value(metrics[m]);
+  }
+  out += '}';
+  if (sampling != nullptr) {
+    out += std::string(", \"sampling\": {\"sampled\": ") +
+           (sampling->sampled ? "true" : "false") +
+           ", \"warmup\": " + std::to_string(sampling->warmup_instructions) +
+           ", \"windows\": " + std::to_string(sampling->windows) +
+           ", \"measured_instructions\": " +
+           std::to_string(sampling->measured_instructions) +
+           ", \"coverage\": " + format_value(sampling->coverage()) + "}";
+  }
+  out += '}';
+  if (!last) out += ',';
+  out += '\n';
+}
+
+std::string results_json_epilogue() { return "  ]\n}\n"; }
+
+std::string to_csv(const CampaignResult& campaign) {
+  ICR_PROF_ZONE("ResultsIO::to_csv");
+  // Sampled campaigns report estimates, not full measurements; mark every
+  // row with its provenance so downstream analysis can never confuse the
+  // two. Unsampled campaigns keep the historical schema byte for byte.
+  const bool sampled = campaign.meta.sampling.enabled();
+  std::string out = results_csv_header(sampled);
+  for (const CellResult& cell : campaign.cells) {
+    append_results_csv_row(out, cell.result.scheme, cell.result.app,
+                           cell.cell.trial_idx, cell.cell.seed,
+                           metric_values(cell.result),
+                           sampled ? &cell.sampling : nullptr);
+  }
+  return out;
+}
+
+std::string to_json(const CampaignResult& campaign, bool include_timing) {
+  ICR_PROF_ZONE("ResultsIO::to_json");
+  const bool sampled = campaign.meta.sampling.enabled();
+  std::string out = results_json_prologue(campaign.meta,
+                                          campaign.cells.size(),
+                                          include_timing);
   for (std::size_t i = 0; i < campaign.cells.size(); ++i) {
     const CellResult& cell = campaign.cells[i];
-    out += "    {\"variant\": \"" + json_escape(cell.result.scheme) +
-           "\", \"app\": \"" + json_escape(cell.result.app) +
-           "\", \"trial\": " + std::to_string(cell.cell.trial_idx) +
-           ", \"seed\": \"" + hex64(cell.cell.seed) + "\", \"metrics\": {";
-    const std::vector<double> values = metric_values(cell.result);
-    const std::vector<std::string>& columns = metric_columns();
-    for (std::size_t m = 0; m < columns.size(); ++m) {
-      if (m != 0) out += ", ";
-      out += "\"" + columns[m] + "\": " + format_value(values[m]);
-    }
-    out += '}';
-    if (campaign.meta.sampling.enabled()) {
-      const SampleProvenance& p = cell.sampling;
-      out += std::string(", \"sampling\": {\"sampled\": ") +
-             (p.sampled ? "true" : "false") +
-             ", \"warmup\": " + std::to_string(p.warmup_instructions) +
-             ", \"windows\": " + std::to_string(p.windows) +
-             ", \"measured_instructions\": " +
-             std::to_string(p.measured_instructions) +
-             ", \"coverage\": " + format_value(p.coverage()) + "}";
-    }
-    out += '}';
-    if (i + 1 != campaign.cells.size()) out += ',';
-    out += '\n';
+    append_results_json_cell(out, cell.result.scheme, cell.result.app,
+                             cell.cell.trial_idx, cell.cell.seed,
+                             metric_values(cell.result),
+                             sampled ? &cell.sampling : nullptr,
+                             i + 1 == campaign.cells.size());
   }
-  out += "  ]\n}\n";
+  out += results_json_epilogue();
   return out;
 }
 

@@ -39,6 +39,32 @@ namespace icr::sim {
 [[nodiscard]] std::string to_json(const CampaignResult& campaign,
                                   bool include_timing = true);
 
+// Streaming building blocks of the two exporters above. to_csv/to_json are
+// literally header + rows + epilogue through these functions, and the
+// campaign farm's aggregator (src/sim/farm.h) emits through the same ones
+// from checkpointed cell records — so farmed exports are byte-identical to
+// in-memory ones by construction, not by parallel maintenance of two
+// writers. `sampling == nullptr` means an unsampled campaign (historical
+// schema); pass a provenance object for every row of a sampled one.
+[[nodiscard]] std::string results_csv_header(bool sampled);
+void append_results_csv_row(std::string& out, const std::string& variant,
+                            const std::string& app, std::uint32_t trial,
+                            std::uint64_t seed,
+                            const std::vector<double>& metrics,
+                            const SampleProvenance* sampling);
+// JSON document skeleton: prologue (campaign meta + opening of the cells
+// array, `cells` = grid size), one object per cell (`last` controls the
+// trailing comma), closing epilogue.
+[[nodiscard]] std::string results_json_prologue(const CampaignMeta& meta,
+                                                std::size_t cells,
+                                                bool include_timing);
+void append_results_json_cell(std::string& out, const std::string& variant,
+                              const std::string& app, std::uint32_t trial,
+                              std::uint64_t seed,
+                              const std::vector<double>& metrics,
+                              const SampleProvenance* sampling, bool last);
+[[nodiscard]] std::string results_json_epilogue();
+
 // Observability exports over every cell that recorded telemetry (cells
 // without it are skipped). Schemas live in src/obs/obs_io.h.
 [[nodiscard]] std::string intervals_to_csv(const CampaignResult& campaign);

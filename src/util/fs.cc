@@ -1,0 +1,152 @@
+#include "src/util/fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace icr::util::fs {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what,
+                              const std::string& path) {
+  throw std::runtime_error(what + " '" + path + "': " + std::strerror(errno));
+}
+
+// Writes the whole buffer through a file descriptor, retrying short writes.
+void write_all(int fd, const char* data, std::size_t size,
+               const std::string& path) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write to", path);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+bool exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+void make_directories(const std::string& path) {
+  if (path.empty()) return;
+  std::string prefix;
+  prefix.reserve(path.size());
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    std::size_t slash = path.find('/', start);
+    if (slash == std::string::npos) slash = path.size();
+    prefix.assign(path, 0, slash);
+    if (!prefix.empty() && ::mkdir(prefix.c_str(), 0777) != 0 &&
+        errno != EEXIST) {
+      throw_errno("mkdir", prefix);
+    }
+    start = slash + 1;
+  }
+}
+
+std::string read_text_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw_errno("open", path);
+  std::string text;
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof buffer);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw_errno("read", path);
+    }
+    if (n == 0) break;
+    text.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return text;
+}
+
+void atomic_write_text_file(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
+  if (fd < 0) throw_errno("open", tmp);
+  try {
+    write_all(fd, text.data(), text.size(), tmp);
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  // fsync before rename: after a crash the renamed file must hold the full
+  // content, not a zero-length inode.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw_errno("fsync", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    throw_errno("close", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw_errno("rename to", path);
+  }
+}
+
+bool try_create_exclusive(const std::string& path, const std::string& text) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0666);
+  if (fd < 0) {
+    if (errno == EEXIST) return false;
+    throw_errno("create", path);
+  }
+  try {
+    write_all(fd, text.data(), text.size(), path);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  return true;
+}
+
+bool remove_file(const std::string& path) {
+  if (::unlink(path.c_str()) == 0) return true;
+  if (errno == ENOENT) return false;
+  throw_errno("unlink", path);
+}
+
+std::vector<std::string> list_directory(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) throw_errno("opendir", path);
+  std::vector<std::string> names;
+  for (;;) {
+    errno = 0;
+    const dirent* entry = ::readdir(dir);
+    if (entry == nullptr) {
+      if (errno != 0) {
+        ::closedir(dir);
+        throw_errno("readdir", path);
+      }
+      break;
+    }
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace icr::util::fs

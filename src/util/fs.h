@@ -1,0 +1,51 @@
+// Filesystem primitives for multi-process coordination (src/sim/farm.h).
+//
+// Two primitives carry the whole farm protocol:
+//
+//   * atomic_write_text_file — write-to-temp then rename(2). A reader never
+//     sees a half-written file: the target either does not exist yet or
+//     holds the complete content. A process killed mid-write leaves only a
+//     temp file, which the writer's next attempt (or spool cleanup)
+//     overwrites or ignores.
+//   * try_create_exclusive — open(O_CREAT|O_EXCL): at most one of any
+//     number of racing processes succeeds. This is the claim lock; it
+//     needs no daemon and works on any shared filesystem with POSIX
+//     open semantics.
+//
+// Everything throws std::runtime_error with the errno text on real I/O
+// failure; "already exists" / "does not exist" outcomes that callers race
+// on are returned as booleans instead.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace icr::util::fs {
+
+[[nodiscard]] bool exists(const std::string& path);
+
+// mkdir -p: creates every missing component; ok if the path already exists.
+void make_directories(const std::string& path);
+
+// Reads the whole file; throws if it cannot be opened or read.
+[[nodiscard]] std::string read_text_file(const std::string& path);
+
+// Writes `text` to `path + ".tmp.<pid>"`, fsyncs, then renames over `path`.
+// Readers see the old content or the new content, never a prefix.
+void atomic_write_text_file(const std::string& path, const std::string& text);
+
+// Creates `path` with O_CREAT|O_EXCL and writes `text` into it. Returns
+// false when the file already exists (someone else holds the claim);
+// throws on any other failure.
+[[nodiscard]] bool try_create_exclusive(const std::string& path,
+                                        const std::string& text);
+
+// Removes a file; returns false when it did not exist, throws on other
+// errors.
+bool remove_file(const std::string& path);
+
+// Regular-file and directory names inside `path` (no "." / ".."), sorted
+// so scans are deterministic. Throws if the directory cannot be opened.
+[[nodiscard]] std::vector<std::string> list_directory(const std::string& path);
+
+}  // namespace icr::util::fs

@@ -1,0 +1,151 @@
+// Tier-2 recovery contract of the campaign farm: SIGKILL a worker process
+// mid-campaign, resume the spool, and the final CSV/JSON exports are
+// byte-identical to an uninterrupted single-process run. Cells are seeded
+// by grid coordinates alone, so the re-run of a killed unit reproduces the
+// exact bytes the dead worker would have published.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/sim/campaign.h"
+#include "src/sim/farm.h"
+#include "src/sim/results_io.h"
+#include "src/util/fs.h"
+
+namespace icr::sim::farm {
+namespace {
+
+std::string make_temp_spool() {
+  char tmpl[] = "/tmp/icr_farm_recovery_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return std::string(dir) + "/spool";
+}
+
+// The campaign_test grid: large enough (18 cells) that a worker is very
+// unlikely to finish before the parent's kill lands.
+CampaignSpec recovery_spec() {
+  CampaignSpec spec;
+  spec.variants = {
+      {"BaseP", core::Scheme::BaseP()},
+      {"ICR-P-PS(S)", core::Scheme::IcrPPS_S()},
+      {"ICR-ECC-PS(S)", core::Scheme::IcrEccPS_S()},
+  };
+  spec.apps = {trace::App::kVortex, trace::App::kMcf, trace::App::kGzip};
+  spec.instructions = 20000;
+  spec.trials = 2;
+  spec.derive_seeds = true;
+  spec.base_seed = 0xD5DB2003ULL;
+  spec.config.fault_model = fault::FaultModel::kRandom;
+  spec.config.fault_probability = 1e-4;
+  return spec;
+}
+
+// Forks a worker child running the claim/run/publish loop over the spool.
+pid_t fork_worker(const std::string& spool, const CampaignSpec& spec) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    // Child: run to dry, then exit without gtest/atexit teardown.
+    try {
+      (void)run_worker_loop(spool, spec);
+    } catch (...) {
+      ::_exit(1);
+    }
+    ::_exit(0);
+  }
+  return pid;
+}
+
+// Polls the spool until at least `units` records exist or the child exits.
+void wait_for_units(const std::string& spool, const Manifest& manifest,
+                    std::uint32_t units, pid_t child) {
+  for (int i = 0; i < 30000; ++i) {
+    if (scan_spool(spool, manifest).units_done >= units) return;
+    int status = 0;
+    if (::waitpid(child, &status, WNOHANG) == child) return;  // finished
+    ::usleep(1000);
+  }
+}
+
+TEST(FarmRecovery, KilledWorkerResumesBitIdentical) {
+  const CampaignSpec spec = recovery_spec();
+
+  // Golden: the uninterrupted in-process campaign through the in-memory
+  // exporters (timing excluded; the farm never exports wall time).
+  const CampaignResult golden = CampaignRunner(1).run(spec);
+  const std::string want_csv = to_csv(golden);
+  const std::string want_json = to_json(golden, /*include_timing=*/false);
+
+  const std::string spool = make_temp_spool();
+  const Manifest manifest = manifest_for(spec, /*unit_cells=*/1);
+  init_spool(spool, manifest);
+  ASSERT_EQ(manifest.unit_count, 18u);
+
+  // Round 1: a worker makes some progress, then dies mid-campaign.
+  pid_t child = fork_worker(spool, spec);
+  ASSERT_GT(child, 0);
+  wait_for_units(spool, manifest, 2, child);
+  ::kill(child, SIGKILL);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+
+  const SpoolStatus after_kill = scan_spool(spool, manifest);
+  ASSERT_FALSE(after_kill.complete());
+
+  // Resume: clear the dead worker's claims, kill a second worker too for
+  // good measure, then finish in-process.
+  clear_stale_claims(spool, manifest.unit_count);
+  child = fork_worker(spool, spec);
+  ASSERT_GT(child, 0);
+  wait_for_units(spool, manifest, after_kill.units_done + 2, child);
+  ::kill(child, SIGKILL);
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  clear_stale_claims(spool, manifest.unit_count);
+
+  const WorkerReport report = run_worker_loop(spool, spec);
+  const SpoolStatus final_status = scan_spool(spool, manifest);
+  ASSERT_TRUE(final_status.complete());
+  ASSERT_EQ(final_status.cells_done, manifest.total_cells);
+  EXPECT_GT(report.units_run, 0u);
+
+  // After an arbitrary kill/resume history, the aggregate is byte-for-byte
+  // the uninterrupted run.
+  std::ostringstream csv_out, json_out;
+  FarmAggregator aggregator(manifest, &csv_out, &json_out);
+  for (std::uint32_t u = 0; u < manifest.unit_count; ++u) {
+    aggregator.add_unit(
+        u, parse_unit_json(util::fs::read_text_file(unit_path(spool, u)), u));
+  }
+  aggregator.finish();
+  EXPECT_EQ(csv_out.str(), want_csv);
+  EXPECT_EQ(json_out.str(), want_json);
+
+  // And aggregate_spool (the CLI path) writes the same bytes to files.
+  const std::string csv_path = spool + "/agg.csv";
+  const std::string json_path = spool + "/agg.json";
+  aggregate_spool(spool, manifest, csv_path, json_path);
+  EXPECT_EQ(util::fs::read_text_file(csv_path), want_csv);
+  EXPECT_EQ(util::fs::read_text_file(json_path), want_json);
+}
+
+TEST(FarmRecovery, AggregateRefusesIncompleteSpool) {
+  const CampaignSpec spec = recovery_spec();
+  const std::string spool = make_temp_spool();
+  const Manifest manifest = manifest_for(spec, /*unit_cells=*/4);
+  init_spool(spool, manifest);
+
+  // Complete exactly one unit, then try to aggregate the rest.
+  (void)run_worker_loop(spool, spec, /*max_units=*/1);
+  ASSERT_FALSE(scan_spool(spool, manifest).complete());
+  EXPECT_THROW(
+      aggregate_spool(spool, manifest, spool + "/x.csv", spool + "/x.json"),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace icr::sim::farm

@@ -223,9 +223,7 @@ int main(int argc, char** argv) {
       usage();
       return 0;
     } else {
-      std::fprintf(stderr, "unknown flag '%s'\n\n", argv[i]);
-      usage();
-      return 2;
+      sim::cli::unknown_flag("icr_sim", argv[i]);
     }
   }
 

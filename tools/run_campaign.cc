@@ -1,27 +1,43 @@
 // run_campaign — campaign-scale driver for the ICR simulator.
 //
-// Expands a (schemes x apps x trials) grid into independent cells, runs
-// them in parallel with deterministic per-cell seeding, prints a summary
-// table, and optionally exports the full per-cell results as CSV/JSON
-// (src/sim/results_io.h). Per-cell metrics are bit-identical for any
-// --threads value.
+// Expands a (schemes x apps x trials) grid into independent cells and runs
+// them with deterministic per-cell seeding, in one of three modes:
+//
+//   * In-process (default): a thread-pool campaign, summary table, and
+//     optional CSV/JSON export. Per-cell metrics are bit-identical for any
+//     --threads value.
+//   * Farm coordinator (--farm=DIR): shards the grid into work units,
+//     writes a spool manifest, spawns --workers=N worker processes, and
+//     streams the completed units into the same CSV/JSON exporters. The
+//     export is bit-identical to an in-process run with --no-timing, at
+//     any worker count, including after kills and --resume (src/sim/farm.h
+//     and docs/CAMPAIGN.md).
+//   * Farm worker (--worker --spool=DIR): claims and runs work units from
+//     an existing spool. Start any number, on any hosts sharing the spool.
 //
 //   run_campaign                                  # all 10 schemes x 8 apps
 //   run_campaign --schemes=BaseP,BaseECC --apps=vortex,mcf --trials=5
-//   run_campaign --fault-prob=1e-3 --trials=8 --csv=c.csv --json=c.json
 //   run_campaign --threads=1 --json=a.json       # a.json and b.json agree
 //   run_campaign --threads=8 --json=b.json       # on every per-cell metric
+//   run_campaign --farm=spool --workers=8 --trials=16 --json=farm.json
+//   run_campaign --farm=spool --resume --workers=8 --json=farm.json
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "src/obs/farm_progress.h"
 #include "src/obs/prof.h"
 #include "src/obs/prof_io.h"
 #include "src/sim/campaign.h"
 #include "src/sim/cli.h"
+#include "src/sim/farm.h"
 #include "src/sim/results_io.h"
+#include "src/util/fs.h"
 #include "src/util/table.h"
 
 using namespace icr;
@@ -50,8 +66,19 @@ struct Options {
   double fault_prob = 0.0;
   std::string csv_path;
   std::string json_path;
+  bool no_timing = false;
   bool quiet = false;
   bool progress = false;
+  // Farm modes (docs/CAMPAIGN.md).
+  std::string farm_dir;   // coordinator: spool directory
+  unsigned workers = 0;   // coordinator: processes to spawn (0 = none)
+  bool workers_given = false;
+  std::uint64_t unit_cells = 4;  // coordinator: cells per work unit
+  bool resume = false;
+  bool worker = false;    // worker mode
+  std::string spool;      // worker: spool directory
+  std::uint32_t max_units = 0;  // worker: stop after N units (0 = all)
+  // Per-cell telemetry / reliability / profiling (in-process mode only).
   std::uint64_t stats_interval = 0;
   std::string intervals_out;
   std::string heatmap_out;
@@ -91,9 +118,26 @@ void usage() {
       "  --sample-seed=S       placement stream for --sample-mode=random\n"
       "  --csv=FILE            write per-cell results as CSV\n"
       "  --json=FILE           write campaign metadata + cells as JSON\n"
+      "  --no-timing           omit threads/wall-time from the JSON so\n"
+      "                        identical experiments export identical bytes\n"
       "  --quiet               skip the summary table\n"
       "  --progress            live completed/total + cells/sec + ETA on "
       "stderr\n"
+      "\n"
+      "Campaign farm (multi-process; see docs/CAMPAIGN.md):\n"
+      "  --farm=DIR            coordinate a farm over spool directory DIR:\n"
+      "                        shard the grid, spawn workers, aggregate\n"
+      "  --workers=N           worker processes to spawn (default: the\n"
+      "                        --threads resolution; 0 = only init/aggregate)\n"
+      "  --unit-cells=N        cells per work unit (default 4)\n"
+      "  --resume              reuse an existing spool: clear stale claims,\n"
+      "                        run only what is missing (exports are byte-\n"
+      "                        identical to an uninterrupted run)\n"
+      "  --worker --spool=DIR  claim and run work units from DIR (start any\n"
+      "                        number, on any hosts sharing the spool)\n"
+      "  --max-units=N         worker: stop after N units (0 = run to dry)\n"
+      "\n"
+      "Per-cell telemetry (in-process mode only):\n"
       "  --stats-interval=N    per-cell telemetry every N instructions\n"
       "                        (implies --intervals-out=intervals.csv)\n"
       "  --intervals-out=FILE  write all cells' interval telemetry CSV\n"
@@ -113,7 +157,178 @@ void usage() {
       "\n"
       "Seeding: trials > 1 (or an explicit --seed) derives each cell's\n"
       "workload and injection seeds via SplitMix64 from (seed, scheme,\n"
-      "app, trial), so results never depend on thread count or schedule.");
+      "app, trial), so results never depend on thread count, schedule, or\n"
+      "which process ran the cell.");
+}
+
+// Farm worker mode: claim and run units from an existing spool until no
+// unit is claimable (or --max-units is reached).
+int run_worker_mode(const Options& opt) {
+  if (opt.spool.empty()) {
+    std::fprintf(stderr, "--worker requires --spool=DIR\n");
+    return 2;
+  }
+  try {
+    const sim::farm::Manifest manifest = sim::farm::load_manifest(opt.spool);
+    const sim::CampaignSpec spec = sim::farm::spec_from_manifest(manifest);
+    const auto on_unit_done = [&](const sim::farm::WorkUnit& unit) {
+      if (!opt.quiet) {
+        std::fprintf(stderr, "worker %d: unit %u done (%llu cell(s))\n",
+                     ::getpid(), unit.index,
+                     static_cast<unsigned long long>(unit.cells()));
+      }
+    };
+    const sim::farm::WorkerReport report = sim::farm::run_worker_loop(
+        opt.spool, spec, opt.max_units, on_unit_done);
+    if (!opt.quiet) {
+      std::printf("worker %d: ran %u unit(s), %llu cell(s)\n", ::getpid(),
+                  report.units_run,
+                  static_cast<unsigned long long>(report.cells_run));
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "worker: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}
+
+// Spawns one worker child pointed at the spool; returns -1 on failure.
+pid_t spawn_worker(const char* self, const std::string& spool) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  // Child: re-exec this binary in worker mode. Workers stay quiet; the
+  // coordinator owns progress reporting.
+  const std::string spool_flag = "--spool=" + spool;
+  const char* argv[] = {self, "--worker", spool_flag.c_str(), "--quiet",
+                        nullptr};
+  ::execv(self, const_cast<char**>(argv));
+  std::fprintf(stderr, "execv %s: %s\n", self, std::strerror(errno));
+  ::_exit(127);
+}
+
+// Farm coordinator: init or resume the spool, spawn workers, report
+// farm-level progress, and stream-aggregate the completed units.
+int run_coordinator_mode(const Options& opt, const sim::CampaignSpec& spec,
+                         const char* self) {
+  using sim::farm::Manifest;
+  sim::farm::Manifest manifest = sim::farm::manifest_for(spec, opt.unit_cells);
+  const std::string& spool = opt.farm_dir;
+  try {
+    if (opt.resume) {
+      const Manifest existing = sim::farm::load_manifest(spool);
+      if (existing.config_hash != manifest.config_hash) {
+        std::fprintf(stderr,
+                     "--resume: spool %s holds a different experiment "
+                     "(config hash %016llx vs %016llx); aborting\n",
+                     spool.c_str(),
+                     static_cast<unsigned long long>(existing.config_hash),
+                     static_cast<unsigned long long>(manifest.config_hash));
+        return 2;
+      }
+      manifest = existing;  // keep the original sharding
+      const std::size_t cleared =
+          sim::farm::clear_stale_claims(spool, manifest.unit_count);
+      if (cleared != 0 && !opt.quiet) {
+        std::printf("resume: cleared %zu stale claim(s)\n", cleared);
+      }
+    } else {
+      if (util::fs::exists(sim::farm::manifest_path(spool))) {
+        std::fprintf(stderr,
+                     "spool %s already has a manifest; use --resume to "
+                     "continue it or point --farm at a fresh directory\n",
+                     spool.c_str());
+        return 2;
+      }
+      sim::farm::init_spool(spool, manifest);
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "farm: %s\n", error.what());
+    return 1;
+  }
+
+  std::printf("farm: %u scheme(s) x %u app(s) x %u trial(s) = %llu cells in "
+              "%u unit(s) of %llu, spool %s, %u worker(s)\n",
+              manifest.variant_count, manifest.app_count, manifest.trials,
+              static_cast<unsigned long long>(manifest.total_cells),
+              manifest.unit_count,
+              static_cast<unsigned long long>(manifest.unit_cells),
+              spool.c_str(), opt.workers);
+
+  obs::FarmProgressOptions progress_options;
+  progress_options.enabled = opt.progress;
+  obs::FarmProgressReporter reporter(progress_options, manifest.unit_count,
+                                     manifest.total_cells);
+
+  std::vector<pid_t> children;
+  unsigned failed_workers = 0;
+  for (unsigned w = 0; w < opt.workers; ++w) {
+    const pid_t pid = spawn_worker(self, spool);
+    if (pid < 0) {
+      std::fprintf(stderr, "fork: %s\n", std::strerror(errno));
+      ++failed_workers;
+    } else {
+      children.push_back(pid);
+    }
+  }
+
+  std::size_t alive = children.size();
+  while (alive > 0) {
+    int status = 0;
+    const pid_t reaped = ::waitpid(-1, &status, WNOHANG);
+    if (reaped > 0) {
+      --alive;
+      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) ++failed_workers;
+      continue;  // reap the rest before sleeping again
+    }
+    const sim::farm::SpoolStatus status_now =
+        sim::farm::scan_spool(spool, manifest);
+    reporter.poll(status_now.units_done, status_now.cells_done,
+                  static_cast<unsigned>(alive));
+    ::usleep(200 * 1000);
+  }
+
+  sim::farm::SpoolStatus final_status;
+  try {
+    final_status = sim::farm::scan_spool(spool, manifest);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "farm: %s\n", error.what());
+    return 1;
+  }
+  reporter.finish(final_status.units_done, final_status.cells_done);
+  if (failed_workers != 0) {
+    std::fprintf(stderr, "farm: %u worker(s) exited abnormally\n",
+                 failed_workers);
+  }
+
+  if (!final_status.complete()) {
+    std::printf("farm: %u/%u unit(s) complete (%llu/%llu cells); resume "
+                "with: run_campaign --farm=%s --resume [--workers=N]\n",
+                final_status.units_done, final_status.unit_count,
+                static_cast<unsigned long long>(final_status.cells_done),
+                static_cast<unsigned long long>(manifest.total_cells),
+                spool.c_str());
+    // --workers=0 initializes or inspects a spool for externally started
+    // workers; an incomplete grid is its expected outcome, not a failure.
+    return opt.workers == 0 ? 0 : 1;
+  }
+
+  try {
+    sim::farm::aggregate_spool(spool, manifest, opt.csv_path, opt.json_path);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "farm aggregate: %s\n", error.what());
+    return 1;
+  }
+  const double wall = reporter.elapsed_seconds();
+  std::printf("farm: %llu cells in %.2fs wall (%.2f cells/sec), config hash "
+              "%016llx, base seed %016llx\n",
+              static_cast<unsigned long long>(manifest.total_cells), wall,
+              wall > 0.0 ? static_cast<double>(manifest.total_cells) / wall
+                         : 0.0,
+              static_cast<unsigned long long>(manifest.config_hash),
+              static_cast<unsigned long long>(manifest.base_seed));
+  if (!opt.csv_path.empty()) std::printf("wrote %s\n", opt.csv_path.c_str());
+  if (!opt.json_path.empty()) std::printf("wrote %s\n", opt.json_path.c_str());
+  return 0;
 }
 
 }  // namespace
@@ -159,10 +374,29 @@ int main(int argc, char** argv) {
       opt.csv_path = value;
     } else if (parse_flag(argv[i], "--json", value)) {
       opt.json_path = value;
+    } else if (std::strcmp(argv[i], "--no-timing") == 0) {
+      opt.no_timing = true;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       opt.quiet = true;
     } else if (std::strcmp(argv[i], "--progress") == 0) {
       opt.progress = true;
+    } else if (parse_flag(argv[i], "--farm", value)) {
+      opt.farm_dir = value;
+    } else if (parse_flag(argv[i], "--workers", value)) {
+      opt.workers =
+          static_cast<unsigned>(std::strtoul(value.c_str(), nullptr, 10));
+      opt.workers_given = true;
+    } else if (parse_flag(argv[i], "--unit-cells", value)) {
+      opt.unit_cells = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      opt.resume = true;
+    } else if (std::strcmp(argv[i], "--worker") == 0) {
+      opt.worker = true;
+    } else if (parse_flag(argv[i], "--spool", value)) {
+      opt.spool = value;
+    } else if (parse_flag(argv[i], "--max-units", value)) {
+      opt.max_units = static_cast<std::uint32_t>(
+          std::strtoul(value.c_str(), nullptr, 10));
     } else if (parse_flag(argv[i], "--stats-interval", value)) {
       opt.stats_interval = std::strtoull(value.c_str(), nullptr, 10);
     } else if (parse_flag(argv[i], "--intervals-out", value)) {
@@ -191,10 +425,20 @@ int main(int argc, char** argv) {
       usage();
       return 0;
     } else {
-      std::fprintf(stderr, "unknown flag '%s'\n\n", argv[i]);
-      usage();
+      sim::cli::unknown_flag("run_campaign", argv[i]);
+    }
+  }
+
+  if (opt.worker) {
+    if (!opt.farm_dir.empty()) {
+      std::fprintf(stderr, "--worker and --farm are mutually exclusive\n");
       return 2;
     }
+    return run_worker_mode(opt);
+  }
+  if (opt.resume && opt.farm_dir.empty()) {
+    std::fprintf(stderr, "--resume only applies to --farm mode\n");
+    return 2;
   }
 
   sim::CampaignSpec spec;
@@ -232,6 +476,26 @@ int main(int argc, char** argv) {
   if (spec.variants.empty() || spec.apps.empty()) {
     std::fprintf(stderr, "empty scheme or app list\n");
     return 2;
+  }
+
+  if (!opt.farm_dir.empty()) {
+    // Telemetry/rel/prof extracts are per-cell in-memory objects; the farm
+    // checkpoints only the exported metric schema, so those flags have no
+    // farm equivalent yet. Reject loudly rather than silently dropping.
+    if (opt.stats_interval != 0 || !opt.intervals_out.empty() ||
+        !opt.heatmap_out.empty() || !opt.trace_out.empty() || opt.rel ||
+        !opt.rel_csv.empty() || !opt.rel_json.empty() ||
+        !opt.rel_intervals.empty() || opt.prof || !opt.prof_out.empty()) {
+      std::fprintf(stderr,
+                   "--farm does not support the telemetry/rel/prof flags; "
+                   "run those in-process\n");
+      return 2;
+    }
+    const unsigned workers =
+        opt.workers_given ? opt.workers : sim::resolve_thread_count(0);
+    Options farm_opt = opt;
+    farm_opt.workers = workers;
+    return run_coordinator_mode(farm_opt, spec, argv[0]);
   }
 
   // Observability: interval sampling and/or event tracing per cell. The
@@ -330,7 +594,8 @@ int main(int argc, char** argv) {
       std::printf("wrote %s\n", opt.csv_path.c_str());
     }
     if (!opt.json_path.empty()) {
-      sim::write_text_file(opt.json_path, sim::to_json(campaign));
+      sim::write_text_file(opt.json_path,
+                           sim::to_json(campaign, !opt.no_timing));
       std::printf("wrote %s\n", opt.json_path.c_str());
     }
     if (!opt.intervals_out.empty()) {
