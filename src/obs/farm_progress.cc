@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "src/obs/throughput.h"
+
 namespace icr::obs {
 
 FarmProgressReporter::FarmProgressReporter(const FarmProgressOptions& options,
@@ -45,28 +47,15 @@ void FarmProgressReporter::print_line(std::uint32_t units_done,
                                       std::uint64_t cells_done,
                                       unsigned workers_alive,
                                       bool final_line) {
-  const double elapsed = elapsed_seconds();
-  const double rate =
-      elapsed > 0.0 ? static_cast<double>(cells_done) / elapsed : 0.0;
-  char eta[32];
-  if (!final_line && rate > 0.0 && cells_done <= total_cells_) {
-    std::snprintf(eta, sizeof eta, "ETA %.0fs",
-                  static_cast<double>(total_cells_ - cells_done) / rate);
-  } else {
-    std::snprintf(eta, sizeof eta, final_line ? "done" : "ETA --");
-  }
-  const double percent =
-      total_cells_ == 0
-          ? 100.0
-          : 100.0 * static_cast<double>(cells_done) /
-                static_cast<double>(total_cells_);
+  const Throughput t =
+      estimate_throughput(cells_done, total_cells_, elapsed_seconds());
   std::fprintf(stderr,
                "farm: %u/%u units  %llu/%llu cells (%.1f%%)  %u worker(s)  "
                "%.2f cells/s  %s\n",
                units_done, total_units_,
                static_cast<unsigned long long>(cells_done),
-               static_cast<unsigned long long>(total_cells_), percent,
-               workers_alive, rate, eta);
+               static_cast<unsigned long long>(total_cells_), t.percent,
+               workers_alive, t.rate, format_eta(t, final_line).c_str());
 }
 
 }  // namespace icr::obs

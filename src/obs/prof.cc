@@ -200,6 +200,19 @@ Profile end_capture() {
   return profile;
 }
 
+std::vector<ZoneNode> snapshot_zones() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<ZoneNode> zones;
+  if (!r.capturing.load(std::memory_order_relaxed)) return zones;
+  MergeNode root;
+  for (const auto& buffer : r.buffers) {
+    merge_tree(*buffer, 0, root);
+  }
+  flatten(root, std::string(), 0, zones);
+  return zones;
+}
+
 std::uint64_t Profile::total_self_ns() const noexcept {
   std::uint64_t sum = 0;
   for (const ZoneNode& zone : zones) sum += zone.self_ns;

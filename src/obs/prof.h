@@ -106,6 +106,14 @@ struct Profile {
 // Stops the capture (level drops to kOff) and merges all thread buffers.
 [[nodiscard]] Profile end_capture();
 
+// Non-destructive merged zone table of the capture in progress — the same
+// deterministic name-sorted merge end_capture() performs, without stopping
+// the capture or touching the event rings. Empty when no capture is active.
+// Same threading contract as end_capture(): call while no zone is live on
+// the calling thread and no other thread is recording (the farm worker
+// heartbeat calls it between cells on its single worker thread).
+[[nodiscard]] std::vector<ZoneNode> snapshot_zones();
+
 // RAII zone. Construct via the ICR_PROF_ZONE* macros; the object is inert
 // (one load + branch) unless a capture at a sufficient level is active.
 class ScopedZone {

@@ -31,33 +31,47 @@ std::string format_ms(std::uint64_t ns) {
 }  // namespace
 
 std::string to_chrome_trace(const Profile& profile,
-                            const std::string& process_name) {
+                            const std::string& process_name,
+                            std::int64_t pid, double ts_offset_us) {
   std::string out = "[\n";
+  std::string pid_field = "\"pid\":";
+  {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%lld",
+                  static_cast<long long>(pid));
+    pid_field += buffer;
+  }
 
-  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
-         "\"args\":{\"name\":\"" + util::json_escape(process_name) + "\"}}";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\"," + pid_field +
+         ",\"tid\":0,\"args\":{\"name\":\"" + util::json_escape(process_name) +
+         "\"}}";
   for (std::uint32_t t = 0; t < profile.threads; ++t) {
-    out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\"," + pid_field +
+           ",\"tid\":";
     append_u64(out, t);
     out += ",\"args\":{\"name\":\"worker ";
     append_u64(out, t);
     out += "\"}}";
   }
 
-  // Capture-level metadata: wall time, thread count, ring drops.
-  out += ",\n{\"name\":\"icr_capture\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
-         "\"args\":{\"wall_ns\":";
+  // Capture-level metadata: wall time, thread count, ring drops, and the
+  // timestamp offset (absolute unix microseconds of the capture epoch when
+  // the caller provided one — the fleet merge relies on it).
+  out += ",\n{\"name\":\"icr_capture\",\"ph\":\"M\"," + pid_field +
+         ",\"tid\":0,\"args\":{\"wall_ns\":";
   append_u64(out, profile.wall_ns);
   out += ",\"threads\":";
   append_u64(out, profile.threads);
   out += ",\"dropped_events\":";
   append_u64(out, profile.dropped_events);
+  out += ",\"epoch_unix_us\":";
+  append_number(out, ts_offset_us);
   out += "}}";
 
   // The aggregated zone table (covers hot zones that never emit spans).
   for (const ZoneNode& zone : profile.zones) {
-    out += ",\n{\"name\":\"icr_zone_stats\",\"ph\":\"M\",\"pid\":1,"
-           "\"tid\":0,\"args\":{\"path\":\"" + util::json_escape(zone.path) +
+    out += ",\n{\"name\":\"icr_zone_stats\",\"ph\":\"M\"," + pid_field +
+           ",\"tid\":0,\"args\":{\"path\":\"" + util::json_escape(zone.path) +
            "\",\"zone\":\"" + util::json_escape(zone.name) + "\",\"depth\":";
     append_u64(out, static_cast<std::uint64_t>(zone.depth));
     out += ",\"count\":";
@@ -71,10 +85,11 @@ std::string to_chrome_trace(const Profile& profile,
 
   for (const SpanEvent& event : profile.events) {
     out += ",\n{\"name\":\"" + util::json_escape(event.name) +
-           "\",\"cat\":\"zone\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+           "\",\"cat\":\"zone\",\"ph\":\"X\"," + pid_field + ",\"tid\":";
     append_u64(out, event.tid);
     out += ",\"ts\":";
-    append_number(out, static_cast<double>(event.start_ns) / 1000.0);
+    append_number(out,
+                  ts_offset_us + static_cast<double>(event.start_ns) / 1000.0);
     out += ",\"dur\":";
     append_number(out, static_cast<double>(event.dur_ns) / 1000.0);
     if (!event.label.empty()) {
@@ -83,6 +98,46 @@ std::string to_chrome_trace(const Profile& profile,
     out += "}";
   }
 
+  out += "\n]\n";
+  return out;
+}
+
+std::string merge_chrome_traces(const std::vector<std::string>& traces) {
+  std::string out = "[\n";
+  bool first = true;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const std::string& text = traces[i];
+    // Validate before splicing: a malformed fragment would corrupt the
+    // whole merged document, so fail loudly naming the culprit.
+    try {
+      const util::JsonValue doc = util::JsonValue::parse(text);
+      if (!doc.is_array()) {
+        throw std::runtime_error("top-level JSON array expected");
+      }
+      if (doc.items().empty()) continue;
+    } catch (const std::exception& error) {
+      throw std::runtime_error("merge_chrome_traces: input " +
+                               std::to_string(i) + ": " + error.what());
+    }
+    // Textual splice of the validated array body keeps every event's bytes
+    // exactly as its writer produced them.
+    const std::size_t open = text.find('[');
+    const std::size_t close = text.rfind(']');
+    std::string body = text.substr(open + 1, close - open - 1);
+    while (!body.empty() &&
+           (body.back() == '\n' || body.back() == ' ' || body.back() == '\t' ||
+            body.back() == '\r')) {
+      body.pop_back();
+    }
+    while (!body.empty() &&
+           (body.front() == '\n' || body.front() == ' ' ||
+            body.front() == '\t' || body.front() == '\r')) {
+      body.erase(body.begin());
+    }
+    if (!first) out += ",\n";
+    out += body;
+    first = false;
+  }
   out += "\n]\n";
   return out;
 }

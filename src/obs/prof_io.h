@@ -12,15 +12,36 @@
 //     back, so a single file carries both the timeline and the totals.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/obs/prof.h"
 
 namespace icr::obs::prof {
 
 // Serializes `profile` as a Chrome trace-event JSON array.
+//
+// `pid` is the process id stamped on every event (defaults to 1 for
+// single-process captures). `ts_offset_us` shifts every span timestamp:
+// profile timestamps are nanoseconds since the capture epoch, so a farm
+// worker passes its epoch as absolute unix microseconds and the spans of
+// every worker land on one shared clock — merge_chrome_traces() then
+// splices the per-process captures into a single fleet timeline
+// (docs/PROFILING.md "Multi-process traces"). The offset is also recorded
+// in the icr_capture metadata as "epoch_unix_us".
 [[nodiscard]] std::string to_chrome_trace(const Profile& profile,
-                                          const std::string& process_name);
+                                          const std::string& process_name,
+                                          std::int64_t pid = 1,
+                                          double ts_offset_us = 0.0);
+
+// Splices several Chrome trace-event documents into one JSON array.
+// Every input must itself parse as a trace array (validated; throws
+// std::runtime_error naming the failing index otherwise); the events are
+// concatenated in input order, so give each document a distinct pid for a
+// readable merged timeline. Empty arrays contribute nothing.
+[[nodiscard]] std::string merge_chrome_traces(
+    const std::vector<std::string>& traces);
 
 // Rebuilds the zone table (and capture metadata) from a Chrome trace
 // written by to_chrome_trace. Span events are counted but not retained.

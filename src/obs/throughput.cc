@@ -1,0 +1,37 @@
+#include "src/obs/throughput.h"
+
+#include <cstdio>
+
+namespace icr::obs {
+
+Throughput estimate_throughput(std::uint64_t done, std::uint64_t total,
+                               double elapsed_seconds) noexcept {
+  Throughput t;
+  t.rate = elapsed_seconds > 0.0
+               ? static_cast<double>(done) / elapsed_seconds
+               : 0.0;
+  t.percent = total == 0 ? 100.0
+                         : 100.0 * static_cast<double>(done) /
+                               static_cast<double>(total);
+  if (t.rate > 0.0 && done <= total) {
+    t.eta_seconds = static_cast<double>(total - done) / t.rate;
+  }
+  return t;
+}
+
+std::string format_eta(const Throughput& t, bool final_line) {
+  if (final_line) return "done";
+  if (!t.eta_known()) return "ETA --";
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "ETA %.0fs", t.eta_seconds);
+  return buffer;
+}
+
+double simulated_mips(std::uint64_t done, std::uint64_t instructions_per_item,
+                      double elapsed_seconds) noexcept {
+  if (elapsed_seconds <= 0.0) return 0.0;
+  return static_cast<double>(done) *
+         static_cast<double>(instructions_per_item) / elapsed_seconds / 1e6;
+}
+
+}  // namespace icr::obs

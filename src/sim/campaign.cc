@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "src/obs/prof.h"
+#include "src/obs/throughput.h"
 #include "src/sim/simulator.h"
 #include "src/util/rng.h"
 #include "src/util/thread_pool.h"
@@ -126,31 +127,19 @@ class ProgressReporter {
       return done;
     }
     const std::chrono::duration<double> elapsed = now - start_;
-    const double rate =
-        elapsed.count() > 0.0 ? static_cast<double>(done) / elapsed.count()
-                              : 0.0;
-    // Before any cell completes (or when the clock has not advanced) there
-    // is no rate to divide by; print "ETA --" instead of a bogus number.
-    char eta[32];
-    if (rate > 0.0 && done <= total_) {
-      std::snprintf(eta, sizeof eta, "ETA %.0fs",
-                    static_cast<double>(total_ - done) / rate);
-    } else {
-      std::snprintf(eta, sizeof eta, "ETA --");
-    }
+    // Shared zero-guarded arithmetic (src/obs/throughput.h): before any
+    // cell completes (or when the clock has not advanced) there is no rate
+    // to divide by, and the ETA prints as "ETA --" instead of a bogus
+    // number.
+    const obs::Throughput t =
+        obs::estimate_throughput(done, total_, elapsed.count());
     const double mips =
-        elapsed.count() > 0.0
-            ? static_cast<double>(done) *
-                  static_cast<double>(instructions_per_cell_) /
-                  elapsed.count() / 1e6
-            : 0.0;
+        obs::simulated_mips(done, instructions_per_cell_, elapsed.count());
     std::fprintf(stderr,
                  "campaign: %zu/%zu cells (%.1f%%)  %.2f cells/s  "
                  "%.1f MIPS  %s\n",
-                 done, total_,
-                 100.0 * static_cast<double>(done) /
-                     static_cast<double>(total_ == 0 ? 1 : total_),
-                 rate, mips, eta);
+                 done, total_, t.percent, t.rate, mips,
+                 obs::format_eta(t).c_str());
     last_print_ = now;
     printed_ = true;
     return done;

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "src/sim/cli.h"
+#include "src/sim/farm_telemetry.h"
 #include "src/sim/results_io.h"
 #include "src/util/fs.h"
 #include "src/util/json.h"
@@ -239,12 +240,16 @@ Manifest load_manifest(const std::string& spool) {
 }
 
 std::size_t clear_stale_claims(const std::string& spool,
-                               std::uint32_t unit_count) {
+                               std::uint32_t unit_count,
+                               std::vector<std::uint32_t>* cleared_units) {
   std::size_t cleared = 0;
   for (std::uint32_t u = 0; u < unit_count; ++u) {
     if (util::fs::exists(claim_path(spool, u)) &&
         !util::fs::exists(unit_path(spool, u))) {
-      if (util::fs::remove_file(claim_path(spool, u))) ++cleared;
+      if (util::fs::remove_file(claim_path(spool, u))) {
+        ++cleared;
+        if (cleared_units != nullptr) cleared_units->push_back(u);
+      }
     }
   }
   // A worker killed mid-publication can also leave a temp file next to the
@@ -354,14 +359,16 @@ std::vector<CellRecord> parse_unit_json(const std::string& text,
   return cells;
 }
 
-std::vector<CellRecord> run_unit(const CampaignSpec& spec,
-                                 const WorkUnit& unit,
-                                 std::uint64_t instructions) {
+std::vector<CellRecord> run_unit(
+    const CampaignSpec& spec, const WorkUnit& unit,
+    std::uint64_t instructions,
+    const std::function<void(std::uint64_t)>& on_cell) {
   const std::size_t apps = spec.apps.size();
   const std::size_t trials = spec.trials == 0 ? 1 : spec.trials;
   std::vector<CellRecord> records;
   records.reserve(static_cast<std::size_t>(unit.cells()));
   for (std::uint64_t index = unit.begin; index < unit.end; ++index) {
+    if (on_cell) on_cell(index);
     // Same coordinate decomposition as CampaignRunner::run — grid order is
     // the one total order every executor shares.
     const std::size_t variant_idx =
@@ -378,7 +385,8 @@ std::vector<CellRecord> run_unit(const CampaignSpec& spec,
 WorkerReport run_worker_loop(
     const std::string& spool, const CampaignSpec& spec,
     std::uint32_t max_units,
-    const std::function<void(const WorkUnit&)>& on_unit_done) {
+    const std::function<void(const WorkUnit&)>& on_unit_done,
+    WorkerTelemetry* telemetry) {
   const Manifest manifest = load_manifest(spool);
   if (campaign_config_hash(spec) != manifest.config_hash) {
     bad_document("spec does not match the spool manifest (config hash " +
@@ -389,6 +397,15 @@ WorkerReport run_worker_loop(
       shard_units(manifest.total_cells, manifest.unit_cells);
   const std::string claim_body =
       "{\"pid\": " + std::to_string(::getpid()) + "}\n";
+  if (telemetry != nullptr) telemetry->on_start(manifest);
+
+  std::function<void(std::uint64_t)> on_cell;
+  const WorkUnit* current = nullptr;
+  if (telemetry != nullptr) {
+    on_cell = [&telemetry, &current](std::uint64_t cell_index) {
+      telemetry->on_cell_start(*current, cell_index);
+    };
+  }
 
   WorkerReport report;
   for (const WorkUnit& unit : units) {
@@ -396,16 +413,22 @@ WorkerReport run_worker_loop(
     if (util::fs::exists(unit_path(spool, unit.index))) continue;
     if (!util::fs::try_create_exclusive(claim_path(spool, unit.index),
                                         claim_body)) {
-      continue;  // someone else owns it (or owned it and died — see resume)
+      // Someone else owns it (or owned it and died — see resume).
+      if (telemetry != nullptr) telemetry->on_claim_conflict(unit);
+      continue;
     }
+    if (telemetry != nullptr) telemetry->on_claim(unit);
+    current = &unit;
     const std::vector<CellRecord> records =
-        run_unit(spec, unit, manifest.instructions);
+        run_unit(spec, unit, manifest.instructions, on_cell);
     util::fs::atomic_write_text_file(unit_path(spool, unit.index),
                                      unit_to_json(unit.index, records));
     ++report.units_run;
     report.cells_run += unit.cells();
+    if (telemetry != nullptr) telemetry->on_unit_published(unit);
     if (on_unit_done) on_unit_done(unit);
   }
+  if (telemetry != nullptr) telemetry->on_exit(report);
   return report;
 }
 

@@ -46,6 +46,8 @@
 
 namespace icr::sim::farm {
 
+class WorkerTelemetry;  // src/sim/farm_telemetry.h
+
 // Bumped when the manifest/unit schema changes incompatibly; readers
 // reject other versions instead of misparsing them.
 inline constexpr int kFormatVersion = 1;
@@ -124,10 +126,14 @@ void init_spool(const std::string& spool, const Manifest& manifest);
 
 // Removes claims whose unit record was never published — the footprint of
 // killed workers — so their units become claimable again. Returns how many
-// were cleared. Only safe when no worker is currently running; the
-// coordinator calls it on --resume before spawning workers.
+// were cleared; `cleared_units`, when given, receives their indices (the
+// coordinator logs one stale-clear telemetry event per unit). Only safe
+// when no worker is currently running; the coordinator calls it on
+// --resume before spawning workers.
 std::size_t clear_stale_claims(const std::string& spool,
-                               std::uint32_t unit_count);
+                               std::uint32_t unit_count,
+                               std::vector<std::uint32_t>* cleared_units =
+                                   nullptr);
 
 // One checkpointed cell: grid coordinates, labels, the exported metric
 // vector as raw IEEE-754 bit patterns (exact round-trip — format_value of
@@ -156,10 +162,14 @@ struct CellRecord {
     const std::string& text, std::uint32_t expected_unit);
 
 // Runs the cells of `unit` sequentially through run_campaign_cell().
-// `instructions` must equal the manifest's resolved budget.
-[[nodiscard]] std::vector<CellRecord> run_unit(const CampaignSpec& spec,
-                                               const WorkUnit& unit,
-                                               std::uint64_t instructions);
+// `instructions` must equal the manifest's resolved budget. `on_cell`,
+// when set, fires with the grid cell index before each cell runs (worker
+// telemetry hangs its between-cell heartbeat check here); it never
+// observes or influences the cell results.
+[[nodiscard]] std::vector<CellRecord> run_unit(
+    const CampaignSpec& spec, const WorkUnit& unit,
+    std::uint64_t instructions,
+    const std::function<void(std::uint64_t)>& on_cell = nullptr);
 
 struct WorkerReport {
   std::uint32_t units_run = 0;
@@ -170,11 +180,15 @@ struct WorkerReport {
 // nothing (or `max_units` units were run; 0 = unlimited). `spec` must
 // hash-match the manifest (checked; throws on mismatch). `on_unit_done`,
 // when set, fires after each published unit — the CLI worker uses it for
-// progress lines.
+// progress lines. `telemetry`, when set, publishes heartbeats and
+// lifecycle events into the spool (src/sim/farm_telemetry.h); it writes
+// only under spool/hb and spool/events, so the unit records — and the
+// byte-identity of aggregated exports — are untouched.
 WorkerReport run_worker_loop(
     const std::string& spool, const CampaignSpec& spec,
     std::uint32_t max_units = 0,
-    const std::function<void(const WorkUnit&)>& on_unit_done = nullptr);
+    const std::function<void(const WorkUnit&)>& on_unit_done = nullptr,
+    WorkerTelemetry* telemetry = nullptr);
 
 // Completion census of a spool, by unit record files present.
 struct SpoolStatus {

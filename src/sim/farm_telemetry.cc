@@ -1,0 +1,846 @@
+#include "src/sim/farm_telemetry.h"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "src/obs/prof_io.h"
+#include "src/util/fs.h"
+#include "src/util/json.h"
+#include "src/util/table.h"
+
+namespace icr::sim::farm {
+namespace {
+
+// %.17g: shortest text that reparses to the exact same double, matching the
+// manifest/unit writers in farm.cc.
+std::string exact_double(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+// Status output is for humans and scripts, not for byte-identity; six
+// significant digits keep the NDJSON readable.
+std::string brief_double(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  return buffer;
+}
+
+std::string i64_string(std::int64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%lld",
+                static_cast<long long>(value));
+  return buffer;
+}
+
+std::string u64_string(std::uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%llu",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+double unix_now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+[[noreturn]] void bad_telemetry(const std::string& what) {
+  throw std::runtime_error("farm telemetry: " + what);
+}
+
+std::string heartbeat_file_name(const std::string& worker_id) {
+  return "worker-" + worker_id + ".json";
+}
+
+std::string event_file_name(const std::string& worker_id) {
+  return "worker-" + worker_id + ".ndjson";
+}
+
+std::string trace_file_name(const std::string& worker_id) {
+  return "worker-" + worker_id + ".json";
+}
+
+}  // namespace
+
+std::string sanitize_worker_id(const std::string& id) {
+  std::string out;
+  out.reserve(id.size());
+  for (const char c : id) {
+    const bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    out += ok ? c : '_';
+  }
+  if (out.empty()) out = "worker";
+  return out;
+}
+
+std::string heartbeat_dir(const std::string& spool) { return spool + "/hb"; }
+
+std::string event_log_dir(const std::string& spool) {
+  return spool + "/events";
+}
+
+std::string worker_trace_dir(const std::string& spool) {
+  return spool + "/prof";
+}
+
+std::string heartbeat_path(const std::string& spool,
+                           const std::string& worker_id) {
+  return heartbeat_dir(spool) + "/" +
+         heartbeat_file_name(sanitize_worker_id(worker_id));
+}
+
+std::string event_log_path(const std::string& spool,
+                           const std::string& worker_id) {
+  return event_log_dir(spool) + "/" +
+         event_file_name(sanitize_worker_id(worker_id));
+}
+
+std::string worker_trace_path(const std::string& spool,
+                              const std::string& worker_id) {
+  return worker_trace_dir(spool) + "/" +
+         trace_file_name(sanitize_worker_id(worker_id));
+}
+
+RusageSnapshot capture_rusage() {
+  RusageSnapshot snapshot;
+  struct rusage usage{};
+  if (::getrusage(RUSAGE_SELF, &usage) == 0) {
+    // ru_maxrss is kilobytes on Linux (bytes on macOS; close enough for a
+    // fleet dashboard either way — the unit is recorded in the field name).
+    snapshot.maxrss_kb = static_cast<std::uint64_t>(usage.ru_maxrss);
+    snapshot.utime_seconds =
+        static_cast<double>(usage.ru_utime.tv_sec) +
+        static_cast<double>(usage.ru_utime.tv_usec) / 1e6;
+    snapshot.stime_seconds =
+        static_cast<double>(usage.ru_stime.tv_sec) +
+        static_cast<double>(usage.ru_stime.tv_usec) / 1e6;
+  }
+  return snapshot;
+}
+
+std::string WorkerHeartbeat::to_json() const {
+  std::string out = "{\n  \"hb\": {\n";
+  out += "    \"version\": " + std::to_string(version) + ",\n";
+  out += "    \"worker\": \"" + util::json_escape(worker_id) + "\",\n";
+  out += "    \"pid\": " + i64_string(pid) + ",\n";
+  out += "    \"seq\": " + u64_string(seq) + ",\n";
+  out += "    \"time_unix\": " + exact_double(time_unix_seconds) + ",\n";
+  out += "    \"uptime_seconds\": " + exact_double(uptime_seconds) + ",\n";
+  out += "    \"units_done\": " + std::to_string(units_done) + ",\n";
+  out += "    \"cells_done\": " + u64_string(cells_done) + ",\n";
+  out += "    \"current_unit\": " + i64_string(current_unit) + ",\n";
+  out += "    \"current_cell\": " + i64_string(current_cell) + ",\n";
+  out += "    \"instructions_done\": " + u64_string(instructions_done) + ",\n";
+  out += "    \"mips\": " + exact_double(mips) + ",\n";
+  out += std::string("    \"exited\": ") + (exited ? "true" : "false") + ",\n";
+  out += "    \"rusage\": {\"maxrss_kb\": " + u64_string(rusage.maxrss_kb) +
+         ", \"utime_seconds\": " + exact_double(rusage.utime_seconds) +
+         ", \"stime_seconds\": " + exact_double(rusage.stime_seconds) +
+         "},\n";
+  out += "    \"prof\": [";
+  for (std::size_t i = 0; i < prof_zones.size(); ++i) {
+    const obs::prof::ZoneNode& zone = prof_zones[i];
+    if (i != 0) out += ',';
+    out += "\n      {\"path\": \"" + util::json_escape(zone.path) +
+           "\", \"zone\": \"" + util::json_escape(zone.name) +
+           "\", \"depth\": " + std::to_string(zone.depth) +
+           ", \"count\": " + u64_string(zone.count) +
+           ", \"total_ns\": " + u64_string(zone.total_ns) +
+           ", \"self_ns\": " + u64_string(zone.self_ns) + "}";
+  }
+  if (!prof_zones.empty()) out += "\n    ";
+  out += "]\n  }\n}\n";
+  return out;
+}
+
+WorkerHeartbeat WorkerHeartbeat::parse(const std::string& text) {
+  const util::JsonValue doc = util::JsonValue::parse(text);
+  const util::JsonValue& h = doc.get("hb");
+  if (!h.is_object()) bad_telemetry("heartbeat has no \"hb\" object");
+  WorkerHeartbeat hb;
+  hb.version = static_cast<int>(h.get("version").as_double(-1));
+  if (hb.version != kTelemetryFormatVersion) {
+    bad_telemetry("heartbeat version " + std::to_string(hb.version) +
+                  " (this build reads version " +
+                  std::to_string(kTelemetryFormatVersion) + ")");
+  }
+  hb.worker_id = h.get("worker").as_string();
+  if (hb.worker_id.empty()) bad_telemetry("heartbeat has no worker id");
+  hb.pid = static_cast<std::int64_t>(h.get("pid").as_double(0.0));
+  hb.seq = static_cast<std::uint64_t>(h.get("seq").as_double(0.0));
+  hb.time_unix_seconds = h.get("time_unix").as_double(0.0);
+  hb.uptime_seconds = h.get("uptime_seconds").as_double(0.0);
+  hb.units_done =
+      static_cast<std::uint32_t>(h.get("units_done").as_double(0.0));
+  hb.cells_done =
+      static_cast<std::uint64_t>(h.get("cells_done").as_double(0.0));
+  hb.current_unit =
+      static_cast<std::int64_t>(h.get("current_unit").as_double(-1.0));
+  hb.current_cell =
+      static_cast<std::int64_t>(h.get("current_cell").as_double(-1.0));
+  hb.instructions_done =
+      static_cast<std::uint64_t>(h.get("instructions_done").as_double(0.0));
+  hb.mips = h.get("mips").as_double(0.0);
+  hb.exited = h.get("exited").as_bool(false);
+  const util::JsonValue& usage = h.get("rusage");
+  hb.rusage.maxrss_kb =
+      static_cast<std::uint64_t>(usage.get("maxrss_kb").as_double(0.0));
+  hb.rusage.utime_seconds = usage.get("utime_seconds").as_double(0.0);
+  hb.rusage.stime_seconds = usage.get("stime_seconds").as_double(0.0);
+  for (const util::JsonValue& z : h.get("prof").items()) {
+    obs::prof::ZoneNode zone;
+    zone.path = z.get("path").as_string();
+    zone.name = z.get("zone").as_string();
+    zone.depth = static_cast<int>(z.get("depth").as_double(0.0));
+    zone.count = static_cast<std::uint64_t>(z.get("count").as_double(0.0));
+    zone.total_ns =
+        static_cast<std::uint64_t>(z.get("total_ns").as_double(0.0));
+    zone.self_ns =
+        static_cast<std::uint64_t>(z.get("self_ns").as_double(0.0));
+    hb.prof_zones.push_back(std::move(zone));
+  }
+  return hb;
+}
+
+const char* to_string(FarmEventType type) noexcept {
+  switch (type) {
+    case FarmEventType::kWorkerStart: return "worker_start";
+    case FarmEventType::kClaim: return "claim";
+    case FarmEventType::kClaimConflict: return "claim_conflict";
+    case FarmEventType::kPublish: return "publish";
+    case FarmEventType::kStaleClear: return "stale_clear";
+    case FarmEventType::kResumeSweep: return "resume_sweep";
+    case FarmEventType::kExit: return "exit";
+  }
+  return "unknown";
+}
+
+FarmEventType event_type_by_name(const std::string& name) {
+  for (const FarmEventType type :
+       {FarmEventType::kWorkerStart, FarmEventType::kClaim,
+        FarmEventType::kClaimConflict, FarmEventType::kPublish,
+        FarmEventType::kStaleClear, FarmEventType::kResumeSweep,
+        FarmEventType::kExit}) {
+    if (name == to_string(type)) return type;
+  }
+  bad_telemetry("unknown event type \"" + name + "\"");
+}
+
+std::string FarmEvent::to_ndjson_line() const {
+  std::string out = "{\"v\":" + std::to_string(kTelemetryFormatVersion) +
+                    ",\"worker\":\"" + util::json_escape(worker_id) +
+                    "\",\"seq\":" + u64_string(seq) +
+                    ",\"t\":" + exact_double(time_unix_seconds) +
+                    ",\"type\":\"" + to_string(type) +
+                    "\",\"unit\":" + i64_string(unit) +
+                    ",\"cells\":" + u64_string(cells) +
+                    ",\"dur\":" + exact_double(duration_seconds);
+  if (!detail.empty()) {
+    out += ",\"detail\":\"" + util::json_escape(detail) + "\"";
+  }
+  out += "}\n";
+  return out;
+}
+
+FarmEvent FarmEvent::parse(const std::string& line) {
+  const util::JsonValue doc = util::JsonValue::parse(line);
+  if (!doc.is_object()) bad_telemetry("event line is not an object");
+  const int version = static_cast<int>(doc.get("v").as_double(-1));
+  if (version != kTelemetryFormatVersion) {
+    bad_telemetry("event version " + std::to_string(version));
+  }
+  FarmEvent event;
+  event.worker_id = doc.get("worker").as_string();
+  if (event.worker_id.empty()) bad_telemetry("event has no worker id");
+  event.seq = static_cast<std::uint64_t>(doc.get("seq").as_double(0.0));
+  event.time_unix_seconds = doc.get("t").as_double(0.0);
+  event.type = event_type_by_name(doc.get("type").as_string());
+  event.unit = static_cast<std::int64_t>(doc.get("unit").as_double(-1.0));
+  event.cells = static_cast<std::uint64_t>(doc.get("cells").as_double(0.0));
+  event.duration_seconds = doc.get("dur").as_double(0.0);
+  event.detail = doc.get("detail").as_string();
+  return event;
+}
+
+EventLog::EventLog(const std::string& spool, const std::string& worker_id)
+    : worker_id_(sanitize_worker_id(worker_id)) {
+  util::fs::make_directories(event_log_dir(spool));
+  path_ = event_log_path(spool, worker_id_);
+  // Resume the per-worker sequence from an existing log so numbers stay
+  // monotonic across process restarts (the coordinator reuses its id).
+  if (util::fs::exists(path_)) {
+    const std::string text = util::fs::read_text_file(path_);
+    std::size_t begin = 0;
+    while (begin < text.size()) {
+      const std::size_t end = text.find('\n', begin);
+      if (end == std::string::npos) break;  // partial trailing line
+      try {
+        const FarmEvent event = FarmEvent::parse(text.substr(begin, end - begin));
+        next_seq_ = std::max(next_seq_, event.seq + 1);
+      } catch (const std::exception&) {
+        // Corrupt line: skip; the reader counts it, the writer just needs
+        // a sequence floor.
+      }
+      begin = end + 1;
+    }
+  }
+}
+
+void EventLog::append(FarmEventType type, std::int64_t unit,
+                      std::uint64_t cells, double duration_seconds,
+                      const std::string& detail) {
+  FarmEvent event;
+  event.worker_id = worker_id_;
+  event.seq = next_seq_++;
+  event.time_unix_seconds = unix_now_seconds();
+  event.type = type;
+  event.unit = unit;
+  event.cells = cells;
+  event.duration_seconds = duration_seconds;
+  event.detail = detail;
+  util::fs::append_text_file(path_, event.to_ndjson_line());
+}
+
+std::vector<FarmEvent> read_farm_events(const std::string& spool,
+                                        std::size_t* dropped_lines) {
+  std::vector<FarmEvent> events;
+  std::size_t dropped = 0;
+  const std::string dir = event_log_dir(spool);
+  if (util::fs::exists(dir)) {
+    for (const std::string& name : util::fs::list_directory(dir)) {
+      if (name.rfind("worker-", 0) != 0) continue;
+      if (name.size() < 7 || name.substr(name.size() - 7) != ".ndjson") {
+        continue;
+      }
+      const std::string text = util::fs::read_text_file(dir + "/" + name);
+      std::size_t begin = 0;
+      while (begin < text.size()) {
+        const std::size_t end = text.find('\n', begin);
+        if (end == std::string::npos) {
+          // No terminator: the writer was killed mid-append (or is mid
+          // write on another host). Never a parse target.
+          ++dropped;
+          break;
+        }
+        if (end > begin) {
+          try {
+            events.push_back(FarmEvent::parse(text.substr(begin, end - begin)));
+          } catch (const std::exception&) {
+            ++dropped;
+          }
+        }
+        begin = end + 1;
+      }
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FarmEvent& a, const FarmEvent& b) {
+                     if (a.time_unix_seconds != b.time_unix_seconds) {
+                       return a.time_unix_seconds < b.time_unix_seconds;
+                     }
+                     if (a.worker_id != b.worker_id) {
+                       return a.worker_id < b.worker_id;
+                     }
+                     return a.seq < b.seq;
+                   });
+  if (dropped_lines != nullptr) *dropped_lines = dropped;
+  return events;
+}
+
+WorkerTelemetry::WorkerTelemetry(const std::string& spool,
+                                 const WorkerTelemetryOptions& options)
+    : spool_(spool),
+      options_(options),
+      events_(spool, options.worker_id) {
+  options_.worker_id = events_.worker_id();  // sanitized form
+  util::fs::make_directories(heartbeat_dir(spool_));
+  start_monotonic_seconds_ = monotonic_seconds();
+}
+
+void WorkerTelemetry::on_start(const Manifest& manifest) {
+  instructions_per_cell_ = manifest.instructions;
+  events_.append(FarmEventType::kWorkerStart, -1, manifest.total_cells);
+  publish_heartbeat();  // make the worker visible before its first claim
+}
+
+void WorkerTelemetry::on_claim(const WorkUnit& unit) {
+  current_unit_ = static_cast<std::int64_t>(unit.index);
+  current_cell_ = -1;
+  claim_monotonic_seconds_ = monotonic_seconds();
+  events_.append(FarmEventType::kClaim, current_unit_, unit.cells());
+}
+
+void WorkerTelemetry::on_claim_conflict(const WorkUnit& unit) {
+  events_.append(FarmEventType::kClaimConflict,
+                 static_cast<std::int64_t>(unit.index), unit.cells());
+}
+
+void WorkerTelemetry::on_cell_start(const WorkUnit& unit,
+                                    std::uint64_t cell_index) {
+  current_unit_ = static_cast<std::int64_t>(unit.index);
+  current_cell_ = static_cast<std::int64_t>(cell_index);
+  // Time-based cadence only: between cells the heartbeat costs one clock
+  // read unless the interval elapsed.
+  if (heartbeat_due()) publish_heartbeat();
+}
+
+void WorkerTelemetry::on_unit_published(const WorkUnit& unit) {
+  ++units_done_;
+  cells_done_ += unit.cells();
+  const double duration = monotonic_seconds() - claim_monotonic_seconds_;
+  current_unit_ = -1;
+  current_cell_ = -1;
+  events_.append(FarmEventType::kPublish,
+                 static_cast<std::int64_t>(unit.index), unit.cells(),
+                 duration);
+  publish_heartbeat();  // forced at every unit boundary
+}
+
+void WorkerTelemetry::on_exit(const WorkerReport& report) {
+  exited_ = true;
+  current_unit_ = -1;
+  current_cell_ = -1;
+  events_.append(FarmEventType::kExit, -1, report.cells_run, 0.0,
+                 "units=" + std::to_string(report.units_run));
+  publish_heartbeat();
+}
+
+bool WorkerTelemetry::heartbeat_due() const {
+  if (!ever_beat_) return true;
+  return monotonic_seconds() - last_beat_monotonic_seconds_ >=
+         options_.heartbeat_interval_seconds;
+}
+
+void WorkerTelemetry::publish_heartbeat() {
+  const double now_monotonic = monotonic_seconds();
+  WorkerHeartbeat hb;
+  hb.worker_id = options_.worker_id;
+  hb.pid = static_cast<std::int64_t>(::getpid());
+  hb.seq = seq_++;
+  hb.time_unix_seconds = unix_now_seconds();
+  hb.uptime_seconds = now_monotonic - start_monotonic_seconds_;
+  hb.units_done = units_done_;
+  hb.cells_done = cells_done_;
+  hb.current_unit = current_unit_;
+  hb.current_cell = current_cell_;
+  hb.instructions_done = cells_done_ * instructions_per_cell_;
+  hb.mips = obs::simulated_mips(cells_done_, instructions_per_cell_,
+                                hb.uptime_seconds);
+  hb.exited = exited_;
+  hb.rusage = capture_rusage();
+  hb.prof_zones = obs::prof::snapshot_zones();
+  util::fs::atomic_write_text_file(
+      heartbeat_path(spool_, options_.worker_id), hb.to_json());
+  last_beat_monotonic_seconds_ = now_monotonic;
+  ever_beat_ = true;
+}
+
+const char* to_string(WorkerState state) noexcept {
+  switch (state) {
+    case WorkerState::kRunning: return "running";
+    case WorkerState::kStraggler: return "straggler";
+    case WorkerState::kDead: return "dead";
+    case WorkerState::kExited: return "exited";
+  }
+  return "unknown";
+}
+
+WorkerState classify_worker(const WorkerHeartbeat& heartbeat,
+                            double now_unix_seconds,
+                            const StalenessPolicy& policy) {
+  if (heartbeat.exited) return WorkerState::kExited;
+  const double age =
+      std::max(0.0, now_unix_seconds - heartbeat.time_unix_seconds);
+  if (age >= policy.dead_after_seconds) return WorkerState::kDead;
+  if (age >= policy.straggler_after_seconds) return WorkerState::kStraggler;
+  return WorkerState::kRunning;
+}
+
+bool FarmStatus::drained() const noexcept {
+  if (!census.complete()) return false;
+  for (const WorkerStatus& worker : workers) {
+    if (worker.state == WorkerState::kRunning ||
+        worker.state == WorkerState::kStraggler) {
+      return false;
+    }
+  }
+  return true;
+}
+
+FarmStatus collect_farm_status(const std::string& spool,
+                               const Manifest& manifest,
+                               const FarmStatusOptions& options) {
+  FarmStatus status;
+  status.census = scan_spool(spool, manifest);
+  status.total_cells = manifest.total_cells;
+  status.now_unix_seconds = options.now_unix_seconds != 0.0
+                                ? options.now_unix_seconds
+                                : unix_now_seconds();
+
+  // Heartbeats: one file per worker, each a complete snapshot.
+  const std::string hb_dir = heartbeat_dir(spool);
+  if (util::fs::exists(hb_dir)) {
+    for (const std::string& name : util::fs::list_directory(hb_dir)) {
+      if (name.rfind("worker-", 0) != 0) continue;
+      WorkerStatus worker;
+      try {
+        worker.heartbeat =
+            WorkerHeartbeat::parse(util::fs::read_text_file(hb_dir + "/" + name));
+      } catch (const std::exception&) {
+        ++status.unreadable_heartbeats;
+        continue;
+      }
+      worker.state = classify_worker(worker.heartbeat,
+                                     status.now_unix_seconds,
+                                     options.staleness);
+      worker.age_seconds = std::max(
+          0.0, status.now_unix_seconds - worker.heartbeat.time_unix_seconds);
+      worker.cells_per_second =
+          worker.heartbeat.uptime_seconds > 0.0
+              ? static_cast<double>(worker.heartbeat.cells_done) /
+                    worker.heartbeat.uptime_seconds
+              : 0.0;
+      status.workers.push_back(std::move(worker));
+    }
+  }
+  std::sort(status.workers.begin(), status.workers.end(),
+            [](const WorkerStatus& a, const WorkerStatus& b) {
+              return a.heartbeat.worker_id < b.heartbeat.worker_id;
+            });
+
+  // Events: merged stream + per-unit latency histogram.
+  std::vector<FarmEvent> events =
+      read_farm_events(spool, &status.dropped_event_lines);
+  status.event_count = events.size();
+  double earliest = 0.0;
+  bool have_earliest = false;
+  for (const FarmEvent& event : events) {
+    if (!have_earliest || event.time_unix_seconds < earliest) {
+      earliest = event.time_unix_seconds;
+      have_earliest = true;
+    }
+    if (event.type == FarmEventType::kPublish) {
+      status.unit_latency_ms.record(static_cast<std::uint64_t>(
+          std::llround(std::max(0.0, event.duration_seconds) * 1000.0)));
+    }
+  }
+  if (!have_earliest) {
+    // No events (telemetry off, or only heartbeats survived): fall back to
+    // the oldest worker start implied by a heartbeat.
+    for (const WorkerStatus& worker : status.workers) {
+      const double started = worker.heartbeat.time_unix_seconds -
+                             worker.heartbeat.uptime_seconds;
+      if (!have_earliest || started < earliest) {
+        earliest = started;
+        have_earliest = true;
+      }
+    }
+  }
+  status.elapsed_seconds =
+      have_earliest ? std::max(0.0, status.now_unix_seconds - earliest) : 0.0;
+  status.throughput = obs::estimate_throughput(
+      status.census.cells_done, status.total_cells, status.elapsed_seconds);
+
+  // Outstanding claims: live when a non-dead, non-exited worker reports
+  // being inside that unit, stale otherwise (a killed worker's footprint).
+  const std::string claims_dir = spool + "/claims";
+  if (util::fs::exists(claims_dir)) {
+    for (const std::string& name : util::fs::list_directory(claims_dir)) {
+      unsigned unit = 0;
+      if (std::sscanf(name.c_str(), "unit_%u.claim", &unit) != 1) continue;
+      if (claims_dir + "/" + name != claim_path(spool, unit)) continue;
+      if (unit >= manifest.unit_count) continue;
+      if (util::fs::exists(unit_path(spool, unit))) continue;  // published
+      bool live = false;
+      for (const WorkerStatus& worker : status.workers) {
+        if (worker.state != WorkerState::kRunning &&
+            worker.state != WorkerState::kStraggler) {
+          continue;
+        }
+        if (worker.heartbeat.current_unit ==
+            static_cast<std::int64_t>(unit)) {
+          live = true;
+          break;
+        }
+      }
+      if (live) {
+        ++status.claims_live;
+      } else {
+        ++status.claims_stale;
+      }
+    }
+  }
+  return status;
+}
+
+namespace {
+
+std::string format_age(double seconds) {
+  char buffer[32];
+  if (seconds < 120.0) {
+    std::snprintf(buffer, sizeof buffer, "%.1fs", seconds);
+  } else if (seconds < 7200.0) {
+    std::snprintf(buffer, sizeof buffer, "%.1fm", seconds / 60.0);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.1fh", seconds / 3600.0);
+  }
+  return buffer;
+}
+
+std::string worker_position(const WorkerHeartbeat& hb) {
+  if (hb.exited) return "exited";
+  if (hb.current_unit < 0) return "idle";
+  std::string out = "unit " + i64_string(hb.current_unit);
+  if (hb.current_cell >= 0) out += " cell " + i64_string(hb.current_cell);
+  return out;
+}
+
+std::string latency_bucket_label(std::uint32_t bucket) {
+  if (bucket == 0) return "0 ms";
+  if (bucket == obs::Log2Histogram::kOverflowBucket) {
+    return ">= " + u64_string(obs::Log2Histogram::bucket_lower_bound(bucket)) +
+           " ms";
+  }
+  return "[" + u64_string(obs::Log2Histogram::bucket_lower_bound(bucket)) +
+         ", " +
+         u64_string(obs::Log2Histogram::bucket_lower_bound(bucket + 1)) +
+         ") ms";
+}
+
+}  // namespace
+
+std::string render_farm_status(const FarmStatus& status) {
+  std::size_t running = 0, stragglers = 0, dead = 0, exited = 0;
+  for (const WorkerStatus& worker : status.workers) {
+    switch (worker.state) {
+      case WorkerState::kRunning: ++running; break;
+      case WorkerState::kStraggler: ++stragglers; break;
+      case WorkerState::kDead: ++dead; break;
+      case WorkerState::kExited: ++exited; break;
+    }
+  }
+
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "units   %u/%u done, %u claim(s) outstanding (%u live, %u "
+                "stale)\n",
+                status.census.units_done, status.census.unit_count,
+                status.census.claims_outstanding, status.claims_live,
+                status.claims_stale);
+  out += line;
+  std::snprintf(line, sizeof line,
+                "cells   %llu/%llu (%.1f%%)  %.2f cells/s  %s\n",
+                static_cast<unsigned long long>(status.census.cells_done),
+                static_cast<unsigned long long>(status.total_cells),
+                status.throughput.percent, status.throughput.rate,
+                obs::format_eta(status.throughput,
+                                status.census.complete()).c_str());
+  out += line;
+  std::snprintf(line, sizeof line,
+                "workers %zu (%zu running, %zu straggler, %zu dead, %zu "
+                "exited)\n",
+                status.workers.size(), running, stragglers, dead, exited);
+  out += line;
+  std::snprintf(line, sizeof line, "events  %zu merged",
+                status.event_count);
+  out += line;
+  if (status.dropped_event_lines > 0) {
+    std::snprintf(line, sizeof line, ", %zu partial line(s) skipped",
+                  status.dropped_event_lines);
+    out += line;
+  }
+  if (status.unreadable_heartbeats > 0) {
+    std::snprintf(line, sizeof line, ", %zu unreadable heartbeat(s)",
+                  status.unreadable_heartbeats);
+    out += line;
+  }
+  out += '\n';
+  std::snprintf(line, sizeof line, "state   %s\n",
+                status.drained()
+                    ? "drained"
+                    : (status.census.complete() ? "complete, workers still up"
+                                                : "in progress"));
+  out += line;
+
+  if (!status.workers.empty()) {
+    TextTable table("fleet", {"worker", "state", "last seen", "units",
+                              "cells", "cells/s", "MIPS", "maxrss MB", "at"});
+    for (const WorkerStatus& worker : status.workers) {
+      const WorkerHeartbeat& hb = worker.heartbeat;
+      table.add_row({hb.worker_id, to_string(worker.state),
+                     format_age(worker.age_seconds) + " ago",
+                     std::to_string(hb.units_done), u64_string(hb.cells_done),
+                     format_double(worker.cells_per_second, 2),
+                     format_double(hb.mips, 2),
+                     format_double(static_cast<double>(hb.rusage.maxrss_kb) /
+                                       1024.0, 1),
+                     worker_position(hb)});
+    }
+    out += '\n';
+    out += table.render();
+  }
+
+  if (status.unit_latency_ms.total() > 0) {
+    out += "\nunit latency (claim -> publish):\n";
+    for (std::uint32_t b = 0; b < obs::Log2Histogram::kBuckets; ++b) {
+      const std::uint64_t count = status.unit_latency_ms.bucket(b);
+      if (count == 0) continue;
+      std::snprintf(line, sizeof line, "  %-20s %llu\n",
+                    latency_bucket_label(b).c_str(),
+                    static_cast<unsigned long long>(count));
+      out += line;
+    }
+  }
+  return out;
+}
+
+std::string farm_status_to_ndjson(const FarmStatus& status) {
+  std::size_t running = 0, stragglers = 0, dead = 0, exited = 0;
+  for (const WorkerStatus& worker : status.workers) {
+    switch (worker.state) {
+      case WorkerState::kRunning: ++running; break;
+      case WorkerState::kStraggler: ++stragglers; break;
+      case WorkerState::kDead: ++dead; break;
+      case WorkerState::kExited: ++exited; break;
+    }
+  }
+  std::string out = "{\"type\":\"farm\"";
+  out += ",\"unit_count\":" + std::to_string(status.census.unit_count);
+  out += ",\"units_done\":" + std::to_string(status.census.units_done);
+  out += ",\"total_cells\":" + u64_string(status.total_cells);
+  out += ",\"cells_done\":" + u64_string(status.census.cells_done);
+  out += ",\"claims_outstanding\":" +
+         std::to_string(status.census.claims_outstanding);
+  out += ",\"claims_live\":" + std::to_string(status.claims_live);
+  out += ",\"claims_stale\":" + std::to_string(status.claims_stale);
+  out += ",\"workers\":" + std::to_string(status.workers.size());
+  out += ",\"running\":" + std::to_string(running);
+  out += ",\"straggler\":" + std::to_string(stragglers);
+  out += ",\"dead\":" + std::to_string(dead);
+  out += ",\"exited\":" + std::to_string(exited);
+  out += ",\"percent\":" + brief_double(status.throughput.percent);
+  out += ",\"cells_per_second\":" + brief_double(status.throughput.rate);
+  out += ",\"eta_seconds\":" + brief_double(status.throughput.eta_seconds);
+  out += ",\"elapsed_seconds\":" + brief_double(status.elapsed_seconds);
+  out += ",\"events\":" + std::to_string(status.event_count);
+  out += ",\"dropped_event_lines\":" +
+         std::to_string(status.dropped_event_lines);
+  out += ",\"unreadable_heartbeats\":" +
+         std::to_string(status.unreadable_heartbeats);
+  out += std::string(",\"complete\":") +
+         (status.census.complete() ? "true" : "false");
+  out += std::string(",\"drained\":") + (status.drained() ? "true" : "false");
+  out += "}\n";
+  for (const WorkerStatus& worker : status.workers) {
+    const WorkerHeartbeat& hb = worker.heartbeat;
+    out += "{\"type\":\"worker\",\"worker\":\"" +
+           util::json_escape(hb.worker_id) + "\"";
+    out += ",\"state\":\"" + std::string(to_string(worker.state)) + "\"";
+    out += ",\"pid\":" + i64_string(hb.pid);
+    out += ",\"seq\":" + u64_string(hb.seq);
+    out += ",\"age_seconds\":" + brief_double(worker.age_seconds);
+    out += ",\"units_done\":" + std::to_string(hb.units_done);
+    out += ",\"cells_done\":" + u64_string(hb.cells_done);
+    out += ",\"current_unit\":" + i64_string(hb.current_unit);
+    out += ",\"current_cell\":" + i64_string(hb.current_cell);
+    out += ",\"cells_per_second\":" + brief_double(worker.cells_per_second);
+    out += ",\"mips\":" + brief_double(hb.mips);
+    out += ",\"maxrss_kb\":" + u64_string(hb.rusage.maxrss_kb);
+    out += std::string(",\"exited\":") + (hb.exited ? "true" : "false");
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string fleet_unit_spans_trace(const std::vector<FarmEvent>& events) {
+  // One tid per worker id, in sorted order, so the timeline layout is a
+  // pure function of the event set.
+  std::vector<std::string> workers;
+  for (const FarmEvent& event : events) workers.push_back(event.worker_id);
+  std::sort(workers.begin(), workers.end());
+  workers.erase(std::unique(workers.begin(), workers.end()), workers.end());
+  const auto tid_of = [&workers](const std::string& id) {
+    return static_cast<std::uint64_t>(
+        std::lower_bound(workers.begin(), workers.end(), id) -
+        workers.begin());
+  };
+
+  std::string out = "[\n";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+         "\"args\":{\"name\":\"farm fleet\"}}";
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" +
+           u64_string(i) + ",\"args\":{\"name\":\"" +
+           util::json_escape(workers[i]) + "\"}}";
+  }
+  char number[48];
+  for (const FarmEvent& event : events) {
+    const std::uint64_t tid = tid_of(event.worker_id);
+    if (event.type == FarmEventType::kPublish) {
+      // The unit span runs from claim to publish on the worker's row.
+      out += ",\n{\"name\":\"unit " + i64_string(event.unit) +
+             "\",\"cat\":\"farm\",\"ph\":\"X\",\"pid\":0,\"tid\":" +
+             u64_string(tid) + ",\"ts\":";
+      std::snprintf(number, sizeof number, "%.3f",
+                    (event.time_unix_seconds - event.duration_seconds) * 1e6);
+      out += number;
+      out += ",\"dur\":";
+      std::snprintf(number, sizeof number, "%.3f",
+                    event.duration_seconds * 1e6);
+      out += number;
+      out += ",\"args\":{\"worker\":\"" + util::json_escape(event.worker_id) +
+             "\",\"unit\":" + i64_string(event.unit) +
+             ",\"cells\":" + u64_string(event.cells) + "}}";
+    } else if (event.type == FarmEventType::kStaleClear ||
+               event.type == FarmEventType::kClaimConflict ||
+               event.type == FarmEventType::kExit) {
+      out += ",\n{\"name\":\"";
+      out += to_string(event.type);
+      out += "\",\"cat\":\"farm\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,"
+             "\"tid\":" +
+             u64_string(tid) + ",\"ts\":";
+      std::snprintf(number, sizeof number, "%.3f",
+                    event.time_unix_seconds * 1e6);
+      out += number;
+      out += ",\"args\":{\"worker\":\"" + util::json_escape(event.worker_id) +
+             "\",\"unit\":" + i64_string(event.unit) + "}}";
+    }
+  }
+  out += "\n]\n";
+  return out;
+}
+
+std::string merge_fleet_trace(const std::string& spool) {
+  std::vector<std::string> traces;
+  traces.push_back(fleet_unit_spans_trace(read_farm_events(spool)));
+  const std::string dir = worker_trace_dir(spool);
+  if (util::fs::exists(dir)) {
+    for (const std::string& name : util::fs::list_directory(dir)) {
+      if (name.rfind("worker-", 0) != 0) continue;
+      if (name.size() < 5 || name.substr(name.size() - 5) != ".json") {
+        continue;
+      }
+      traces.push_back(util::fs::read_text_file(dir + "/" + name));
+    }
+  }
+  return obs::prof::merge_chrome_traces(traces);
+}
+
+}  // namespace icr::sim::farm

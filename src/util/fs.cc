@@ -104,6 +104,18 @@ void atomic_write_text_file(const std::string& path, const std::string& text) {
   }
 }
 
+void append_text_file(const std::string& path, const std::string& text) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0666);
+  if (fd < 0) throw_errno("open for append", path);
+  try {
+    write_all(fd, text.data(), text.size(), path);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+}
+
 bool try_create_exclusive(const std::string& path, const std::string& text) {
   const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0666);
   if (fd < 0) {

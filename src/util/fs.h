@@ -34,6 +34,12 @@ void make_directories(const std::string& path);
 // Readers see the old content or the new content, never a prefix.
 void atomic_write_text_file(const std::string& path, const std::string& text);
 
+// Appends `text` to `path` (O_APPEND, created if missing). Each call is a
+// single write(2), so whole lines land contiguously — the farm event logs
+// (src/sim/farm_telemetry.h) append one NDJSON line per call and readers
+// never see an interleaved or split record from a single writer.
+void append_text_file(const std::string& path, const std::string& text);
+
 // Creates `path` with O_CREAT|O_EXCL and writes `text` into it. Returns
 // false when the file already exists (someone else holds the claim);
 // throws on any other failure.

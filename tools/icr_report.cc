@@ -20,6 +20,8 @@
 
 #include "src/obs/obs_io.h"
 #include "src/obs/prof_io.h"
+#include "src/sim/farm.h"
+#include "src/sim/farm_telemetry.h"
 #include "src/util/table.h"
 
 using namespace icr;
@@ -319,6 +321,20 @@ int report_prof(const std::string& path) {
   }
 }
 
+int report_farm(const std::string& spool) {
+  try {
+    const sim::farm::Manifest manifest = sim::farm::load_manifest(spool);
+    const sim::farm::FarmStatus status =
+        sim::farm::collect_farm_status(spool, manifest);
+    std::printf("farm status — spool %s\n", spool.c_str());
+    std::fputs(sim::farm::render_farm_status(status).c_str(), stdout);
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "icr_report: %s: %s\n", spool.c_str(), error.what());
+    return 2;
+  }
+}
+
 void usage() {
   std::puts(
       "icr_report — render observability CSVs as text tables\n"
@@ -328,13 +344,16 @@ void usage() {
       "                                  (the rel summary CSV of run_campaign\n"
       "                                  --rel-csv / icr_sim --rel-out)\n"
       "  icr_report --prof FILE          host-profiler self-time table from\n"
-      "                                  a --prof-out Chrome trace JSON\n");
+      "                                  a --prof-out Chrome trace JSON\n"
+      "  icr_report --farm SPOOL         fleet status from a campaign-farm\n"
+      "                                  spool: census, worker heartbeats,\n"
+      "                                  unit latency histogram, ETA\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  enum class Mode { kIntervals, kHeatmap, kRel, kProf };
+  enum class Mode { kIntervals, kHeatmap, kRel, kProf, kFarm };
   Mode mode = Mode::kIntervals;
   std::string path;
   for (int i = 1; i < argc; ++i) {
@@ -346,6 +365,8 @@ int main(int argc, char** argv) {
       mode = Mode::kRel;
     } else if (std::strcmp(argv[i], "--prof") == 0) {
       mode = Mode::kProf;
+    } else if (std::strcmp(argv[i], "--farm") == 0) {
+      mode = Mode::kFarm;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       usage();
@@ -366,6 +387,7 @@ int main(int argc, char** argv) {
     case Mode::kHeatmap: return report_heatmap(path);
     case Mode::kRel: return report_rel(path);
     case Mode::kProf: return report_prof(path);
+    case Mode::kFarm: return report_farm(path);
     case Mode::kIntervals: break;
   }
   return report_intervals(path);

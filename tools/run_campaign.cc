@@ -24,9 +24,11 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -36,6 +38,7 @@
 #include "src/sim/campaign.h"
 #include "src/sim/cli.h"
 #include "src/sim/farm.h"
+#include "src/sim/farm_telemetry.h"
 #include "src/sim/results_io.h"
 #include "src/util/fs.h"
 #include "src/util/table.h"
@@ -78,6 +81,15 @@ struct Options {
   bool worker = false;    // worker mode
   std::string spool;      // worker: spool directory
   std::uint32_t max_units = 0;  // worker: stop after N units (0 = all)
+  // Fleet telemetry (docs/CAMPAIGN.md "Fleet telemetry").
+  std::string worker_id;          // worker: heartbeat/event identity
+  double heartbeat_seconds = 5.0; // between-cell heartbeat cadence; 0 = off
+  std::string farm_trace_out;     // coordinator: merged fleet Chrome trace
+  std::string farm_status_dir;    // status mode: spool to inspect
+  double watch_seconds = 0.0;     // status mode: refresh period; 0 = once
+  std::string status_json;        // status mode: NDJSON out ("-" = stdout)
+  double stale_after = 15.0;      // straggler threshold (seconds)
+  double dead_after = 60.0;       // dead threshold (seconds)
   // Per-cell telemetry / reliability / profiling (in-process mode only).
   std::uint64_t stats_interval = 0;
   std::string intervals_out;
@@ -137,6 +149,24 @@ void usage() {
       "                        number, on any hosts sharing the spool)\n"
       "  --max-units=N         worker: stop after N units (0 = run to dry)\n"
       "\n"
+      "Fleet telemetry (docs/CAMPAIGN.md \"Fleet telemetry\"):\n"
+      "  --heartbeat=S         worker heartbeat cadence in seconds (default\n"
+      "                        5; 0 disables heartbeats and event logs)\n"
+      "  --worker-id=ID        worker identity in hb/ and events/ files\n"
+      "                        (default pid<pid>; coordinator assigns wN)\n"
+      "  --farm-trace-out=FILE coordinator: profile every worker (--prof)\n"
+      "                        and write one merged fleet Chrome trace\n"
+      "  --farm-status=DIR     render fleet state from spool files alone:\n"
+      "                        census, per-worker heartbeats, stragglers/\n"
+      "                        dead workers, unit latency histogram, ETA\n"
+      "  --watch[=S]           farm-status: refresh every S seconds\n"
+      "                        (default 2) until the fleet is drained\n"
+      "  --status-json=FILE    farm-status: write NDJSON ('-' = stdout)\n"
+      "  --stale-after=S       heartbeat age that flags a straggler "
+      "(default 15)\n"
+      "  --dead-after=S        heartbeat age that flags a dead worker\n"
+      "                        (default 60)\n"
+      "\n"
       "Per-cell telemetry (in-process mode only):\n"
       "  --stats-interval=N    per-cell telemetry every N instructions\n"
       "                        (implies --intervals-out=intervals.csv)\n"
@@ -161,8 +191,16 @@ void usage() {
       "which process ran the cell.");
 }
 
+double unix_now_microseconds() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
 // Farm worker mode: claim and run units from an existing spool until no
-// unit is claimable (or --max-units is reached).
+// unit is claimable (or --max-units is reached). With heartbeats enabled
+// (the default) the worker publishes spool-native telemetry; with --prof it
+// leaves its capture under spool/prof/ on the shared fleet clock.
 int run_worker_mode(const Options& opt) {
   if (opt.spool.empty()) {
     std::fprintf(stderr, "--worker requires --spool=DIR\n");
@@ -171,6 +209,22 @@ int run_worker_mode(const Options& opt) {
   try {
     const sim::farm::Manifest manifest = sim::farm::load_manifest(opt.spool);
     const sim::CampaignSpec spec = sim::farm::spec_from_manifest(manifest);
+    const std::string worker_id =
+        opt.worker_id.empty() ? "pid" + std::to_string(::getpid())
+                              : opt.worker_id;
+    std::unique_ptr<sim::farm::WorkerTelemetry> telemetry;
+    if (opt.heartbeat_seconds > 0.0) {
+      sim::farm::WorkerTelemetryOptions topt;
+      topt.worker_id = worker_id;
+      topt.heartbeat_interval_seconds = opt.heartbeat_seconds;
+      telemetry =
+          std::make_unique<sim::farm::WorkerTelemetry>(opt.spool, topt);
+    }
+    double epoch_unix_us = 0.0;
+    if (opt.prof) {
+      obs::prof::begin_capture();
+      epoch_unix_us = unix_now_microseconds();
+    }
     const auto on_unit_done = [&](const sim::farm::WorkUnit& unit) {
       if (!opt.quiet) {
         std::fprintf(stderr, "worker %d: unit %u done (%llu cell(s))\n",
@@ -179,7 +233,15 @@ int run_worker_mode(const Options& opt) {
       }
     };
     const sim::farm::WorkerReport report = sim::farm::run_worker_loop(
-        opt.spool, spec, opt.max_units, on_unit_done);
+        opt.spool, spec, opt.max_units, on_unit_done, telemetry.get());
+    if (opt.prof) {
+      const obs::prof::Profile profile = obs::prof::end_capture();
+      util::fs::make_directories(sim::farm::worker_trace_dir(opt.spool));
+      util::fs::atomic_write_text_file(
+          sim::farm::worker_trace_path(opt.spool, worker_id),
+          obs::prof::to_chrome_trace(profile, "worker " + worker_id,
+                                     ::getpid(), epoch_unix_us));
+    }
     if (!opt.quiet) {
       std::printf("worker %d: ran %u unit(s), %llu cell(s)\n", ::getpid(),
                   report.units_run,
@@ -193,17 +255,62 @@ int run_worker_mode(const Options& opt) {
 }
 
 // Spawns one worker child pointed at the spool; returns -1 on failure.
-pid_t spawn_worker(const char* self, const std::string& spool) {
+pid_t spawn_worker(const char* self, const std::string& spool,
+                   unsigned index, const Options& opt) {
   const pid_t pid = ::fork();
   if (pid != 0) return pid;
   // Child: re-exec this binary in worker mode. Workers stay quiet; the
   // coordinator owns progress reporting.
   const std::string spool_flag = "--spool=" + spool;
-  const char* argv[] = {self, "--worker", spool_flag.c_str(), "--quiet",
-                        nullptr};
-  ::execv(self, const_cast<char**>(argv));
+  const std::string id_flag = "--worker-id=w" + std::to_string(index);
+  char hb_flag[48];
+  std::snprintf(hb_flag, sizeof hb_flag, "--heartbeat=%.3f",
+                opt.heartbeat_seconds);
+  std::vector<const char*> argv = {self,      "--worker", spool_flag.c_str(),
+                                   "--quiet", id_flag.c_str(), hb_flag};
+  if (!opt.farm_trace_out.empty()) argv.push_back("--prof");
+  argv.push_back(nullptr);
+  ::execv(self, const_cast<char**>(argv.data()));
   std::fprintf(stderr, "execv %s: %s\n", self, std::strerror(errno));
   ::_exit(127);
+}
+
+// farm-status mode: reconstruct fleet state purely from spool files. With
+// --watch, refresh until the fleet is drained (grid complete and every
+// worker dead or exited).
+int run_farm_status_mode(const Options& opt) {
+  try {
+    const sim::farm::Manifest manifest =
+        sim::farm::load_manifest(opt.farm_status_dir);
+    for (;;) {
+      sim::farm::FarmStatusOptions status_options;
+      status_options.staleness.straggler_after_seconds = opt.stale_after;
+      status_options.staleness.dead_after_seconds = opt.dead_after;
+      const sim::farm::FarmStatus status = sim::farm::collect_farm_status(
+          opt.farm_status_dir, manifest, status_options);
+      if (!opt.quiet) {
+        std::printf("farm status — spool %s\n", opt.farm_status_dir.c_str());
+        std::fputs(sim::farm::render_farm_status(status).c_str(), stdout);
+        std::fflush(stdout);
+      }
+      if (!opt.status_json.empty()) {
+        const std::string ndjson = sim::farm::farm_status_to_ndjson(status);
+        if (opt.status_json == "-") {
+          std::fputs(ndjson.c_str(), stdout);
+          std::fflush(stdout);
+        } else {
+          util::fs::atomic_write_text_file(opt.status_json, ndjson);
+        }
+      }
+      if (opt.watch_seconds <= 0.0 || status.drained()) break;
+      ::usleep(static_cast<useconds_t>(opt.watch_seconds * 1e6));
+      if (!opt.quiet) std::printf("\n");
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "farm status: %s\n", error.what());
+    return 1;
+  }
+  return 0;
 }
 
 // Farm coordinator: init or resume the spool, spawn workers, report
@@ -226,8 +333,21 @@ int run_coordinator_mode(const Options& opt, const sim::CampaignSpec& spec,
         return 2;
       }
       manifest = existing;  // keep the original sharding
-      const std::size_t cleared =
-          sim::farm::clear_stale_claims(spool, manifest.unit_count);
+      std::vector<std::uint32_t> cleared_units;
+      const std::size_t cleared = sim::farm::clear_stale_claims(
+          spool, manifest.unit_count, &cleared_units);
+      if (opt.heartbeat_seconds > 0.0) {
+        // The sweep is part of the fleet's history: one stale-clear event
+        // per reclaimed unit, then the sweep summary, under the
+        // coordinator's own event stream.
+        sim::farm::EventLog coordinator_log(spool, "coordinator");
+        for (const std::uint32_t unit : cleared_units) {
+          coordinator_log.append(sim::farm::FarmEventType::kStaleClear,
+                                 static_cast<std::int64_t>(unit));
+        }
+        coordinator_log.append(sim::farm::FarmEventType::kResumeSweep, -1,
+                               cleared);
+      }
       if (cleared != 0 && !opt.quiet) {
         std::printf("resume: cleared %zu stale claim(s)\n", cleared);
       }
@@ -259,10 +379,23 @@ int run_coordinator_mode(const Options& opt, const sim::CampaignSpec& spec,
   obs::FarmProgressReporter reporter(progress_options, manifest.unit_count,
                                      manifest.total_cells);
 
+  if (opt.workers == 0 && !opt.quiet) {
+    // No workers to spawn: this invocation initializes or inspects a spool
+    // for externally started workers — print the census instead of exiting
+    // silently (the same scan --farm-status renders).
+    try {
+      const sim::farm::FarmStatus status =
+          sim::farm::collect_farm_status(spool, manifest);
+      std::fputs(sim::farm::render_farm_status(status).c_str(), stdout);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "farm: %s\n", error.what());
+    }
+  }
+
   std::vector<pid_t> children;
   unsigned failed_workers = 0;
   for (unsigned w = 0; w < opt.workers; ++w) {
-    const pid_t pid = spawn_worker(self, spool);
+    const pid_t pid = spawn_worker(self, spool, w, opt);
     if (pid < 0) {
       std::fprintf(stderr, "fork: %s\n", std::strerror(errno));
       ++failed_workers;
@@ -298,6 +431,21 @@ int run_coordinator_mode(const Options& opt, const sim::CampaignSpec& spec,
   if (failed_workers != 0) {
     std::fprintf(stderr, "farm: %u worker(s) exited abnormally\n",
                  failed_workers);
+  }
+
+  if (!opt.farm_trace_out.empty()) {
+    // Merge the per-worker --prof captures with the coordinator-synthesized
+    // unit spans into one fleet timeline. Useful even for an incomplete
+    // grid, so write it before the completeness gate.
+    try {
+      util::fs::atomic_write_text_file(
+          opt.farm_trace_out, sim::farm::merge_fleet_trace(spool));
+      std::printf("wrote fleet trace to %s (open in Perfetto)\n",
+                  opt.farm_trace_out.c_str());
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "farm trace: %s\n", error.what());
+      return 1;
+    }
   }
 
   if (!final_status.complete()) {
@@ -397,6 +545,24 @@ int main(int argc, char** argv) {
     } else if (parse_flag(argv[i], "--max-units", value)) {
       opt.max_units = static_cast<std::uint32_t>(
           std::strtoul(value.c_str(), nullptr, 10));
+    } else if (parse_flag(argv[i], "--worker-id", value)) {
+      opt.worker_id = value;
+    } else if (parse_flag(argv[i], "--heartbeat", value)) {
+      opt.heartbeat_seconds = std::atof(value.c_str());
+    } else if (parse_flag(argv[i], "--farm-trace-out", value)) {
+      opt.farm_trace_out = value;
+    } else if (parse_flag(argv[i], "--farm-status", value)) {
+      opt.farm_status_dir = value;
+    } else if (std::strcmp(argv[i], "--watch") == 0) {
+      opt.watch_seconds = 2.0;
+    } else if (parse_flag(argv[i], "--watch", value)) {
+      opt.watch_seconds = std::atof(value.c_str());
+    } else if (parse_flag(argv[i], "--status-json", value)) {
+      opt.status_json = value;
+    } else if (parse_flag(argv[i], "--stale-after", value)) {
+      opt.stale_after = std::atof(value.c_str());
+    } else if (parse_flag(argv[i], "--dead-after", value)) {
+      opt.dead_after = std::atof(value.c_str());
     } else if (parse_flag(argv[i], "--stats-interval", value)) {
       opt.stats_interval = std::strtoull(value.c_str(), nullptr, 10);
     } else if (parse_flag(argv[i], "--intervals-out", value)) {
@@ -429,6 +595,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!opt.farm_status_dir.empty()) {
+    if (opt.worker || !opt.farm_dir.empty()) {
+      std::fprintf(stderr,
+                   "--farm-status is a standalone mode (no --farm/--worker)\n");
+      return 2;
+    }
+    return run_farm_status_mode(opt);
+  }
   if (opt.worker) {
     if (!opt.farm_dir.empty()) {
       std::fprintf(stderr, "--worker and --farm are mutually exclusive\n");
