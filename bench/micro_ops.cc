@@ -19,6 +19,7 @@
 #include "src/core/scheme.h"
 #include "src/cpu/pipeline.h"
 #include "src/mem/memory_hierarchy.h"
+#include "src/trace/trace_v2.h"
 #include "src/trace/workloads.h"
 #include "src/util/rng.h"
 
@@ -95,6 +96,47 @@ void BM_TraceGeneration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TraceGeneration);
+
+// Shared v2 trace fixture for the streaming-read and seek benchmarks:
+// recorded once per process, multi-chunk so seeks cross chunk boundaries.
+const std::string& stream_bench_trace() {
+  static const std::string path = [] {
+    std::string p = "/tmp/icr_bench_stream.icrt";
+    trace::SyntheticWorkload w(trace::profile_for(trace::App::kGcc));
+    trace::TraceV2Writer::Options options;
+    options.chunk_records = 4096;
+    trace::record_trace_v2(w, 100000, p, options);
+    return p;
+  }();
+  return path;
+}
+
+void BM_TraceStreamRead(benchmark::State& state) {
+  // Sequential replay through the mmap streaming reader (chunk decode
+  // amortized): records per second is the number icr_sim replay rides on.
+  trace::StreamingTraceSource source(stream_bench_trace());
+  std::uint64_t done = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(source.next());
+    ++done;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(done));
+}
+BENCHMARK(BM_TraceStreamRead);
+
+void BM_TraceSeek(benchmark::State& state) {
+  // Random repositioning through the chunk index — the campaign-shard and
+  // sampling fast-forward path. Strides are coprime to the trace length so
+  // successive seeks land in different chunks.
+  trace::StreamingTraceSource source(stream_bench_trace());
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    n = (n + 31337) % 100000;
+    source.seek_to(n);
+    benchmark::DoNotOptimize(source.position());
+  }
+}
+BENCHMARK(BM_TraceSeek);
 
 void BM_EndToEndSimulatedInstruction(benchmark::State& state) {
   // Amortized cost of one simulated instruction through the full stack.

@@ -1,12 +1,15 @@
 #include "src/sim/campaign.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <stdexcept>
 
 #include "src/obs/prof.h"
+#include "src/trace/trace_v2.h"
 #include "src/obs/throughput.h"
 #include "src/sim/simulator.h"
 #include "src/util/rng.h"
@@ -47,32 +50,57 @@ CellResult run_cell(const CampaignSpec& spec, std::size_t variant_idx,
                     std::size_t app_idx, std::size_t trial_idx,
                     std::uint64_t instructions) {
   const SchemeVariant& variant = spec.variants[variant_idx];
-  const trace::App app = spec.apps[app_idx];
-  ICR_PROF_ZONE_LABELED(
-      "Campaign::cell",
-      variant.label + "/" + trace::to_string(app) + "/trial " +
-          std::to_string(trial_idx));
+  const bool traced = spec.trace.enabled();
+  const std::string cell_label =
+      traced ? trace_shard_label(spec, app_idx)
+             : std::string(trace::to_string(spec.apps[app_idx]));
+  ICR_PROF_ZONE_LABELED("Campaign::cell",
+                        variant.label + "/" + cell_label + "/trial " +
+                            std::to_string(trial_idx));
 
   SimConfig config = variant.config ? *variant.config : spec.config;
-  trace::WorkloadProfile profile = trace::profile_for(app);
+  std::uint64_t budget = instructions;
 
   CellResult cell;
   cell.cell.variant_idx = static_cast<std::uint32_t>(variant_idx);
   cell.cell.app_idx = static_cast<std::uint32_t>(app_idx);
   cell.cell.trial_idx = static_cast<std::uint32_t>(trial_idx);
 
+  std::uint64_t workload_seed = 0;
   if (spec.derive_seeds) {
     const std::uint64_t seed =
         derive_cell_seed(spec.base_seed, variant_idx, app_idx, trial_idx);
     cell.cell.seed = seed;
     // Two decorrelated sub-streams: one for the synthetic workload, one
     // for fault injection, so fault timing never aliases address streams.
+    // Trace cells have no generator; they discard the workload stream but
+    // still consume it, keeping fault seeds aligned with synthetic cells
+    // at the same coordinates.
     std::uint64_t state = seed;
-    profile.seed = split_mix64(state);
+    workload_seed = split_mix64(state);
     config.fault_seed = split_mix64(state);
   }
 
-  Simulator simulator(config, variant.scheme, std::move(profile));
+  Simulator simulator = [&]() -> Simulator {
+    if (traced) {
+      trace::OpenedTrace opened = trace::open_trace(spec.trace.path);
+      if (spec.trace.fingerprint != 0 &&
+          opened.info.fingerprint != spec.trace.fingerprint) {
+        throw std::runtime_error(
+            "trace campaign: " + spec.trace.path +
+            " does not match the campaign's trace fingerprint (the file "
+            "changed since the campaign was planned)");
+      }
+      const TraceShard shard = trace_shard(spec, app_idx);
+      budget = shard.instructions;
+      opened.source->seek_to(shard.begin);
+      return Simulator(config, variant.scheme, std::move(opened.source),
+                       cell_label);
+    }
+    trace::WorkloadProfile profile = trace::profile_for(spec.apps[app_idx]);
+    if (spec.derive_seeds) profile.seed = workload_seed;
+    return Simulator(config, variant.scheme, std::move(profile));
+  }();
   if (spec.obs.any()) simulator.enable_observability(spec.obs);
   if (spec.rel.any()) simulator.enable_rel(spec.rel);
   if (spec.sampling.enabled()) {
@@ -84,11 +112,11 @@ CellResult run_cell(const CampaignSpec& spec, std::size_t variant_idx,
                                        variant_idx, app_idx, trial_idx);
     }
     SampledRunResult sampled =
-        SamplingController(simulator, sampling).run(instructions);
+        SamplingController(simulator, sampling).run(budget);
     cell.result = std::move(sampled.estimate);
     cell.sampling = sampled.provenance;
   } else {
-    cell.result = simulator.run(instructions);
+    cell.result = simulator.run(budget);
   }
   cell.result.scheme = variant.label;
   if (spec.obs.any()) {
@@ -164,6 +192,70 @@ std::atomic<bool> g_default_progress_enabled{false};
 
 }  // namespace
 
+std::size_t CampaignSpec::app_axis() const {
+  return trace.enabled() ? trace_shard_count(*this) : apps.size();
+}
+
+void resolve_trace_campaign(CampaignSpec& spec) {
+  if (!spec.trace.enabled()) return;
+  const trace::TraceInfo info = trace::probe_trace(spec.trace.path);
+  if (info.records == 0) {
+    throw std::runtime_error("trace campaign: " + spec.trace.path +
+                             " is an empty trace");
+  }
+  spec.trace.fingerprint = info.fingerprint;
+  spec.trace.records = info.records;
+}
+
+std::uint64_t resolved_instruction_count(const CampaignSpec& spec) {
+  if (spec.instructions != 0) return spec.instructions;
+  if (spec.trace.enabled()) {
+    if (spec.trace.records == 0) {
+      throw std::runtime_error(
+          "trace campaign: record count unknown; call "
+          "resolve_trace_campaign() before expanding the grid");
+    }
+    return spec.trace.records;
+  }
+  return default_instruction_count();
+}
+
+namespace {
+// Interval width: the requested shard size clamped to the budget; 0 means
+// one shard covering everything.
+std::uint64_t trace_shard_width(const CampaignSpec& spec,
+                                std::uint64_t total) {
+  return spec.trace.shard_instructions == 0
+             ? total
+             : std::min(spec.trace.shard_instructions, total);
+}
+}  // namespace
+
+std::size_t trace_shard_count(const CampaignSpec& spec) {
+  const std::uint64_t total = resolved_instruction_count(spec);
+  const std::uint64_t width = trace_shard_width(spec, total);
+  return static_cast<std::size_t>((total + width - 1) / width);
+}
+
+TraceShard trace_shard(const CampaignSpec& spec, std::size_t shard_idx) {
+  const std::uint64_t total = resolved_instruction_count(spec);
+  const std::uint64_t width = trace_shard_width(spec, total);
+  TraceShard shard;
+  shard.begin = width * shard_idx;
+  shard.instructions = std::min(width, total - shard.begin);
+  return shard;
+}
+
+std::string trace_shard_label(const CampaignSpec& spec,
+                              std::size_t shard_idx) {
+  const TraceShard shard = trace_shard(spec, shard_idx);
+  std::string base = spec.trace.path;
+  const std::size_t slash = base.find_last_of('/');
+  if (slash != std::string::npos) base = base.substr(slash + 1);
+  return base + "@" + std::to_string(shard.begin) + "+" +
+         std::to_string(shard.instructions);
+}
+
 CellResult run_campaign_cell(const CampaignSpec& spec, std::size_t variant_idx,
                              std::size_t app_idx, std::size_t trial_idx,
                              std::uint64_t instructions) {
@@ -223,10 +315,7 @@ std::uint64_t campaign_config_hash(const CampaignSpec& spec) {
     hash_fold(state, static_cast<std::uint64_t>(app));
   }
   hash_fold_config(state, spec.config);
-  const std::uint64_t instructions = spec.instructions != 0
-                                         ? spec.instructions
-                                         : default_instruction_count();
-  hash_fold(state, instructions);
+  hash_fold(state, resolved_instruction_count(spec));
   hash_fold(state, spec.trials);
   hash_fold(state, spec.base_seed);
   hash_fold(state, spec.derive_seeds ? 1 : 0);
@@ -240,15 +329,23 @@ std::uint64_t campaign_config_hash(const CampaignSpec& spec) {
     hash_fold(state, static_cast<std::uint64_t>(spec.sampling.mode));
     hash_fold(state, spec.sampling.seed);
   }
+  if (spec.trace.enabled()) {
+    // The trace's content identity and interval decomposition determine
+    // every cell; the path does not fold (moving a file never changes the
+    // experiment). Folds only when a trace is attached, keeping synthetic
+    // spec hashes stable across versions.
+    hash_fold(state, 0x7C4CE5ULL);  // domain separator
+    hash_fold(state, spec.trace.fingerprint);
+    hash_fold(state, spec.trace.records);
+    hash_fold(state, spec.trace.shard_instructions);
+  }
   return state;
 }
 
 CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
   ICR_PROF_ZONE("Campaign::run");
-  const std::uint64_t instructions = spec.instructions != 0
-                                         ? spec.instructions
-                                         : default_instruction_count();
-  const std::size_t apps = spec.apps.size();
+  const std::uint64_t instructions = resolved_instruction_count(spec);
+  const std::size_t apps = spec.app_axis();
   const std::size_t trials = spec.trials == 0 ? 1 : spec.trials;
   const std::size_t total = spec.variants.size() * apps * trials;
 

@@ -37,9 +37,32 @@ namespace icr::sim {
                                              std::size_t app_idx,
                                              std::size_t trial_idx) noexcept;
 
+// A campaign driven by a recorded trace (ICRT v1 or v2) instead of the
+// synthetic app axis. The trace's instruction budget splits into
+// `shard_instructions`-wide intervals; each interval becomes one cell on
+// the app axis (cold-start simulator, seek_to the interval's begin, run
+// its width), so one large trace spreads across farm work units exactly
+// like synthetic apps do. The interval decomposition lives in the spec —
+// not in the executor — which is what keeps farm runs at any shard/worker
+// count byte-identical to a single-process run.
+struct TraceCampaignOptions {
+  std::string path;
+  // Instructions per interval cell; 0 = one cell covering the whole budget.
+  std::uint64_t shard_instructions = 0;
+  // Content provenance, filled from the file by resolve_trace_campaign().
+  // The fingerprint folds into campaign_config_hash and is re-verified
+  // when each cell opens the trace, so a farm worker replaying a modified
+  // file fails loudly instead of producing silently different numbers.
+  std::uint64_t fingerprint = 0;
+  std::uint64_t records = 0;
+
+  [[nodiscard]] bool enabled() const noexcept { return !path.empty(); }
+};
+
 struct CampaignSpec {
   std::vector<SchemeVariant> variants;
   std::vector<trace::App> apps;
+  TraceCampaignOptions trace;  // when enabled(), replaces the app axis
   SimConfig config = SimConfig::table1();  // per-variant override wins
   std::uint64_t instructions = 0;          // 0 = default_instruction_count()
   std::uint32_t trials = 1;                // repeated cells per (variant, app)
@@ -74,10 +97,40 @@ struct CampaignSpec {
   // campaigns stay bit-identical at any thread count.
   SamplingOptions sampling;
 
-  [[nodiscard]] std::size_t cell_count() const noexcept {
-    return variants.size() * apps.size() * trials;
+  // Size of the second grid axis: trace interval shards when a trace is
+  // attached (requires resolve_trace_campaign() first), synthetic apps
+  // otherwise.
+  [[nodiscard]] std::size_t app_axis() const;
+
+  [[nodiscard]] std::size_t cell_count() const {
+    return variants.size() * app_axis() * trials;
   }
 };
+
+// Probes spec.trace.path and fills fingerprint/records (no-op when no
+// trace is attached). Call once before hashing, manifesting, or running a
+// trace campaign; throws std::runtime_error on a missing/corrupt trace.
+void resolve_trace_campaign(CampaignSpec& spec);
+
+// The per-campaign instruction budget: spec.instructions when set, else
+// the whole trace (trace campaigns) or default_instruction_count().
+[[nodiscard]] std::uint64_t resolved_instruction_count(
+    const CampaignSpec& spec);
+
+// One interval of a trace campaign's budget. Replay starts at trace
+// record `begin % records` and runs `instructions` instructions.
+struct TraceShard {
+  std::uint64_t begin = 0;
+  std::uint64_t instructions = 0;
+};
+
+[[nodiscard]] std::size_t trace_shard_count(const CampaignSpec& spec);
+[[nodiscard]] TraceShard trace_shard(const CampaignSpec& spec,
+                                     std::size_t shard_idx);
+// Deterministic, comma-free cell label: "<basename>@<begin>+<width>" —
+// what RunResult::app carries in place of a synthetic app name.
+[[nodiscard]] std::string trace_shard_label(const CampaignSpec& spec,
+                                            std::size_t shard_idx);
 
 // Grid coordinates of one cell plus the seed it ran with.
 struct CampaignCell {

@@ -106,6 +106,13 @@ std::string Manifest::to_json() const {
          ",\n";
   out += "    \"sampling\": ";
   append_sampling_json(out, sampling);
+  if (trace.enabled()) {
+    out += ",\n    \"trace\": {\"path\": \"" + util::json_escape(trace.path) +
+           "\", \"shard_instructions\": " +
+           std::to_string(trace.shard_instructions) + ", \"fingerprint\": \"" +
+           hex64(trace.fingerprint) +
+           "\", \"records\": " + std::to_string(trace.records) + "}";
+  }
   out += ",\n    \"schemes\": [";
   for (std::size_t i = 0; i < schemes.size(); ++i) {
     if (i != 0) out += ", ";
@@ -151,6 +158,13 @@ Manifest Manifest::parse(const std::string& text) {
   if (f.get("sampling").is_object()) {
     m.sampling = parse_sampling(f.get("sampling"));
   }
+  if (f.get("trace").is_object()) {
+    const util::JsonValue& t = f.get("trace");
+    m.trace.path = t.get("path").as_string();
+    m.trace.shard_instructions = as_u64(t.get("shard_instructions"));
+    m.trace.fingerprint = parse_hex64(t.get("fingerprint"));
+    m.trace.records = as_u64(t.get("records"));
+  }
   for (const util::JsonValue& s : f.get("schemes").items()) {
     m.schemes.push_back(s.as_string());
   }
@@ -169,14 +183,14 @@ Manifest manifest_for(const CampaignSpec& spec, std::uint64_t unit_cells) {
   Manifest m;
   m.config_hash = campaign_config_hash(spec);
   m.base_seed = spec.base_seed;
-  m.instructions = spec.instructions != 0 ? spec.instructions
-                                          : default_instruction_count();
+  m.instructions = resolved_instruction_count(spec);
   m.trials = spec.trials == 0 ? 1 : spec.trials;
   m.derive_seeds = spec.derive_seeds;
   m.variant_count = static_cast<std::uint32_t>(spec.variants.size());
-  m.app_count = static_cast<std::uint32_t>(spec.apps.size());
+  m.app_count = static_cast<std::uint32_t>(spec.app_axis());
   m.total_cells = static_cast<std::uint64_t>(spec.variants.size()) *
-                  spec.apps.size() * m.trials;
+                  spec.app_axis() * m.trials;
+  m.trace = spec.trace;
   m.unit_cells = unit_cells == 0 ? 1 : unit_cells;
   m.unit_count = static_cast<std::uint32_t>(
       (m.total_cells + m.unit_cells - 1) / m.unit_cells);
@@ -214,6 +228,7 @@ CampaignSpec spec_from_manifest(const Manifest& manifest) {
   spec.config.fault_model = cli::fault_by_name(manifest.fault_model);
   spec.config.fault_probability = manifest.fault_probability;
   spec.sampling = manifest.sampling;
+  spec.trace = manifest.trace;
   return spec;
 }
 
@@ -363,7 +378,7 @@ std::vector<CellRecord> run_unit(
     const CampaignSpec& spec, const WorkUnit& unit,
     std::uint64_t instructions,
     const std::function<void(std::uint64_t)>& on_cell) {
-  const std::size_t apps = spec.apps.size();
+  const std::size_t apps = spec.app_axis();
   const std::size_t trials = spec.trials == 0 ? 1 : spec.trials;
   std::vector<CellRecord> records;
   records.reserve(static_cast<std::size_t>(unit.cells()));

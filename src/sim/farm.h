@@ -91,6 +91,12 @@ struct Manifest {
   std::string fault_model = "random";
   double fault_probability = 0.0;
   SamplingOptions sampling;
+  // Trace campaign (interval shards replace the app axis). Serialized as
+  // an optional "trace" object only when enabled, so synthetic-campaign
+  // manifests are byte-identical to previous versions. An old reader
+  // ignores the key, reconstructs a synthetic spec, and fails the config
+  // hash check — a loud mismatch, never silently different numbers.
+  TraceCampaignOptions trace;
 
   [[nodiscard]] std::string to_json() const;
   // Parses a manifest document (throws std::runtime_error on malformed

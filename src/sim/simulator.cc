@@ -8,8 +8,17 @@ namespace icr::sim {
 
 Simulator::Simulator(SimConfig config, core::Scheme scheme,
                      trace::WorkloadProfile profile)
-    : config_(config), scheme_(std::move(scheme)), app_name_(profile.name) {
-  workload_ = std::make_unique<trace::SyntheticWorkload>(std::move(profile));
+    : Simulator(config, std::move(scheme),
+                std::make_unique<trace::SyntheticWorkload>(profile),
+                profile.name) {}
+
+Simulator::Simulator(SimConfig config, core::Scheme scheme,
+                     std::unique_ptr<trace::TraceSource> source,
+                     std::string app_name)
+    : config_(config),
+      scheme_(std::move(scheme)),
+      source_(std::move(source)),
+      app_name_(std::move(app_name)) {
   hierarchy_ = std::make_unique<mem::MemoryHierarchy>(config_.hierarchy);
   dl1_ = std::make_unique<core::IcrCache>(config_.dl1, scheme_, *hierarchy_);
   if (config_.rcache_entries > 0) {
@@ -22,7 +31,7 @@ Simulator::Simulator(SimConfig config, core::Scheme scheme,
         Rng(config_.fault_seed));
   }
   pipeline_ = std::make_unique<cpu::Pipeline>(
-      config_.pipeline, *workload_, *dl1_, *hierarchy_, injector_.get());
+      config_.pipeline, *source_, *dl1_, *hierarchy_, injector_.get());
 }
 
 void Simulator::enable_observability(const obs::ObsOptions& options) {

@@ -24,6 +24,16 @@ class Simulator {
   Simulator(SimConfig config, core::Scheme scheme,
             trace::WorkloadProfile profile);
 
+  // Same system, driven by an arbitrary instruction source instead of a
+  // synthetic generator — the replay path for recorded traces. `app_name`
+  // labels results (RunResult::app). Replaying a trace recorded from a
+  // generator through this constructor is bit-identical to driving the
+  // generator directly: both run the exact same stream through the exact
+  // same wiring.
+  Simulator(SimConfig config, core::Scheme scheme,
+            std::unique_ptr<trace::TraceSource> source,
+            std::string app_name);
+
   // Runs `instructions` more instructions and returns cumulative results.
   RunResult run(std::uint64_t instructions);
 
@@ -77,7 +87,7 @@ class Simulator {
  private:
   SimConfig config_;
   core::Scheme scheme_;
-  std::unique_ptr<trace::SyntheticWorkload> workload_;
+  std::unique_ptr<trace::TraceSource> source_;
   std::unique_ptr<mem::MemoryHierarchy> hierarchy_;
   std::unique_ptr<core::IcrCache> dl1_;
   std::unique_ptr<baselines::RCache> rcache_;

@@ -60,4 +60,16 @@ class TraceSource {
   virtual Instruction next() = 0;
 };
 
+// A TraceSource backed by a finite recorded trace that can be repositioned
+// to any instruction boundary. seek_to(n) positions the stream so the next
+// next() returns record n % size() — exactly where n sequential next()
+// calls from the start would land (the stream loops, so n may exceed
+// size()). This is what makes recorded traces shardable by instruction
+// interval in campaigns and lets sampling fast-forward become a seek.
+class SeekableTraceSource : public TraceSource {
+ public:
+  virtual void seek_to(std::uint64_t n) = 0;
+  [[nodiscard]] virtual std::uint64_t size() const = 0;
+};
+
 }  // namespace icr::trace

@@ -1,0 +1,175 @@
+#include "src/trace/qemu_import.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace icr::trace {
+namespace {
+
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+[[nodiscard]] std::int16_t reg(std::uint64_t h, unsigned lane) noexcept {
+  return static_cast<std::int16_t>((h >> (8 * lane)) %
+                                   Instruction::kNumRegs);
+}
+
+[[noreturn]] void malformed(const std::string& path, std::uint64_t line,
+                            const std::string& what) {
+  throw std::runtime_error("import_qemu_log: " + path + ":" +
+                           std::to_string(line) + ": " + what);
+}
+
+[[nodiscard]] std::uint64_t parse_u64(const std::string& token,
+                                      const std::string& path,
+                                      std::uint64_t line, const char* what) {
+  const char* begin = token.c_str();
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(begin, &end, 0);
+  if (end == begin || *end != '\0') {
+    malformed(path, line, std::string("unparseable ") + what + " '" + token +
+                              "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+ImportStats import_qemu_log(const std::string& log_path,
+                            const std::string& trace_path,
+                            TraceV2Writer::Options options) {
+  std::ifstream in(log_path);
+  if (!in) {
+    throw std::runtime_error("import_qemu_log: cannot open " + log_path);
+  }
+
+  TraceV2Writer writer(trace_path, options);
+  ImportStats stats;
+
+  Instruction pending;        // parsed but not yet written (needs next_pc)
+  bool have_pending = false;
+  bool pending_is_plain = false;  // a bare `insn` a mem line may upgrade
+  std::uint64_t first_pc = 0;
+  std::uint64_t ordinal = 0;  // records emitted + the pending one
+
+  // Finishes `pending` once its successor's pc is known, then writes it.
+  const auto emit_pending = [&](std::uint64_t successor_pc) {
+    pending.next_pc = successor_pc;
+    if (!pending.is_mem() && successor_pc != pending.pc + 4) {
+      pending.op = OpClass::kBranch;
+      pending.branch_taken = true;
+      const std::uint64_t h = mix64(pending.pc ^ (ordinal * kFnvPrime));
+      pending.dest = -1;
+      pending.src1 = reg(h, 0);
+      pending.src2 = -1;
+      ++stats.branches;
+    }
+    writer.write(pending);
+    ++stats.records;
+  };
+
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    ++stats.lines;
+    std::istringstream fields(line);
+    std::string keyword;
+    if (!(fields >> keyword) || keyword[0] == '#') {
+      ++stats.skipped;
+      continue;
+    }
+
+    const bool is_insn = keyword == "insn";
+    const bool is_load = keyword == "load";
+    const bool is_store = keyword == "store";
+    if (!is_insn && !is_load && !is_store) {
+      ++stats.skipped;
+      continue;
+    }
+
+    std::string token;
+    if (!(fields >> token)) {
+      malformed(log_path, line_no, "missing pc after '" + keyword + "'");
+    }
+    const std::uint64_t pc = parse_u64(token, log_path, line_no, "pc");
+    std::uint64_t vaddr = 0;
+    if (is_load || is_store) {
+      if (!(fields >> token)) {
+        malformed(log_path, line_no,
+                  "missing address after '" + keyword + "'");
+      }
+      vaddr = parse_u64(token, log_path, line_no, "address") & ~7ULL;
+    }
+
+    // The usual plugin shape is an insn line followed by its access lines
+    // at the same pc — fold the first access into the pending record
+    // rather than emitting the instruction twice.
+    if (!is_insn && have_pending && pending_is_plain && pending.pc == pc) {
+      const std::uint64_t h = mix64(pc ^ vaddr ^ (ordinal * kFnvPrime));
+      pending.mem_addr = vaddr;
+      if (is_load) {
+        pending.op = OpClass::kLoad;
+        pending.dest = reg(h, 0);
+        pending.src1 = reg(h, 1);
+        pending.src2 = -1;
+      } else {
+        pending.op = OpClass::kStore;
+        pending.store_value = mix64(vaddr ^ pc);
+        pending.dest = -1;
+        pending.src1 = reg(h, 0);
+        pending.src2 = reg(h, 1);
+      }
+      pending_is_plain = false;
+      if (is_load) ++stats.loads; else ++stats.stores;
+      continue;
+    }
+
+    if (have_pending) emit_pending(pc);
+
+    ++ordinal;
+    const std::uint64_t h = mix64(pc ^ vaddr ^ (ordinal * kFnvPrime));
+    pending = Instruction{};
+    pending.pc = pc;
+    if (is_insn) {
+      pending.op = OpClass::kIntAlu;
+      pending.dest = reg(h, 0);
+      pending.src1 = reg(h, 1);
+      pending.src2 = reg(h, 2);
+    } else if (is_load) {
+      pending.op = OpClass::kLoad;
+      pending.mem_addr = vaddr;
+      pending.dest = reg(h, 0);
+      pending.src1 = reg(h, 1);
+      ++stats.loads;
+    } else {
+      pending.op = OpClass::kStore;
+      pending.mem_addr = vaddr;
+      pending.store_value = mix64(vaddr ^ pc);
+      pending.src1 = reg(h, 0);
+      pending.src2 = reg(h, 1);
+      ++stats.stores;
+    }
+    pending_is_plain = is_insn;
+    if (!have_pending) first_pc = pc;
+    have_pending = true;
+  }
+
+  if (!have_pending) {
+    throw std::runtime_error("import_qemu_log: " + log_path +
+                             " contains no trace events");
+  }
+  // The stream loops on replay, so the last record's successor is the
+  // first record.
+  emit_pending(first_pc);
+  writer.close();
+  return stats;
+}
+
+}  // namespace icr::trace

@@ -1,0 +1,58 @@
+// Importer for QEMU-TCG-cache-plugin-style memory access logs.
+//
+// Real program traces usually arrive as text logs from an execution-driven
+// front end (QEMU TCG plugins, Pin, DynamoRIO); this translates the common
+// line-per-event shape into an ICRT-v2 container the simulator can replay.
+// Accepted grammar, one event per line:
+//
+//   insn  <pc>            an executed instruction with no memory access
+//   load  <pc> <vaddr>    a load executed at <pc> touching <vaddr>
+//   store <pc> <vaddr>    a store executed at <pc> touching <vaddr>
+//
+// Numbers parse with strtoull base 0, so 0x-prefixed hex and decimal both
+// work. Blank lines and lines starting with '#' are comments; lines whose
+// first token is an unknown keyword are counted and skipped (plugin logs
+// interleave other event kinds); a known keyword with missing or
+// unparseable operands throws with the line number. Tokens past the
+// grammar are ignored (plugins often append size/flags).
+//
+// The log carries less than an Instruction needs, so the importer fills
+// the gap deterministically (same log -> bit-identical trace):
+//
+//   - next_pc is the following event's pc (the last record wraps to the
+//     first pc, matching the looping-replay contract). A non-memory record
+//     whose successor is not pc+4 becomes a taken kBranch; fall-through
+//     records stay kIntAlu (a not-taken branch is indistinguishable from
+//     ALU in these logs).
+//   - a load/store line at the same pc as the immediately preceding insn
+//     line upgrades that record in place (the usual plugin shape: the insn
+//     line, then its accesses) instead of double-counting the instruction.
+//   - mem_addr is aligned down to 8 bytes (the Instruction contract),
+//     store_value and register operands are synthesized by mixing the pc,
+//     address, and event ordinal through SplitMix64.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/trace/trace_v2.h"
+
+namespace icr::trace {
+
+struct ImportStats {
+  std::uint64_t lines = 0;     // lines read, including comments
+  std::uint64_t skipped = 0;   // blank / comment / unknown-keyword lines
+  std::uint64_t records = 0;   // instructions written to the trace
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t branches = 0;  // records classified as taken branches
+};
+
+// Translates `log_path` into an ICRT-v2 container at `trace_path`. Throws
+// std::runtime_error on an unreadable log, a malformed known-keyword line
+// (naming the line number), or a log with no events.
+ImportStats import_qemu_log(const std::string& log_path,
+                            const std::string& trace_path,
+                            TraceV2Writer::Options options = {});
+
+}  // namespace icr::trace

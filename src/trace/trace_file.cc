@@ -21,7 +21,8 @@ struct RawRecord {
   std::int16_t src1;
   std::int16_t src2;
 };
-static_assert(sizeof(RawRecord) == 40, "trace record layout drifted");
+static_assert(sizeof(RawRecord) == kRecordBytes,
+              "trace record layout drifted");
 
 RawRecord pack(const Instruction& i) {
   RawRecord r{};
@@ -53,8 +54,20 @@ Instruction unpack(const RawRecord& r) {
 
 }  // namespace
 
+void pack_record(const Instruction& instruction,
+                 std::uint8_t out[kRecordBytes]) {
+  const RawRecord r = pack(instruction);
+  std::memcpy(out, &r, sizeof r);
+}
+
+Instruction unpack_record(const std::uint8_t in[kRecordBytes]) {
+  RawRecord r;
+  std::memcpy(&r, in, sizeof r);
+  return unpack(r);
+}
+
 TraceWriter::TraceWriter(const std::string& path)
-    : out_(path, std::ios::binary | std::ios::trunc) {
+    : path_(path), out_(path, std::ios::binary | std::ios::trunc) {
   if (!out_) {
     throw std::runtime_error("TraceWriter: cannot open " + path);
   }
@@ -63,13 +76,28 @@ TraceWriter::TraceWriter(const std::string& path)
   out_.write(reinterpret_cast<const char*>(&kVersion), sizeof kVersion);
   const std::uint64_t zero = 0;
   out_.write(reinterpret_cast<const char*>(&zero), sizeof zero);
+  if (!out_) {
+    throw std::runtime_error("TraceWriter: header write failed for " + path);
+  }
 }
 
-TraceWriter::~TraceWriter() { close(); }
+TraceWriter::~TraceWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; explicit close() reports the failure.
+  }
+}
 
 void TraceWriter::write(const Instruction& instruction) {
   const RawRecord r = pack(instruction);
   out_.write(reinterpret_cast<const char*>(&r), sizeof r);
+  if (!out_) {
+    throw std::runtime_error(
+        "TraceWriter: write failed for " + path_ + " at byte offset " +
+        std::to_string(16 + count_ * kRecordBytes) +
+        " (disk full or stream closed?)");
+  }
   ++count_;
 }
 
@@ -78,6 +106,12 @@ void TraceWriter::close() {
   closed_ = true;
   out_.seekp(8);
   out_.write(reinterpret_cast<const char*>(&count_), sizeof count_);
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error(
+        "TraceWriter: finalizing header failed for " + path_ + " after " +
+        std::to_string(count_) + " record(s)");
+  }
   out_.close();
 }
 
@@ -96,7 +130,15 @@ FileTraceSource::FileTraceSource(const std::string& path) {
     throw std::runtime_error("FileTraceSource: bad magic in " + path);
   }
   if (version != kVersion) {
-    throw std::runtime_error("FileTraceSource: unsupported version");
+    if (version == 2) {
+      throw std::runtime_error(
+          "FileTraceSource: " + path +
+          " is an ICRT-v2 container; replay it with StreamingTraceSource "
+          "(icr_sim does this automatically) or downgrade it with "
+          "'icr_trace convert --v1'");
+    }
+    throw std::runtime_error("FileTraceSource: unsupported version " +
+                             std::to_string(version) + " in " + path);
   }
   if (count == 0) {
     throw std::runtime_error("FileTraceSource: empty trace");
@@ -116,6 +158,10 @@ Instruction FileTraceSource::next() {
   const Instruction i = records_[pos_];
   pos_ = (pos_ + 1) % records_.size();
   return i;
+}
+
+void FileTraceSource::seek_to(std::uint64_t n) {
+  pos_ = static_cast<std::size_t>(n % records_.size());
 }
 
 void record_trace(TraceSource& source, std::uint64_t count,

@@ -1,13 +1,18 @@
-// Binary trace capture & replay.
+// Binary trace capture & replay — the legacy ICRT v1 container.
 //
 // Any TraceSource can be recorded to a compact binary file and replayed
 // deterministically later — e.g. to pin a regression trace, to share a
 // workload without sharing its generator, or to feed externally produced
 // traces (a SimpleScalar/gem5 converter only needs to emit this format).
 //
-// Format: a 16-byte header (magic "ICRT", u32 version, u64 record count)
-// followed by fixed-size little-endian records. Replays loop at the end of
-// file, matching the infinite-stream contract of TraceSource.
+// v1 format: a 16-byte header (magic "ICRT", u32 version = 1, u64 record
+// count) followed by fixed-size little-endian records. Replays loop at the
+// end of file, matching the infinite-stream contract of TraceSource.
+//
+// v1 is the compat path: the reader loads the whole trace into memory. New
+// traces should use the chunked, seekable ICRT-v2 container
+// (src/trace/trace_v2.h), which streams through mmap in O(chunk) memory.
+// `icr_trace convert` moves traces between the two.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +24,17 @@
 
 namespace icr::trace {
 
+// Canonical on-disk record image shared by both container versions: 40
+// little-endian bytes per instruction (pc, mem_addr, store_value, next_pc,
+// op, branch_taken, dest, src1, src2). The v2 content fingerprint is
+// computed over these bytes regardless of per-chunk encoding, so a
+// converted trace keeps its fingerprint.
+inline constexpr std::size_t kRecordBytes = 40;
+
+void pack_record(const Instruction& instruction,
+                 std::uint8_t out[kRecordBytes]);
+[[nodiscard]] Instruction unpack_record(const std::uint8_t in[kRecordBytes]);
+
 class TraceWriter {
  public:
   // Creates/truncates `path`; throws std::runtime_error if unwritable.
@@ -28,30 +44,37 @@ class TraceWriter {
   TraceWriter(const TraceWriter&) = delete;
   TraceWriter& operator=(const TraceWriter&) = delete;
 
+  // Throws std::runtime_error (with path and byte offset) when the stream
+  // write fails — full disk and closed descriptors must never truncate a
+  // trace silently.
   void write(const Instruction& instruction);
 
-  // Finalizes the header; called automatically by the destructor.
+  // Finalizes the header; called automatically by the destructor (which
+  // swallows the error — call close() explicitly to observe failures).
   void close();
 
   [[nodiscard]] std::uint64_t written() const noexcept { return count_; }
 
  private:
+  std::string path_;
   std::ofstream out_;
   std::uint64_t count_ = 0;
   bool closed_ = false;
 };
 
-// Replays a recorded trace as an infinite stream (loops at EOF).
-class FileTraceSource final : public TraceSource {
+// Replays a recorded v1 trace as an infinite stream (loops at EOF).
+class FileTraceSource final : public SeekableTraceSource {
  public:
   // Loads the whole trace into memory (traces for this simulator are small
   // — tens of MB for millions of instructions); throws std::runtime_error
-  // on a missing/corrupt file.
+  // on a missing/corrupt file, and names the actual version when handed an
+  // ICRT-v2 container instead of calling it corrupt.
   explicit FileTraceSource(const std::string& path);
 
   Instruction next() override;
+  void seek_to(std::uint64_t n) override;
 
-  [[nodiscard]] std::uint64_t size() const noexcept {
+  [[nodiscard]] std::uint64_t size() const noexcept override {
     return static_cast<std::uint64_t>(records_.size());
   }
 

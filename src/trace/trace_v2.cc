@@ -1,0 +1,689 @@
+#include "src/trace/trace_v2.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "src/trace/trace_file.h"
+
+namespace icr::trace {
+namespace {
+
+constexpr char kMagic[4] = {'I', 'C', 'R', 'T'};
+constexpr std::uint32_t kFlagDeltaAllowed = 1u;
+
+[[noreturn]] void corrupt(const std::string& path, const std::string& what) {
+  throw std::runtime_error("ICRT-v2: " + path + ": " + what);
+}
+
+// --- little-endian scalar helpers (byte-wise; no alignment assumptions) ---
+
+template <typename T>
+void put_le(std::uint8_t* out, T value) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+template <typename T>
+[[nodiscard]] T get_le(const std::uint8_t* in) {
+  T value = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    value |= static_cast<T>(in[i]) << (8 * i);
+  }
+  return value;
+}
+
+// --- zigzag-LEB128 varints ---
+
+[[nodiscard]] std::uint64_t zigzag(std::int64_t value) noexcept {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+[[nodiscard]] std::int64_t unzigzag(std::uint64_t value) noexcept {
+  return static_cast<std::int64_t>((value >> 1) ^ (~(value & 1) + 1));
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+[[nodiscard]] std::uint64_t get_varint(const std::uint8_t* data,
+                                       std::size_t size, std::size_t& pos) {
+  std::uint64_t value = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    if (pos >= size) {
+      throw std::runtime_error("truncated varint");
+    }
+    const std::uint8_t byte = data[pos++];
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+  }
+  throw std::runtime_error("varint overruns 64 bits");
+}
+
+// Signed delta between two u64s, wrapping — exact round trip via the same
+// wrap on decode.
+[[nodiscard]] std::int64_t delta64(std::uint64_t cur,
+                                   std::uint64_t prev) noexcept {
+  return static_cast<std::int64_t>(cur - prev);
+}
+
+// --- chunk encodings ---
+
+std::vector<std::uint8_t> encode_raw(const std::vector<Instruction>& records) {
+  std::vector<std::uint8_t> out(records.size() * kRecordBytes);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    pack_record(records[i], out.data() + i * kRecordBytes);
+  }
+  return out;
+}
+
+// The delta encoding drops fields the op class says are unused; a record
+// carrying payload in such a field cannot round-trip and forces its chunk
+// to raw.
+[[nodiscard]] bool delta_encodable(const Instruction& i) noexcept {
+  if (!i.is_mem() && i.mem_addr != 0) return false;
+  if (!i.is_store() && i.store_value != 0) return false;
+  return true;
+}
+
+[[nodiscard]] bool encode_delta(const std::vector<Instruction>& records,
+                                std::vector<std::uint8_t>& out) {
+  out.clear();
+  out.reserve(records.size() * 8);
+  std::uint64_t prev_pc = 0;
+  std::uint64_t prev_mem = 0;
+  std::uint8_t value_bytes[8];
+  for (const Instruction& i : records) {
+    if (!delta_encodable(i)) return false;
+    out.push_back(static_cast<std::uint8_t>(i.op));
+    out.push_back(i.branch_taken ? 1 : 0);
+    put_varint(out, zigzag(delta64(i.pc, prev_pc)));
+    put_varint(out, zigzag(delta64(i.next_pc, i.pc)));
+    prev_pc = i.pc;
+    if (i.is_mem()) {
+      put_varint(out, zigzag(delta64(i.mem_addr, prev_mem)));
+      prev_mem = i.mem_addr;
+    }
+    if (i.is_store()) {
+      put_le(value_bytes, i.store_value);
+      out.insert(out.end(), value_bytes, value_bytes + 8);
+    }
+    put_varint(out, zigzag(i.dest));
+    put_varint(out, zigzag(i.src1));
+    put_varint(out, zigzag(i.src2));
+  }
+  return true;
+}
+
+void decode_raw(const std::uint8_t* data, std::size_t bytes,
+                std::uint32_t records, std::vector<Instruction>& out) {
+  if (bytes != static_cast<std::size_t>(records) * kRecordBytes) {
+    throw std::runtime_error("raw chunk length does not match record count");
+  }
+  out.clear();
+  out.reserve(records);
+  for (std::uint32_t i = 0; i < records; ++i) {
+    out.push_back(unpack_record(data + static_cast<std::size_t>(i) *
+                                           kRecordBytes));
+  }
+}
+
+void decode_delta(const std::uint8_t* data, std::size_t bytes,
+                  std::uint32_t records, std::vector<Instruction>& out) {
+  out.clear();
+  out.reserve(records);
+  std::size_t pos = 0;
+  std::uint64_t prev_pc = 0;
+  std::uint64_t prev_mem = 0;
+  for (std::uint32_t n = 0; n < records; ++n) {
+    if (pos + 2 > bytes) {
+      throw std::runtime_error("truncated delta record header");
+    }
+    Instruction i;
+    i.op = static_cast<OpClass>(data[pos++]);
+    i.branch_taken = data[pos++] != 0;
+    i.pc = prev_pc + static_cast<std::uint64_t>(
+                         unzigzag(get_varint(data, bytes, pos)));
+    i.next_pc = i.pc + static_cast<std::uint64_t>(
+                           unzigzag(get_varint(data, bytes, pos)));
+    prev_pc = i.pc;
+    if (i.is_mem()) {
+      i.mem_addr = prev_mem + static_cast<std::uint64_t>(
+                                  unzigzag(get_varint(data, bytes, pos)));
+      prev_mem = i.mem_addr;
+    }
+    if (i.is_store()) {
+      if (pos + 8 > bytes) {
+        throw std::runtime_error("truncated store value");
+      }
+      i.store_value = get_le<std::uint64_t>(data + pos);
+      pos += 8;
+    }
+    i.dest = static_cast<std::int16_t>(unzigzag(get_varint(data, bytes, pos)));
+    i.src1 = static_cast<std::int16_t>(unzigzag(get_varint(data, bytes, pos)));
+    i.src2 = static_cast<std::int16_t>(unzigzag(get_varint(data, bytes, pos)));
+    out.push_back(i);
+  }
+  if (pos != bytes) {
+    throw std::runtime_error("delta chunk has trailing bytes");
+  }
+}
+
+// --- header image ---
+
+struct V2Header {
+  std::uint64_t records = 0;
+  std::uint32_t chunk_records = 0;
+  std::uint32_t chunk_count = 0;
+  std::uint64_t index_offset = 0;
+  std::uint64_t fingerprint = 0;
+  std::uint32_t flags = 0;
+};
+
+void pack_header(const V2Header& h, std::uint8_t out[kV2HeaderBytes]) {
+  std::memset(out, 0, kV2HeaderBytes);
+  std::memcpy(out, kMagic, sizeof kMagic);
+  put_le<std::uint32_t>(out + 4, kV2Version);
+  put_le<std::uint64_t>(out + 8, h.records);
+  put_le<std::uint32_t>(out + 16, h.chunk_records);
+  put_le<std::uint32_t>(out + 20, h.chunk_count);
+  put_le<std::uint64_t>(out + 24, h.index_offset);
+  put_le<std::uint64_t>(out + 32, h.fingerprint);
+  put_le<std::uint32_t>(out + 40, h.flags);
+}
+
+V2Header unpack_header(const std::uint8_t in[kV2HeaderBytes]) {
+  V2Header h;
+  h.records = get_le<std::uint64_t>(in + 8);
+  h.chunk_records = get_le<std::uint32_t>(in + 16);
+  h.chunk_count = get_le<std::uint32_t>(in + 20);
+  h.index_offset = get_le<std::uint64_t>(in + 24);
+  h.fingerprint = get_le<std::uint64_t>(in + 32);
+  h.flags = get_le<std::uint32_t>(in + 40);
+  return h;
+}
+
+[[nodiscard]] std::uint32_t expected_chunk_count(const V2Header& h) noexcept {
+  if (h.chunk_records == 0) return 0;
+  return static_cast<std::uint32_t>(
+      (h.records + h.chunk_records - 1) / h.chunk_records);
+}
+
+[[nodiscard]] std::uint32_t expected_chunk_records(const V2Header& h,
+                                                   std::uint32_t chunk) {
+  if (chunk + 1 < h.chunk_count) return h.chunk_records;
+  const std::uint64_t tail = h.records % h.chunk_records;
+  return static_cast<std::uint32_t>(tail == 0 ? h.chunk_records : tail);
+}
+
+// Reads magic + version, distinguishing "not a trace" from "wrong
+// container version" for every entry point.
+std::uint32_t sniff_version(std::ifstream& in, const std::string& path) {
+  std::uint8_t head[8];
+  in.read(reinterpret_cast<char*>(head), sizeof head);
+  if (!in) corrupt(path, "truncated header (not a trace file?)");
+  if (std::memcmp(head, kMagic, sizeof kMagic) != 0) {
+    corrupt(path, "bad magic (not an ICRT trace)");
+  }
+  return get_le<std::uint32_t>(head + 4);
+}
+
+// Structural probe of a v2 file through an ifstream: header sanity, index
+// bounds, chunk contiguity. Shared by probe_trace and validate_trace; does
+// not decode or checksum chunks.
+TraceInfo probe_v2(std::ifstream& in, const std::string& path) {
+  in.seekg(0, std::ios::end);
+  const std::uint64_t file_bytes = static_cast<std::uint64_t>(in.tellg());
+  if (file_bytes < kV2HeaderBytes) corrupt(path, "truncated v2 header");
+  in.seekg(0);
+  std::uint8_t raw[kV2HeaderBytes];
+  in.read(reinterpret_cast<char*>(raw), sizeof raw);
+  if (!in) corrupt(path, "truncated v2 header");
+  const V2Header h = unpack_header(raw);
+  if (h.chunk_records == 0 && h.records != 0) {
+    corrupt(path, "zero chunk_records");
+  }
+  if (h.chunk_count != expected_chunk_count(h)) {
+    corrupt(path, "chunk count disagrees with record count");
+  }
+  if (h.index_offset < kV2HeaderBytes ||
+      h.index_offset + static_cast<std::uint64_t>(h.chunk_count) *
+                           kV2IndexEntryBytes >
+          file_bytes) {
+    corrupt(path, "truncated chunk index");
+  }
+
+  TraceInfo info;
+  info.path = path;
+  info.version = kV2Version;
+  info.records = h.records;
+  info.fingerprint = h.fingerprint;
+  info.file_bytes = file_bytes;
+  info.chunk_records = h.chunk_records;
+  info.chunk_count = h.chunk_count;
+
+  in.seekg(static_cast<std::streamoff>(h.index_offset));
+  std::uint64_t running = kV2HeaderBytes;
+  for (std::uint32_t c = 0; c < h.chunk_count; ++c) {
+    std::uint8_t entry[kV2IndexEntryBytes];
+    in.read(reinterpret_cast<char*>(entry), sizeof entry);
+    if (!in) corrupt(path, "truncated chunk index");
+    const std::uint64_t offset = get_le<std::uint64_t>(entry);
+    const std::uint64_t bytes = get_le<std::uint64_t>(entry + 8);
+    const std::uint32_t records = get_le<std::uint32_t>(entry + 24);
+    const std::uint32_t encoding = get_le<std::uint32_t>(entry + 28);
+    if (offset != running) {
+      corrupt(path, "chunk " + std::to_string(c) + " is not contiguous");
+    }
+    running = offset + bytes;
+    if (running > h.index_offset) {
+      corrupt(path, "chunk " + std::to_string(c) +
+                        " overruns the index (truncated chunk tail?)");
+    }
+    if (records != expected_chunk_records(h, c)) {
+      corrupt(path,
+              "chunk " + std::to_string(c) + " has the wrong record count");
+    }
+    if (encoding == static_cast<std::uint32_t>(ChunkEncoding::kDelta)) {
+      ++info.delta_chunks;
+    } else if (encoding == static_cast<std::uint32_t>(ChunkEncoding::kRaw)) {
+      ++info.raw_chunks;
+    } else {
+      corrupt(path, "chunk " + std::to_string(c) + " has unknown encoding " +
+                        std::to_string(encoding));
+    }
+  }
+  if (running != h.index_offset) {
+    corrupt(path, "gap between the last chunk and the index");
+  }
+  return info;
+}
+
+TraceInfo probe_v1(std::ifstream& in, const std::string& path) {
+  in.seekg(0, std::ios::end);
+  const std::uint64_t file_bytes = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(8);
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  if (!in) corrupt(path, "truncated v1 header");
+  TraceInfo info;
+  info.path = path;
+  info.version = 1;
+  info.records = count;
+  info.file_bytes = file_bytes;
+  // v1 carries no fingerprint; compute it the way v2 would over the same
+  // records, so a converted trace compares equal.
+  std::uint64_t fp = kFnvOffsetBasis;
+  std::uint8_t record[kRecordBytes];
+  for (std::uint64_t n = 0; n < count; ++n) {
+    in.read(reinterpret_cast<char*>(record), sizeof record);
+    if (!in) corrupt(path, "truncated v1 trace");
+    fp = fnv1a64(record, kRecordBytes, fp);
+  }
+  info.fingerprint = fp;
+  return info;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size,
+                      std::uint64_t state) noexcept {
+  for (std::size_t i = 0; i < size; ++i) {
+    state = (state ^ data[i]) * kFnvPrime;
+  }
+  return state;
+}
+
+std::uint64_t fingerprint_fold(std::uint64_t state,
+                               const Instruction& instruction) {
+  std::uint8_t record[kRecordBytes];
+  pack_record(instruction, record);
+  return fnv1a64(record, kRecordBytes, state);
+}
+
+// --- TraceV2Writer ---
+
+TraceV2Writer::TraceV2Writer(const std::string& path, Options options)
+    : path_(path),
+      out_(path, std::ios::binary | std::ios::trunc),
+      options_(options) {
+  if (options_.chunk_records == 0) {
+    options_.chunk_records = kV2DefaultChunkRecords;
+  }
+  if (!out_) {
+    throw std::runtime_error("TraceV2Writer: cannot open " + path);
+  }
+  // Placeholder header; patched with the real counts/index in close().
+  std::uint8_t header[kV2HeaderBytes];
+  V2Header h;
+  h.flags = options_.delta ? kFlagDeltaAllowed : 0;
+  pack_header(h, header);
+  write_bytes(header, sizeof header, "header");
+  pending_.reserve(options_.chunk_records);
+}
+
+TraceV2Writer::~TraceV2Writer() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; explicit close() reports the failure.
+  }
+}
+
+void TraceV2Writer::write_bytes(const void* data, std::size_t size,
+                                const char* what) {
+  out_.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(size));
+  if (!out_) {
+    throw std::runtime_error(
+        "TraceV2Writer: " + std::string(what) + " write failed for " + path_ +
+        " at byte offset " + std::to_string(offset_) +
+        " (disk full or stream closed?)");
+  }
+}
+
+void TraceV2Writer::write(const Instruction& instruction) {
+  fingerprint_ = fingerprint_fold(fingerprint_, instruction);
+  pending_.push_back(instruction);
+  ++count_;
+  if (pending_.size() == options_.chunk_records) flush_chunk();
+}
+
+void TraceV2Writer::flush_chunk() {
+  if (pending_.empty()) return;
+  std::vector<std::uint8_t> encoded;
+  ChunkEncoding encoding = ChunkEncoding::kRaw;
+  if (options_.delta && encode_delta(pending_, encoded) &&
+      encoded.size() < pending_.size() * kRecordBytes) {
+    encoding = ChunkEncoding::kDelta;
+  } else {
+    encoded = encode_raw(pending_);
+  }
+  IndexEntry entry;
+  entry.offset = offset_;
+  entry.bytes = encoded.size();
+  entry.checksum = fnv1a64(encoded.data(), encoded.size());
+  entry.records = static_cast<std::uint32_t>(pending_.size());
+  entry.encoding = static_cast<std::uint32_t>(encoding);
+  write_bytes(encoded.data(), encoded.size(), "chunk");
+  offset_ += encoded.size();
+  index_.push_back(entry);
+  pending_.clear();
+}
+
+void TraceV2Writer::close() {
+  if (closed_) return;
+  closed_ = true;
+  flush_chunk();
+  const std::uint64_t index_offset = offset_;
+  std::uint8_t entry[kV2IndexEntryBytes];
+  for (const IndexEntry& e : index_) {
+    put_le<std::uint64_t>(entry, e.offset);
+    put_le<std::uint64_t>(entry + 8, e.bytes);
+    put_le<std::uint64_t>(entry + 16, e.checksum);
+    put_le<std::uint32_t>(entry + 24, e.records);
+    put_le<std::uint32_t>(entry + 28, e.encoding);
+    write_bytes(entry, sizeof entry, "index");
+    offset_ += sizeof entry;
+  }
+  V2Header h;
+  h.records = count_;
+  h.chunk_records = options_.chunk_records;
+  h.chunk_count = static_cast<std::uint32_t>(index_.size());
+  h.index_offset = index_offset;
+  h.fingerprint = fingerprint_;
+  h.flags = options_.delta ? kFlagDeltaAllowed : 0;
+  std::uint8_t header[kV2HeaderBytes];
+  pack_header(h, header);
+  out_.seekp(0);
+  out_.write(reinterpret_cast<const char*>(header), sizeof header);
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error(
+        "TraceV2Writer: finalizing header failed for " + path_ + " after " +
+        std::to_string(count_) + " record(s)");
+  }
+  out_.close();
+}
+
+// --- StreamingTraceSource ---
+
+StreamingTraceSource::StreamingTraceSource(const std::string& path)
+    : path_(path) {
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      throw std::runtime_error("StreamingTraceSource: cannot open " + path);
+    }
+    const std::uint32_t version = sniff_version(in, path);
+    if (version == 1) {
+      throw std::runtime_error(
+          "StreamingTraceSource: " + path +
+          " is an ICRT v1 trace; replay it with FileTraceSource (icr_sim "
+          "does this automatically) or upgrade it with 'icr_trace convert'");
+    }
+    if (version != kV2Version) {
+      corrupt(path, "unsupported version " + std::to_string(version));
+    }
+  }
+
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  if (fd_ < 0) {
+    throw std::runtime_error("StreamingTraceSource: cannot open " + path);
+  }
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0 ||
+      static_cast<std::uint64_t>(st.st_size) < kV2HeaderBytes) {
+    ::close(fd_);
+    fd_ = -1;
+    corrupt(path, "truncated v2 header");
+  }
+  map_bytes_ = static_cast<std::size_t>(st.st_size);
+  void* map = ::mmap(nullptr, map_bytes_, PROT_READ, MAP_PRIVATE, fd_, 0);
+  if (map == MAP_FAILED) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("StreamingTraceSource: mmap failed for " + path);
+  }
+  map_ = static_cast<const std::uint8_t*>(map);
+
+  const V2Header h = unpack_header(map_);
+  if (h.records == 0) corrupt(path, "empty trace (zero records)");
+  if (h.chunk_records == 0) corrupt(path, "zero chunk_records");
+  if (h.chunk_count != expected_chunk_count(h)) {
+    corrupt(path, "chunk count disagrees with record count");
+  }
+  if (h.index_offset < kV2HeaderBytes ||
+      h.index_offset + static_cast<std::uint64_t>(h.chunk_count) *
+                           kV2IndexEntryBytes >
+          map_bytes_) {
+    corrupt(path, "truncated chunk index");
+  }
+  index_offset_ = h.index_offset;
+  info_.path = path;
+  info_.version = kV2Version;
+  info_.records = h.records;
+  info_.fingerprint = h.fingerprint;
+  info_.file_bytes = map_bytes_;
+  info_.chunk_records = h.chunk_records;
+  info_.chunk_count = h.chunk_count;
+  for (std::uint32_t c = 0; c < h.chunk_count; ++c) {
+    const ChunkMeta meta = chunk_meta(c);
+    if (meta.encoding == static_cast<std::uint32_t>(ChunkEncoding::kDelta)) {
+      ++info_.delta_chunks;
+    } else {
+      ++info_.raw_chunks;
+    }
+  }
+  load_chunk(0);
+}
+
+StreamingTraceSource::~StreamingTraceSource() {
+  if (map_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(map_), map_bytes_);
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StreamingTraceSource::ChunkMeta StreamingTraceSource::chunk_meta(
+    std::uint32_t chunk) const {
+  const std::uint8_t* entry =
+      map_ + index_offset_ +
+      static_cast<std::size_t>(chunk) * kV2IndexEntryBytes;
+  ChunkMeta meta;
+  meta.offset = get_le<std::uint64_t>(entry);
+  meta.bytes = get_le<std::uint64_t>(entry + 8);
+  meta.checksum = get_le<std::uint64_t>(entry + 16);
+  meta.records = get_le<std::uint32_t>(entry + 24);
+  meta.encoding = get_le<std::uint32_t>(entry + 28);
+  return meta;
+}
+
+void StreamingTraceSource::load_chunk(std::uint32_t chunk) {
+  const ChunkMeta meta = chunk_meta(chunk);
+  const std::string where = "chunk " + std::to_string(chunk);
+  if (meta.offset < kV2HeaderBytes || meta.offset > index_offset_ ||
+      meta.bytes > index_offset_ - meta.offset) {
+    corrupt(path_, where + " overruns the file (truncated chunk tail?)");
+  }
+  if (meta.records == 0 || meta.records > info_.chunk_records) {
+    corrupt(path_, where + " has an invalid record count");
+  }
+  const std::uint8_t* data = map_ + meta.offset;
+  if (fnv1a64(data, static_cast<std::size_t>(meta.bytes)) != meta.checksum) {
+    corrupt(path_, where + " checksum mismatch (corrupt or torn write)");
+  }
+  try {
+    if (meta.encoding == static_cast<std::uint32_t>(ChunkEncoding::kDelta)) {
+      decode_delta(data, static_cast<std::size_t>(meta.bytes), meta.records,
+                   chunk_);
+    } else if (meta.encoding ==
+               static_cast<std::uint32_t>(ChunkEncoding::kRaw)) {
+      decode_raw(data, static_cast<std::size_t>(meta.bytes), meta.records,
+                 chunk_);
+    } else {
+      corrupt(path_, where + " has unknown encoding " +
+                         std::to_string(meta.encoding));
+    }
+  } catch (const std::runtime_error& error) {
+    corrupt(path_, where + ": " + error.what());
+  }
+  current_chunk_ = chunk;
+  pos_in_chunk_ = 0;
+}
+
+Instruction StreamingTraceSource::next() {
+  if (pos_in_chunk_ == chunk_.size()) {
+    const std::uint32_t next_chunk =
+        current_chunk_ + 1 == info_.chunk_count ? 0 : current_chunk_ + 1;
+    load_chunk(next_chunk);
+  }
+  return chunk_[pos_in_chunk_++];
+}
+
+void StreamingTraceSource::seek_to(std::uint64_t n) {
+  const std::uint64_t record = n % info_.records;
+  const std::uint32_t chunk =
+      static_cast<std::uint32_t>(record / info_.chunk_records);
+  if (chunk != current_chunk_) load_chunk(chunk);
+  pos_in_chunk_ = static_cast<std::size_t>(record % info_.chunk_records);
+}
+
+std::uint64_t StreamingTraceSource::position() const noexcept {
+  const std::uint64_t absolute =
+      static_cast<std::uint64_t>(current_chunk_) * info_.chunk_records +
+      pos_in_chunk_;
+  return absolute % info_.records;
+}
+
+std::size_t StreamingTraceSource::resident_bytes() const noexcept {
+  return sizeof(*this) + chunk_.capacity() * sizeof(Instruction) +
+         path_.capacity();
+}
+
+// --- probe / validate / open ---
+
+TraceInfo probe_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("probe_trace: cannot open " + path);
+  const std::uint32_t version = sniff_version(in, path);
+  if (version == 1) return probe_v1(in, path);
+  if (version == kV2Version) return probe_v2(in, path);
+  corrupt(path, "unsupported version " + std::to_string(version));
+}
+
+TraceInfo validate_trace(const std::string& path) {
+  TraceInfo info = probe_trace(path);
+  if (info.records == 0) {
+    corrupt(path, "empty trace (zero records)");
+  }
+  if (info.version == 1) {
+    // probe_v1 already walked every record; nothing else to check.
+    return info;
+  }
+  // Decode every chunk (verifying each checksum) and recompute the content
+  // fingerprint the header claims.
+  StreamingTraceSource source(path);
+  std::uint64_t fp = kFnvOffsetBasis;
+  for (std::uint64_t n = 0; n < info.records; ++n) {
+    fp = fingerprint_fold(fp, source.next());
+  }
+  if (fp != info.fingerprint) {
+    corrupt(path, "content fingerprint mismatch (header claims " +
+                      std::to_string(info.fingerprint) + ", records hash to " +
+                      std::to_string(fp) + ")");
+  }
+  return info;
+}
+
+OpenedTrace open_trace(const std::string& path) {
+  std::uint32_t version = 0;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("open_trace: cannot open " + path);
+    version = sniff_version(in, path);
+  }
+  OpenedTrace opened;
+  if (version == 1) {
+    auto source = std::make_unique<FileTraceSource>(path);
+    opened.info.path = path;
+    opened.info.version = 1;
+    opened.info.records = source->size();
+    // Fold the fingerprint through the public replay interface so a v1
+    // trace carries the same identity its v2 conversion would.
+    std::uint64_t fp = kFnvOffsetBasis;
+    for (std::uint64_t n = 0; n < source->size(); ++n) {
+      fp = fingerprint_fold(fp, source->next());
+    }
+    source->seek_to(0);
+    opened.info.fingerprint = fp;
+    opened.source = std::move(source);
+    return opened;
+  }
+  auto source = std::make_unique<StreamingTraceSource>(path);
+  opened.info = source->info();
+  opened.source = std::move(source);
+  return opened;
+}
+
+void record_trace_v2(TraceSource& source, std::uint64_t count,
+                     const std::string& path, TraceV2Writer::Options options) {
+  TraceV2Writer writer(path, options);
+  for (std::uint64_t n = 0; n < count; ++n) {
+    writer.write(source.next());
+  }
+  writer.close();
+}
+
+}  // namespace icr::trace

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "src/trace/trace_v2.h"
 #include "src/trace/workloads.h"
 
 namespace icr::trace {
@@ -98,6 +99,76 @@ TEST(TraceFile, TruncatedTraceThrows) {
   }
   EXPECT_THROW(FileTraceSource{path}, std::runtime_error);
   std::remove(path.c_str());
+}
+
+TEST(TraceFile, V2ContainerRejectedWithVersionHint) {
+  // A v2 file handed to the v1 loader must name the actual version and the
+  // way out, not claim corruption.
+  const std::string path = temp_path("v2_for_v1.icrt");
+  SyntheticWorkload source(profile_for(App::kGzip));
+  record_trace_v2(source, 50, path);
+  try {
+    FileTraceSource replay(path);
+    FAIL() << "v2 file accepted by the v1 loader";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("ICRT-v2"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, SeekLandsWhereSequentialReadsWould) {
+  const std::string path = temp_path("v1_seek.icrt");
+  SyntheticWorkload source(profile_for(App::kParser));
+  record_trace(source, 200, path);
+
+  FileTraceSource replay(path);
+  std::vector<Instruction> all;
+  for (int i = 0; i < 200; ++i) all.push_back(replay.next());
+  for (const std::uint64_t n :
+       {std::uint64_t{0}, std::uint64_t{77}, std::uint64_t{199},
+        std::uint64_t{200}, std::uint64_t{4321}}) {
+    replay.seek_to(n);
+    EXPECT_EQ(replay.next().pc, all[static_cast<std::size_t>(n % 200)].pc);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, FailedWriteNamesPathAndOffset) {
+  // /dev/full accepts the open but fails every flush — the classic
+  // disk-full shape a capture run can hit.
+  if (!std::ifstream("/dev/full").good()) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  TraceWriter writer("/dev/full");
+  SyntheticWorkload source(profile_for(App::kGzip));
+  try {
+    // The stream buffers, so force enough records through to flush.
+    for (int i = 0; i < 100000; ++i) writer.write(source.next());
+    writer.close();
+    FAIL() << "writing to /dev/full succeeded";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("/dev/full"), std::string::npos) << what;
+    EXPECT_NE(what.find("byte"), std::string::npos) << what;
+  }
+}
+
+TEST(TraceV2File, FailedWriteNamesPathAndOffset) {
+  if (!std::ifstream("/dev/full").good()) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  TraceV2Writer writer("/dev/full");
+  SyntheticWorkload source(profile_for(App::kGzip));
+  try {
+    for (int i = 0; i < 200000; ++i) writer.write(source.next());
+    writer.close();
+    FAIL() << "writing to /dev/full succeeded";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("/dev/full"), std::string::npos) << what;
+    EXPECT_NE(what.find("byte"), std::string::npos) << what;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,324 @@
+#include "src/trace/trace_v2.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace_file.h"
+#include "src/trace/workloads.h"
+
+namespace icr::trace {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+void expect_equal(const Instruction& a, const Instruction& b) {
+  ASSERT_EQ(static_cast<int>(a.op), static_cast<int>(b.op));
+  ASSERT_EQ(a.pc, b.pc);
+  ASSERT_EQ(a.mem_addr, b.mem_addr);
+  ASSERT_EQ(a.store_value, b.store_value);
+  ASSERT_EQ(a.next_pc, b.next_pc);
+  ASSERT_EQ(a.branch_taken, b.branch_taken);
+  ASSERT_EQ(a.dest, b.dest);
+  ASSERT_EQ(a.src1, b.src1);
+  ASSERT_EQ(a.src2, b.src2);
+}
+
+// A finite TraceSource over an in-memory vector (loops like every source).
+class VectorSource final : public TraceSource {
+ public:
+  explicit VectorSource(std::vector<Instruction> records)
+      : records_(std::move(records)) {}
+  Instruction next() override {
+    const Instruction& r = records_[pos_];
+    pos_ = (pos_ + 1) % records_.size();
+    return r;
+  }
+
+ private:
+  std::vector<Instruction> records_;
+  std::size_t pos_ = 0;
+};
+
+TEST(TraceV2, RoundTripMatchesGeneratorDelta) {
+  const std::string path = temp_path("v2_roundtrip.icrt");
+  SyntheticWorkload source(profile_for(App::kGcc));
+  SyntheticWorkload reference(profile_for(App::kGcc));
+  record_trace_v2(source, 5000, path);
+
+  StreamingTraceSource replay(path);
+  ASSERT_EQ(replay.size(), 5000u);
+  for (int i = 0; i < 5000; ++i) {
+    expect_equal(replay.next(), reference.next());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceV2, RoundTripMatchesGeneratorRaw) {
+  const std::string path = temp_path("v2_raw.icrt");
+  SyntheticWorkload source(profile_for(App::kVortex));
+  SyntheticWorkload reference(profile_for(App::kVortex));
+  TraceV2Writer::Options options;
+  options.delta = false;
+  record_trace_v2(source, 2000, path, options);
+
+  const TraceInfo info = probe_trace(path);
+  EXPECT_EQ(info.delta_chunks, 0u);
+  EXPECT_EQ(info.raw_chunks, info.chunk_count);
+
+  StreamingTraceSource replay(path);
+  for (int i = 0; i < 2000; ++i) {
+    expect_equal(replay.next(), reference.next());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceV2, MultiChunkReplayLoopsAtEnd) {
+  const std::string path = temp_path("v2_loop.icrt");
+  SyntheticWorkload source(profile_for(App::kGzip));
+  TraceV2Writer::Options options;
+  options.chunk_records = 128;  // 1000 records -> 8 chunks, last short
+  record_trace_v2(source, 1000, path, options);
+
+  const TraceInfo info = probe_trace(path);
+  EXPECT_EQ(info.chunk_count, 8u);
+
+  StreamingTraceSource replay(path);
+  std::vector<std::uint64_t> first_pass;
+  for (int i = 0; i < 1000; ++i) first_pass.push_back(replay.next().pc);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(replay.next().pc, first_pass[static_cast<std::size_t>(i)]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceV2, SeekLandsWhereSequentialReadsWould) {
+  const std::string path = temp_path("v2_seek.icrt");
+  SyntheticWorkload source(profile_for(App::kMcf));
+  TraceV2Writer::Options options;
+  options.chunk_records = 64;
+  record_trace_v2(source, 777, path, options);
+
+  StreamingTraceSource replay(path);
+  std::vector<Instruction> all;
+  for (int i = 0; i < 777; ++i) all.push_back(replay.next());
+
+  // seek_to(n) must position exactly where n sequential next() calls from
+  // the start would — including n past the end (the stream loops).
+  for (const std::uint64_t n :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{63},
+        std::uint64_t{64}, std::uint64_t{500}, std::uint64_t{776},
+        std::uint64_t{777}, std::uint64_t{9999}}) {
+    replay.seek_to(n);
+    EXPECT_EQ(replay.position(), n % 777u);
+    expect_equal(replay.next(), all[static_cast<std::size_t>(n % 777u)]);
+  }
+  std::remove(path.c_str());
+}
+
+// 200 random traces: arbitrary field values (including non-canonical
+// records that force chunks raw), random chunk sizes, full encode->decode
+// identity plus random seeks cross-checked against sequential reads.
+TEST(TraceV2, PropertyRandomTracesRoundTripAndSeek) {
+  const std::string path = temp_path("v2_prop.icrt");
+  std::mt19937_64 rng(0x1CF2ULL);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t count = 1 + rng() % 300;
+    std::vector<Instruction> records(count);
+    for (Instruction& r : records) {
+      r.op = static_cast<OpClass>(rng() % 9);
+      // Mix small deltas (the delta encoder's fast path) with extreme
+      // 64-bit values (zigzag/varint edge cases).
+      r.pc = (rng() % 4 == 0) ? rng() : 0x400000 + (rng() % 1024) * 4;
+      r.next_pc = (rng() % 4 == 0) ? rng() : r.pc + 4;
+      r.mem_addr = (rng() % 8 == 0) ? (rng() & ~7ULL) : 0;
+      r.store_value = (rng() % 8 == 0) ? rng() : 0;
+      r.branch_taken = (rng() % 2) != 0;
+      r.dest = static_cast<std::int16_t>(rng() % 64) - 1;
+      r.src1 = static_cast<std::int16_t>(rng() % 64) - 1;
+      r.src2 = static_cast<std::int16_t>(rng() % 64) - 1;
+    }
+    TraceV2Writer::Options options;
+    options.chunk_records = 1 + static_cast<std::uint32_t>(rng() % 97);
+    options.delta = (rng() % 4) != 0;
+    {
+      VectorSource source(records);
+      record_trace_v2(source, count, path, options);
+    }
+
+    StreamingTraceSource replay(path);
+    ASSERT_EQ(replay.size(), count);
+    for (std::size_t i = 0; i < count; ++i) {
+      expect_equal(replay.next(), records[i]);
+    }
+    // Three random seeks per trace.
+    for (int s = 0; s < 3; ++s) {
+      const std::uint64_t n = rng() % (2 * count + 1);
+      replay.seek_to(n);
+      expect_equal(replay.next(), records[static_cast<std::size_t>(n % count)]);
+    }
+    ASSERT_EQ(validate_trace(path).records, count);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceV2, ResidentMemoryIsBoundedByChunkNotTrace) {
+  const std::string path = temp_path("v2_resident.icrt");
+  SyntheticWorkload source(profile_for(App::kParser));
+  TraceV2Writer::Options options;
+  options.chunk_records = 1024;
+  record_trace_v2(source, 100000, path, options);
+
+  StreamingTraceSource replay(path);
+  for (int i = 0; i < 5000; ++i) replay.next();
+  // One decoded chunk plus fixed object state; nowhere near the whole
+  // trace (100k records x 56+ bytes each).
+  const std::size_t bound = 1024 * sizeof(Instruction) + 4096;
+  EXPECT_LE(replay.resident_bytes(), bound);
+  EXPECT_LT(replay.resident_bytes(), 100000 * sizeof(Instruction) / 10);
+  std::remove(path.c_str());
+}
+
+TEST(TraceV2, TruncatedHeaderThrows) {
+  const std::string path = temp_path("v2_trunc_header.icrt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "ICRT";  // 4 bytes of a 64-byte header
+  }
+  EXPECT_THROW(probe_trace(path), std::runtime_error);
+  EXPECT_THROW(StreamingTraceSource{path}, std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceV2, TruncatedChunkTailThrows) {
+  const std::string path = temp_path("v2_trunc_tail.icrt");
+  SyntheticWorkload source(profile_for(App::kVpr));
+  record_trace_v2(source, 500, path);
+  // Chop the file mid-chunk: the index (and part of the data) is gone.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> bytes(kV2HeaderBytes + 100);
+    in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW(probe_trace(path), std::runtime_error);
+  EXPECT_THROW(StreamingTraceSource{path}, std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceV2, ChunkChecksumMismatchThrows) {
+  const std::string path = temp_path("v2_flip.icrt");
+  SyntheticWorkload source(profile_for(App::kMesa));
+  record_trace_v2(source, 500, path);
+  ASSERT_NO_THROW(validate_trace(path));
+  // Flip one byte inside the first chunk's payload.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(static_cast<std::streamoff>(kV2HeaderBytes) + 10);
+    char b = 0;
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x40);
+    f.seekp(static_cast<std::streamoff>(kV2HeaderBytes) + 10);
+    f.write(&b, 1);
+  }
+  try {
+    (void)validate_trace(path);
+    FAIL() << "corrupt chunk validated";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("checksum"), std::string::npos)
+        << error.what();
+  }
+  // The reader hits the same check when it loads the chunk.
+  EXPECT_THROW(StreamingTraceSource{path}, std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceV2, ZeroRecordFileThrows) {
+  const std::string path = temp_path("v2_empty.icrt");
+  {
+    TraceV2Writer writer(path);
+    writer.close();  // header + empty index only
+  }
+  EXPECT_THROW(StreamingTraceSource{path}, std::runtime_error);
+  EXPECT_THROW(validate_trace(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceV2, ConvertPreservesFingerprintAcrossVersions) {
+  const std::string v1_path = temp_path("fp_v1.icrt");
+  const std::string v2_path = temp_path("fp_v2.icrt");
+  {
+    SyntheticWorkload a(profile_for(App::kVortex));
+    record_trace(a, 3000, v1_path);
+  }
+  {
+    SyntheticWorkload b(profile_for(App::kVortex));
+    record_trace_v2(b, 3000, v2_path);
+  }
+  const TraceInfo v1 = probe_trace(v1_path);
+  const TraceInfo v2 = probe_trace(v2_path);
+  EXPECT_EQ(v1.version, 1u);
+  EXPECT_EQ(v2.version, 2u);
+  EXPECT_EQ(v1.records, v2.records);
+  // The content fingerprint hashes canonical record images, so identical
+  // streams fingerprint identically regardless of container version.
+  EXPECT_EQ(v1.fingerprint, v2.fingerprint);
+
+  // Round-trip v1 through a v2 writer and back; replay both ends equal.
+  const std::string back_path = temp_path("fp_back.icrt");
+  {
+    OpenedTrace opened = open_trace(v1_path);
+    EXPECT_EQ(opened.info.version, 1u);
+    record_trace_v2(*opened.source, opened.info.records, back_path);
+  }
+  EXPECT_EQ(probe_trace(back_path).fingerprint, v1.fingerprint);
+
+  OpenedTrace lhs = open_trace(v1_path);
+  OpenedTrace rhs = open_trace(back_path);
+  for (int i = 0; i < 3000; ++i) {
+    expect_equal(lhs.source->next(), rhs.source->next());
+  }
+  std::remove(v1_path.c_str());
+  std::remove(v2_path.c_str());
+  std::remove(back_path.c_str());
+}
+
+TEST(TraceV2, StreamingReaderRejectsV1WithConvertHint) {
+  const std::string path = temp_path("v1_for_v2.icrt");
+  SyntheticWorkload source(profile_for(App::kGzip));
+  record_trace(source, 50, path);
+  try {
+    StreamingTraceSource replay(path);
+    FAIL() << "v1 file accepted by the v2 reader";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("convert"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceV2, WriterFingerprintMatchesProbe) {
+  const std::string path = temp_path("v2_wfp.icrt");
+  SyntheticWorkload source(profile_for(App::kBzip2));
+  TraceV2Writer writer(path);
+  std::uint64_t expected = kFnvOffsetBasis;
+  for (int i = 0; i < 400; ++i) {
+    const Instruction r = source.next();
+    expected = fingerprint_fold(expected, r);
+    writer.write(r);
+  }
+  writer.close();
+  EXPECT_EQ(writer.fingerprint(), expected);
+  EXPECT_EQ(probe_trace(path).fingerprint, expected);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace icr::trace

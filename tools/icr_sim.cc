@@ -25,6 +25,7 @@
 #include "src/sim/sampling.h"
 #include "src/sim/simulator.h"
 #include "src/trace/trace_file.h"
+#include "src/trace/trace_v2.h"
 #include "src/util/table.h"
 
 using namespace icr;
@@ -233,8 +234,10 @@ int main(int argc, char** argv) {
 
   if (!opt.record_path.empty()) {
     trace::SyntheticWorkload source(trace::profile_for(app_by_name(opt.app)));
-    trace::record_trace(source, instructions, opt.record_path);
-    std::printf("recorded %llu instructions of %s to %s\n",
+    // ICRT-v2 is the default container; `icr_trace record --v1` (or
+    // `icr_trace convert --v1`) covers the legacy format.
+    trace::record_trace_v2(source, instructions, opt.record_path);
+    std::printf("recorded %llu instructions of %s to %s (ICRT-v2)\n",
                 static_cast<unsigned long long>(instructions),
                 opt.app.c_str(), opt.record_path.c_str());
     return 0;
@@ -285,132 +288,37 @@ int main(int argc, char** argv) {
   obs::CellObservability telemetry;
   rel::RelReport rel_report;
   if (!opt.trace_path.empty()) {
-    // Replay path: assemble the system around the recorded trace.
-    trace::FileTraceSource source(opt.trace_path);
-    mem::MemoryHierarchy hierarchy(config.hierarchy);
-    core::IcrCache dl1(config.dl1, scheme, hierarchy);
-    std::unique_ptr<baselines::RCache> rcache;
-    if (config.rcache_entries > 0) {
-      rcache = std::make_unique<baselines::RCache>(config.rcache_entries);
-      dl1.attach_rcache(rcache.get());
+    // Replay path: the recorded trace drives the exact same Simulator
+    // wiring the synthetic path uses, so a replayed trace reproduces its
+    // generator-driven run bit for bit (guarded by tier-1 test).
+    trace::OpenedTrace opened;
+    try {
+      opened = trace::open_trace(opt.trace_path);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "icr_sim: %s\n", error.what());
+      return 1;
     }
-    std::unique_ptr<fault::FaultInjector> injector;
-    if (config.fault_probability > 0) {
-      injector = std::make_unique<fault::FaultInjector>(
-          config.fault_model, config.fault_probability,
-          Rng(config.fault_seed));
+    // Provenance header; stderr under --csv so stdout stays parseable.
+    std::fprintf(opt.csv ? stderr : stdout,
+                 "replaying %s: ICRT-v%u, %llu record(s), fingerprint "
+                 "0x%016llx\n",
+                 opt.trace_path.c_str(), opened.info.version,
+                 static_cast<unsigned long long>(opened.info.records),
+                 static_cast<unsigned long long>(opened.info.fingerprint));
+    sim::Simulator simulator(config, scheme, std::move(opened.source),
+                             opt.trace_path);
+    if (obsopt.any()) simulator.enable_observability(obsopt);
+    if (relopt.enabled) simulator.enable_rel(relopt);
+    if (sampling.enabled()) {
+      sim::SampledRunResult sampled =
+          sim::SamplingController(simulator, sampling).run(instructions);
+      result = std::move(sampled.estimate);
+      provenance = sampled.provenance;
+    } else {
+      result = simulator.run(instructions);
     }
-    cpu::Pipeline pipeline(config.pipeline, source, dl1, hierarchy,
-                           injector.get());
-
-    // Manual rel wiring, mirroring sim::Simulator::enable_rel.
-    std::unique_ptr<rel::RelTracker> rel_tracker;
-    if (relopt.enabled) {
-      rel::RelTracker::Config rc;
-      rc.words_per_line = config.dl1.words_per_line();
-      rc.scheme_parity = scheme.protection == core::Protection::kParity;
-      rc.write_through =
-          scheme.write_policy == core::WritePolicy::kWriteThrough;
-      rc.model_supported = config.fault_probability == 0.0 ||
-                           config.fault_model == fault::FaultModel::kRandom;
-      rc.probability = relopt.probability > 0.0 ? relopt.probability
-                                                : config.fault_probability;
-      rc.clock_ghz = relopt.clock_ghz;
-      rel_tracker = std::make_unique<rel::RelTracker>(rc);
-      dl1.attach_rel(rel_tracker.get());
-    }
-
-    // Manual observability wiring (the replay path assembles the system
-    // itself instead of going through sim::Simulator).
-    obs::Observability observability;
-    std::unique_ptr<obs::IntervalSampler> sampler;
-    if (obsopt.any()) {
-      if (obsopt.trace_categories != 0) {
-        observability.trace = std::make_unique<obs::EventTrace>(
-            obsopt.trace_categories, obsopt.trace_capacity);
-      }
-      dl1.attach_observability(&observability.registry,
-                               observability.trace.get());
-      if (injector != nullptr) {
-        injector->attach_observability(&observability.registry,
-                                       observability.trace.get());
-      }
-      pipeline.attach_observability(&observability.registry);
-      if (obsopt.stats_interval != 0) {
-        sampler = std::make_unique<obs::IntervalSampler>(
-            observability.registry, obsopt.stats_interval);
-        sampler->set_occupancy_probe(
-            [&dl1] { return dl1.replica_occupancy(); });
-        sampler->record_baseline(0, 0);
-      }
-    }
-
-    auto snapshot = [&]() -> sim::RunResult {
-      sim::RunResult r;
-      r.scheme = scheme.name;
-      r.app = opt.trace_path;
-      r.instructions = pipeline.stats().committed;
-      r.cycles = pipeline.stats().cycles;
-      r.dl1 = dl1.stats();
-      r.l1i = hierarchy.l1i().stats();
-      r.l2 = hierarchy.l2().stats();
-      r.pipeline = pipeline.stats();
-      r.branch = pipeline.branch_predictor().stats();
-      energy::EnergyEvents ev;
-      ev.l1_reads = r.dl1.l1_read_accesses;
-      ev.l1_writes = r.dl1.l1_write_accesses;
-      ev.l2_reads = hierarchy.l2_read_accesses() - hierarchy.l2_ifetch_reads();
-      ev.l2_writes = hierarchy.l2_write_accesses();
-      ev.parity_computations = r.dl1.parity_computations;
-      ev.ecc_computations = r.dl1.ecc_computations;
-      r.energy_events = ev;
-      r.energy = energy::EnergyModel(config.energy).evaluate(ev);
-      return r;
-    };
-    // Both advance hooks keep the telemetry cadence through chunked
-    // execution; absolute chunk targets make the commit stream identical
-    // to one uninterrupted run.
-    auto chunked = [&](std::uint64_t n, bool detailed) {
-      if (sampler == nullptr) {
-        if (detailed) {
-          pipeline.run(n);
-        } else {
-          pipeline.fast_forward(n);
-        }
-        return;
-      }
-      const std::uint64_t interval = sampler->interval_instructions();
-      const std::uint64_t target = pipeline.stats().committed + n;
-      while (pipeline.stats().committed < target) {
-        const std::uint64_t next =
-            std::min(pipeline.stats().committed + interval, target);
-        const std::uint64_t step = next - pipeline.stats().committed;
-        if (detailed) {
-          pipeline.run(step);
-        } else {
-          pipeline.fast_forward(step);
-        }
-        sampler->sample(pipeline.stats().committed, pipeline.cycle());
-      }
-    };
-    sim::SamplingController::Hooks hooks;
-    hooks.run = [&](std::uint64_t n) { chunked(n, true); };
-    hooks.fast_forward = [&](std::uint64_t n) { chunked(n, false); };
-    hooks.result = snapshot;
-    sim::SampledRunResult sampled =
-        sim::SamplingController(hooks, sampling, config.energy)
-            .run(instructions);
-    result = std::move(sampled.estimate);
-    provenance = sampled.provenance;
-    if (rel_tracker != nullptr) {
-      rel_report = rel_tracker->report(pipeline.cycle());
-    }
-    if (sampler != nullptr) telemetry.intervals = sampler->take_series();
-    if (observability.trace != nullptr) {
-      telemetry.events = observability.trace->events();
-      telemetry.trace_emitted = observability.trace->emitted();
-      telemetry.trace_dropped = observability.trace->dropped();
-    }
+    if (obsopt.any()) telemetry = simulator.collect_observability();
+    if (relopt.enabled) rel_report = simulator.collect_rel();
   } else if (obsopt.any() || relopt.enabled || sampling.enabled()) {
     sim::Simulator simulator(config, scheme,
                              trace::profile_for(app_by_name(opt.app)));

@@ -55,6 +55,8 @@ namespace {
 struct Options {
   std::string schemes;  // comma list; empty = all ten paper schemes
   std::string apps;     // comma list; empty = all eight applications
+  std::string trace_path;  // recorded trace replacing the app axis
+  std::uint64_t shard_instructions = 0;  // interval width; 0 = one cell
   std::uint32_t trials = 1;
   unsigned threads = 0;  // 0 = ICR_SIM_THREADS or hardware concurrency
   std::uint64_t seed = 0x1C9CA37ULL;
@@ -109,6 +111,12 @@ void usage() {
       "run_campaign — parallel (schemes x apps x trials) experiment grids\n"
       "  --schemes=A,B,..      scheme names (default: all ten paper schemes)\n"
       "  --apps=a,b,..         applications (default: all eight)\n"
+      "  --trace=FILE          replay a recorded ICRT trace instead of the\n"
+      "                        synthetic app axis; interval shards become\n"
+      "                        the cells (docs/TRACES.md)\n"
+      "  --shard-instructions=N  instructions per trace interval cell\n"
+      "                        (default: one cell covering the whole "
+      "budget)\n"
       "  --trials=N            repetitions per (scheme, app) cell "
       "(default 1)\n"
       "  --threads=N           worker threads (default: ICR_SIM_THREADS or "
@@ -490,6 +498,10 @@ int main(int argc, char** argv) {
       opt.schemes = value;
     } else if (parse_flag(argv[i], "--apps", value)) {
       opt.apps = value;
+    } else if (parse_flag(argv[i], "--trace", value)) {
+      opt.trace_path = value;
+    } else if (parse_flag(argv[i], "--shard-instructions", value)) {
+      opt.shard_instructions = std::strtoull(value.c_str(), nullptr, 10);
     } else if (parse_flag(argv[i], "--trials", value)) {
       opt.trials = static_cast<std::uint32_t>(
           std::strtoul(value.c_str(), nullptr, 10));
@@ -640,14 +652,33 @@ int main(int argc, char** argv) {
           name, scheme_by_name(name).with_decay_window(opt.window));
     }
   }
-  if (opt.apps.empty()) {
+  if (!opt.trace_path.empty()) {
+    if (!opt.apps.empty()) {
+      std::fprintf(stderr,
+                   "--trace replaces the app axis with trace interval "
+                   "shards; drop --apps\n");
+      return 2;
+    }
+    spec.trace.path = opt.trace_path;
+    spec.trace.shard_instructions = opt.shard_instructions;
+    try {
+      sim::resolve_trace_campaign(spec);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "run_campaign: %s\n", error.what());
+      return 1;
+    }
+  } else if (opt.shard_instructions != 0) {
+    std::fprintf(stderr, "--shard-instructions requires --trace=FILE\n");
+    return 2;
+  } else if (opt.apps.empty()) {
     spec.apps = trace::all_apps();
   } else {
     for (const std::string& name : split_csv(opt.apps)) {
       spec.apps.push_back(app_by_name(name));
     }
   }
-  if (spec.variants.empty() || spec.apps.empty()) {
+  if (spec.variants.empty() ||
+      (spec.apps.empty() && !spec.trace.enabled())) {
     std::fprintf(stderr, "empty scheme or app list\n");
     return 2;
   }
@@ -712,9 +743,11 @@ int main(int argc, char** argv) {
     progress.enabled = true;
     runner.with_progress(progress);
   }
-  std::printf("campaign: %zu scheme(s) x %zu app(s) x %u trial(s) = %zu "
+  const std::size_t app_axis = spec.app_axis();
+  std::printf("campaign: %zu scheme(s) x %zu %s x %u trial(s) = %zu "
               "cells on %u thread(s)\n",
-              spec.variants.size(), spec.apps.size(), spec.trials,
+              spec.variants.size(), app_axis,
+              spec.trace.enabled() ? "trace shard(s)" : "app(s)", spec.trials,
               spec.cell_count(), runner.threads());
 
   if (opt.prof) obs::prof::begin_capture();
@@ -726,18 +759,20 @@ int main(int argc, char** argv) {
     for (const auto& v : spec.variants) columns.push_back(v.label);
     TextTable table("execution cycles (mean over trials)",
                     std::move(columns));
-    for (std::size_t a = 0; a < spec.apps.size(); ++a) {
+    for (std::size_t a = 0; a < app_axis; ++a) {
       std::vector<double> row;
       for (std::size_t v = 0; v < spec.variants.size(); ++v) {
         double sum = 0.0;
         for (std::uint32_t t = 0; t < spec.trials; ++t) {
           sum += static_cast<double>(
-              campaign.at(v, a, t, spec.apps.size(), spec.trials)
-                  .result.cycles);
+              campaign.at(v, a, t, app_axis, spec.trials).result.cycles);
         }
         row.push_back(sum / static_cast<double>(spec.trials));
       }
-      table.add_numeric_row(trace::to_string(spec.apps[a]), row, 0);
+      table.add_numeric_row(spec.trace.enabled()
+                                ? sim::trace_shard_label(spec, a)
+                                : trace::to_string(spec.apps[a]),
+                            row, 0);
     }
     table.print();
   }
