@@ -1,0 +1,79 @@
+// Rendering telemetry for the embedded HTTP server (src/obs/http_server.h):
+// Prometheus text exposition format 0.0.4, Server-Sent Event framing, and
+// the self-contained HTML dashboard served at `/`.
+//
+// This layer is generic over the telemetry substrate — it knows about
+// StatRegistry, Log2Histogram and profiler zones (all src/obs leaves) but
+// nothing about the simulator or the farm; the farm-specific metric
+// families live in src/sim/serve.cc.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/prof.h"
+#include "src/obs/stat_registry.h"
+
+namespace icr::obs {
+
+// Sanitizes an arbitrary name ("dl1.replication.successes") into a legal
+// Prometheus metric-name fragment ([a-zA-Z_:][a-zA-Z0-9_:]*): every illegal
+// character becomes '_', and a leading digit gets a '_' prefix.
+[[nodiscard]] std::string prom_sanitize_name(const std::string& name);
+
+// Escapes a label value for the text format: backslash, double-quote and
+// newline get backslash escapes.
+[[nodiscard]] std::string prom_escape_label(const std::string& value);
+
+using PromLabels = std::vector<std::pair<std::string, std::string>>;
+
+// Builder for one /metrics page. family() writes the # HELP / # TYPE
+// preamble once per metric name (repeat declarations are ignored, so
+// per-worker loops can declare inline); sample() appends one sample line.
+class MetricsText {
+ public:
+  // type: "counter", "gauge" or "histogram".
+  void family(const std::string& name, const std::string& help,
+              const std::string& type);
+  void sample(const std::string& name, const PromLabels& labels, double value);
+  void sample(const std::string& name, const PromLabels& labels,
+              std::uint64_t value);
+
+  // Renders a Log2Histogram as a Prometheus histogram: cumulative
+  // `le`-bucketed counts at each log2 boundary scaled by `scale`
+  // (bucket upper bound * scale), `<name>_count`, and `<name>_sum` as the
+  // lower-bound estimate the log2 buckets admit. Declares the family.
+  void histogram(const std::string& name, const std::string& help,
+                 const Log2Histogram& hist, const PromLabels& labels = {},
+                 double scale = 1.0);
+
+  [[nodiscard]] const std::string& text() const noexcept { return text_; }
+
+ private:
+  std::string text_;
+  std::vector<std::string> declared_;
+};
+
+// One sample line per registry counter and gauge, as
+// `<prefix>_<sanitized-name>` families; registry histograms render via
+// MetricsText::histogram. `labels` is appended to every sample.
+void append_registry(MetricsText& out, const StatRegistry& registry,
+                     const std::string& prefix, const PromLabels& labels = {});
+
+// Profiler zone table: `<prefix>_self_seconds` / `<prefix>_calls` families
+// labelled by zone path. Pass `snapshot_zones()` or a Profile's zones.
+void append_prof_zones(MetricsText& out, const std::vector<prof::ZoneNode>& zones,
+                       const std::string& prefix, const PromLabels& labels = {});
+
+// One Server-Sent Event frame: "id: <id>\n[event: <event>\n]data: <data>\n\n".
+// `data` must be a single line (NDJSON record).
+[[nodiscard]] std::string sse_event(std::uint64_t id, const std::string& data,
+                                    const std::string& event = "");
+
+// The dashboard page served at `/`: a single self-contained HTML document
+// (no external assets) that polls /status and subscribes to /events.
+[[nodiscard]] std::string dashboard_html();
+
+}  // namespace icr::obs

@@ -1,0 +1,466 @@
+#include "src/obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+namespace icr::obs::http {
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 16 * 1024;
+constexpr int kAcceptPollMillis = 200;
+
+std::string to_lower(std::string s) {
+  for (char& c : s) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return s;
+}
+
+std::string status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Status";
+  }
+}
+
+// Full response head + optional body; Content-Length always present so the
+// client can trust the framing even though we close after each request.
+std::string render_response(const Response& response, bool head_only) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << response.status << ' ' << status_text(response.status)
+      << "\r\nContent-Type: " << response.content_type
+      << "\r\nContent-Length: " << response.body.size()
+      << "\r\nCache-Control: no-store"
+      << "\r\nConnection: close";
+  if (response.status == 503) out << "\r\nRetry-After: 1";
+  out << "\r\n\r\n";
+  if (!head_only) out << response.body;
+  return out.str();
+}
+
+bool send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_all(int fd, const std::string& bytes) {
+  return send_all(fd, bytes.data(), bytes.size());
+}
+
+void set_recv_timeout(int fd, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+}
+
+// Read until the blank line ending the header block (we never accept
+// request bodies). Returns false on timeout/overrun/disconnect.
+bool read_request_head(int fd, double timeout_seconds, std::string* head) {
+  head->clear();
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(timeout_seconds);
+  char buf[2048];
+  while (head->find("\r\n\r\n") == std::string::npos) {
+    if (head->size() > kMaxRequestBytes) return false;
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;  // SO_RCVTIMEO tick
+      return false;
+    }
+    if (n == 0) return false;
+    head->append(buf, static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+bool parse_request_head(const std::string& head, Request* request) {
+  std::istringstream in(head);
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  std::istringstream start(line);
+  std::string version;
+  if (!(start >> request->method >> request->target >> version)) return false;
+  if (version.rfind("HTTP/1.", 0) != 0) return false;
+  auto q = request->target.find('?');
+  request->path = request->target.substr(0, q);
+  request->query = q == std::string::npos ? "" : request->target.substr(q + 1);
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) break;
+    auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = to_lower(line.substr(0, colon));
+    std::size_t value_begin = colon + 1;
+    while (value_begin < line.size() && line[value_begin] == ' ') ++value_begin;
+    request->headers[name] = line.substr(value_begin);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string Request::header(const std::string& name) const {
+  auto it = headers.find(to_lower(name));
+  return it == headers.end() ? "" : it->second;
+}
+
+std::string Request::query_param(const std::string& key,
+                                 const std::string& fallback) const {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    std::string pair = query.substr(pos, amp == std::string::npos ? std::string::npos
+                                                                  : amp - pos);
+    auto eq = pair.find('=');
+    if (pair.substr(0, eq) == key) {
+      return eq == std::string::npos ? "" : pair.substr(eq + 1);
+    }
+    if (amp == std::string::npos) break;
+    pos = amp + 1;
+  }
+  return fallback;
+}
+
+struct Server::Impl {
+  ServerOptions options;
+  std::map<std::string, Handler> handlers;
+  std::map<std::string, StreamHandler> stream_handlers;
+
+  int listen_fd = -1;
+  std::uint16_t bound_port = 0;
+  std::atomic<bool> stop_flag{false};
+  std::atomic<bool> running{false};
+  std::thread accept_thread;
+
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+  std::mutex connections_mutex;
+  std::vector<std::unique_ptr<Connection>> connections;
+  std::condition_variable stop_cv;
+  std::mutex stop_mutex;
+
+  // ClientStream over one connection socket; shutdown-aware sleeps.
+  class SocketStream : public ClientStream {
+   public:
+    SocketStream(Impl* impl, int fd) : impl_(impl), fd_(fd) {}
+    bool write(const std::string& bytes) override {
+      if (impl_->stop_flag.load()) return false;
+      if (!ok_) return false;
+      ok_ = send_all(fd_, bytes);
+      return ok_;
+    }
+    [[nodiscard]] bool stopping() const override {
+      return impl_->stop_flag.load();
+    }
+    bool wait(double seconds) override {
+      std::unique_lock<std::mutex> lock(impl_->stop_mutex);
+      impl_->stop_cv.wait_for(lock, std::chrono::duration<double>(seconds),
+                              [this] { return impl_->stop_flag.load(); });
+      return !impl_->stop_flag.load();
+    }
+
+   private:
+    Impl* impl_;
+    int fd_;
+    bool ok_ = true;
+  };
+
+  void serve_connection(int fd) {
+    set_recv_timeout(fd, 0.5);
+    std::string head;
+    Request request;
+    if (!read_request_head(fd, options.request_timeout_seconds, &head) ||
+        !parse_request_head(head, &request)) {
+      send_all(fd, render_response({400, "text/plain; charset=utf-8",
+                                    "bad request\n"},
+                                   false));
+      return;
+    }
+    bool head_only = request.method == "HEAD";
+    if (request.method != "GET" && request.method != "HEAD") {
+      send_all(fd, render_response({405, "text/plain; charset=utf-8",
+                                    "only GET and HEAD are supported\n"},
+                                   false));
+      return;
+    }
+    if (auto it = stream_handlers.find(request.path); it != stream_handlers.end()) {
+      std::ostringstream header;
+      header << "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream"
+             << "\r\nCache-Control: no-store\r\nConnection: close\r\n\r\n";
+      if (!send_all(fd, header.str())) return;
+      if (head_only) return;
+      SocketStream stream(this, fd);
+      it->second(request, stream);
+      return;
+    }
+    if (auto it = handlers.find(request.path); it != handlers.end()) {
+      send_all(fd, render_response(it->second(request), head_only));
+      return;
+    }
+    send_all(fd, render_response({404, "text/plain; charset=utf-8",
+                                  "not found\n"},
+                                 false));
+  }
+
+  void accept_loop() {
+    while (!stop_flag.load()) {
+      pollfd pfd{listen_fd, POLLIN, 0};
+      int ready = ::poll(&pfd, 1, kAcceptPollMillis);
+      if (stop_flag.load()) break;
+      if (ready <= 0) continue;
+      int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      std::lock_guard<std::mutex> lock(connections_mutex);
+      reap_finished_locked();
+      std::size_t active = 0;
+      for (const auto& c : connections) {
+        if (!c->done.load()) ++active;
+      }
+      if (active >= options.max_connections) {
+        send_all(fd, render_response({503, "text/plain; charset=utf-8",
+                                      "too many connections\n"},
+                                     false));
+        ::close(fd);
+        continue;
+      }
+      auto conn = std::make_unique<Connection>();
+      conn->fd = fd;
+      Connection* raw = conn.get();
+      conn->thread = std::thread([this, raw] {
+        serve_connection(raw->fd);
+        ::shutdown(raw->fd, SHUT_RDWR);
+        ::close(raw->fd);
+        raw->fd = -1;
+        raw->done.store(true);
+      });
+      connections.push_back(std::move(conn));
+    }
+  }
+
+  // Caller holds connections_mutex.
+  void reap_finished_locked() {
+    auto it = connections.begin();
+    while (it != connections.end()) {
+      if ((*it)->done.load()) {
+        if ((*it)->thread.joinable()) (*it)->thread.join();
+        it = connections.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void shutdown_and_join() {
+    stop_flag.store(true);
+    {
+      std::lock_guard<std::mutex> lock(stop_mutex);
+    }
+    stop_cv.notify_all();
+    if (listen_fd >= 0) {
+      ::shutdown(listen_fd, SHUT_RDWR);
+      ::close(listen_fd);
+      listen_fd = -1;
+    }
+    {
+      // Wake blocked reads/writes so connection threads observe stop_flag.
+      std::lock_guard<std::mutex> lock(connections_mutex);
+      for (const auto& c : connections) {
+        if (c->fd >= 0) ::shutdown(c->fd, SHUT_RDWR);
+      }
+    }
+    if (accept_thread.joinable()) accept_thread.join();
+    std::lock_guard<std::mutex> lock(connections_mutex);
+    for (const auto& c : connections) {
+      if (c->thread.joinable()) c->thread.join();
+    }
+    connections.clear();
+    running.store(false);
+  }
+};
+
+Server::Server() = default;
+
+Server::~Server() { stop(); }
+
+void Server::handle(const std::string& path, Handler handler) {
+  if (!impl_) impl_ = std::make_unique<Impl>();
+  impl_->handlers[path] = std::move(handler);
+}
+
+void Server::handle_stream(const std::string& path, StreamHandler handler) {
+  if (!impl_) impl_ = std::make_unique<Impl>();
+  impl_->stream_handlers[path] = std::move(handler);
+}
+
+void Server::start(const ServerOptions& options) {
+  if (!impl_) impl_ = std::make_unique<Impl>();
+  if (impl_->running.load()) throw std::runtime_error("http server already running");
+  impl_->options = options;
+  impl_->stop_flag.store(false);
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("http server: socket() failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("http server: bad bind address '" +
+                             options.bind_address + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    int err = errno;
+    ::close(fd);
+    throw std::runtime_error("http server: cannot bind " + options.bind_address +
+                             ":" + std::to_string(options.port) + ": " +
+                             std::strerror(err));
+  }
+  if (::listen(fd, 16) != 0) {
+    int err = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("http server: listen() failed: ") +
+                             std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  impl_->bound_port = ntohs(bound.sin_port);
+  impl_->listen_fd = fd;
+  impl_->running.store(true);
+  impl_->accept_thread = std::thread([impl = impl_.get()] { impl->accept_loop(); });
+}
+
+void Server::stop() {
+  if (!impl_ || !impl_->running.load()) return;
+  impl_->shutdown_and_join();
+}
+
+bool Server::running() const { return impl_ && impl_->running.load(); }
+
+std::uint16_t Server::port() const { return impl_ ? impl_->bound_port : 0; }
+
+std::string Server::url() const {
+  if (!impl_) return "";
+  return "http://" + impl_->options.bind_address + ":" +
+         std::to_string(impl_->bound_port);
+}
+
+FetchResult http_get(const std::string& url, double timeout_seconds,
+                     const std::vector<std::string>& extra_headers) {
+  const std::string prefix = "http://";
+  if (url.rfind(prefix, 0) != 0) {
+    throw std::runtime_error("http_get: only http:// URLs are supported: " + url);
+  }
+  std::string rest = url.substr(prefix.size());
+  auto slash = rest.find('/');
+  std::string host_port = rest.substr(0, slash);
+  std::string path = slash == std::string::npos ? "/" : rest.substr(slash);
+  auto colon = host_port.rfind(':');
+  std::string host = colon == std::string::npos ? host_port : host_port.substr(0, colon);
+  std::string port = colon == std::string::npos ? "80" : host_port.substr(colon + 1);
+  if (host.empty()) throw std::runtime_error("http_get: empty host in URL: " + url);
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &result);
+  if (rc != 0) {
+    throw std::runtime_error("http_get: cannot resolve " + host + ":" + port +
+                             ": " + gai_strerror(rc));
+  }
+  int fd = -1;
+  int connect_errno = ECONNREFUSED;
+  for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    set_recv_timeout(fd, timeout_seconds);
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout_seconds);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    connect_errno = errno;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(result);
+  if (fd < 0) {
+    throw std::runtime_error("http_get: cannot connect to " + host + ":" + port +
+                             ": " + std::strerror(connect_errno));
+  }
+
+  std::ostringstream request;
+  request << "GET " << path << " HTTP/1.1\r\nHost: " << host_port
+          << "\r\nAccept: */*\r\nConnection: close\r\n";
+  for (const auto& header : extra_headers) request << header << "\r\n";
+  request << "\r\n";
+  if (!send_all(fd, request.str())) {
+    ::close(fd);
+    throw std::runtime_error("http_get: send failed to " + host + ":" + port);
+  }
+
+  std::string raw;
+  char buf[4096];
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(timeout_seconds);
+  for (;;) {
+    if (std::chrono::steady_clock::now() > deadline) break;
+    ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  auto header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos || raw.rfind("HTTP/1.", 0) != 0) {
+    throw std::runtime_error("http_get: malformed response from " + host + ":" +
+                             port);
+  }
+  FetchResult out;
+  out.status = std::atoi(raw.c_str() + raw.find(' ') + 1);
+  out.body = raw.substr(header_end + 4);
+  return out;
+}
+
+}  // namespace icr::obs::http

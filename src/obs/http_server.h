@@ -1,0 +1,117 @@
+// Minimal dependency-free embedded HTTP/1.1 server for telemetry exposition.
+//
+// Design constraints (docs/SERVING.md):
+//   - one dedicated accept thread, poll()-based so stop() is prompt;
+//   - one thread per connection, bounded by ServerOptions::max_connections
+//     (excess connections get an immediate 503 and are closed);
+//   - GET/HEAD only, one request per connection (Connection: close);
+//   - handlers are plain functions: either a buffered Response or a
+//     StreamHandler that writes incrementally (Server-Sent Events);
+//   - clean shutdown: stop() wakes the accept loop, shuts down every open
+//     connection socket, and joins all threads before returning.
+//
+// The server is a passive observer — it never writes to the spool or any
+// simulator state; handlers decide what to read. Binding defaults to
+// 127.0.0.1: serving on other interfaces exposes the endpoints to the
+// network and is an explicit caller decision.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace icr::obs::http {
+
+struct Request {
+  std::string method;            // "GET" / "HEAD"
+  std::string target;            // raw request target, e.g. "/events?after=3"
+  std::string path;              // target without the query, e.g. "/events"
+  std::string query;             // raw query string, e.g. "after=3"
+  // Header names lowercased; last occurrence wins.
+  std::map<std::string, std::string> headers;
+
+  // Header value by lowercase name; empty string when absent.
+  [[nodiscard]] std::string header(const std::string& name) const;
+  // First value of ?key=... in the query string; `fallback` when absent.
+  [[nodiscard]] std::string query_param(const std::string& key,
+                                        const std::string& fallback = "") const;
+};
+
+struct Response {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+// Incremental writer handed to stream handlers. All methods are safe to call
+// until the handler returns; write() reports false once the client is gone
+// or the server is stopping, at which point the handler should return.
+class ClientStream {
+ public:
+  virtual ~ClientStream() = default;
+  // Send bytes; false on client disconnect or server shutdown.
+  virtual bool write(const std::string& bytes) = 0;
+  // True once stop() has been requested (handlers should wind down).
+  [[nodiscard]] virtual bool stopping() const = 0;
+  // Sleep up to `seconds`, returning early (false) on shutdown.
+  virtual bool wait(double seconds) = 0;
+};
+
+using Handler = std::function<Response(const Request&)>;
+using StreamHandler = std::function<void(const Request&, ClientStream&)>;
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  // 0 picks an ephemeral port; Server::port() reports the bound one.
+  std::uint16_t port = 0;
+  // Concurrent connection cap; further clients get 503 + Retry-After.
+  std::size_t max_connections = 8;
+  // Per-request header read budget in seconds.
+  double request_timeout_seconds = 10.0;
+};
+
+class Server {
+ public:
+  Server();
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Route registration; exact path match. Call before start().
+  void handle(const std::string& path, Handler handler);
+  void handle_stream(const std::string& path, StreamHandler handler);
+
+  // Bind + listen + launch the accept thread. Throws std::runtime_error
+  // with a diagnostic on bind/listen failure.
+  void start(const ServerOptions& options);
+  // Idempotent; joins the accept thread and every connection thread.
+  void stop();
+
+  [[nodiscard]] bool running() const;
+  // Bound port (resolves ephemeral port 0); 0 before start().
+  [[nodiscard]] std::uint16_t port() const;
+  // "http://<bind>:<port>" for log lines.
+  [[nodiscard]] std::string url() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// --- Tiny blocking client (used by icr_report --farm http://... and tests).
+
+struct FetchResult {
+  int status = 0;
+  std::string body;
+};
+
+// GET `url` ("http://host:port/path"); extra request headers may be supplied
+// as "Name: value" lines. Throws std::runtime_error with a clear message
+// when the URL is malformed or the server is unreachable.
+FetchResult http_get(const std::string& url, double timeout_seconds = 10.0,
+                     const std::vector<std::string>& extra_headers = {});
+
+}  // namespace icr::obs::http

@@ -461,6 +461,14 @@ const char* to_string(WorkerState state) noexcept {
   return "unknown";
 }
 
+WorkerState worker_state_by_name(const std::string& name) {
+  if (name == "running") return WorkerState::kRunning;
+  if (name == "straggler") return WorkerState::kStraggler;
+  if (name == "dead") return WorkerState::kDead;
+  if (name == "exited") return WorkerState::kExited;
+  throw std::runtime_error("unknown worker state '" + name + "'");
+}
+
 WorkerState classify_worker(const WorkerHeartbeat& heartbeat,
                             double now_unix_seconds,
                             const StalenessPolicy& policy) {
@@ -592,6 +600,9 @@ FarmStatus collect_farm_status(const std::string& spool,
 namespace {
 
 std::string format_age(double seconds) {
+  // Clock skew between fleet hosts can put a heartbeat in the reader's
+  // future; the classifier clamps, and so does the rendered column.
+  seconds = std::max(0.0, seconds);
   char buffer[32];
   if (seconds < 120.0) {
     std::snprintf(buffer, sizeof buffer, "%.1fs", seconds);
@@ -722,6 +733,7 @@ std::string farm_status_to_ndjson(const FarmStatus& status) {
     }
   }
   std::string out = "{\"type\":\"farm\"";
+  out += ",\"schema\":" + std::to_string(kStatusSchemaVersion);
   out += ",\"unit_count\":" + std::to_string(status.census.unit_count);
   out += ",\"units_done\":" + std::to_string(status.census.units_done);
   out += ",\"total_cells\":" + u64_string(status.total_cells);
@@ -750,8 +762,9 @@ std::string farm_status_to_ndjson(const FarmStatus& status) {
   out += "}\n";
   for (const WorkerStatus& worker : status.workers) {
     const WorkerHeartbeat& hb = worker.heartbeat;
-    out += "{\"type\":\"worker\",\"worker\":\"" +
-           util::json_escape(hb.worker_id) + "\"";
+    out += "{\"type\":\"worker\",\"schema\":" +
+           std::to_string(kStatusSchemaVersion);
+    out += ",\"worker\":\"" + util::json_escape(hb.worker_id) + "\"";
     out += ",\"state\":\"" + std::string(to_string(worker.state)) + "\"";
     out += ",\"pid\":" + i64_string(hb.pid);
     out += ",\"seq\":" + u64_string(hb.seq);
@@ -767,6 +780,88 @@ std::string farm_status_to_ndjson(const FarmStatus& status) {
     out += "}\n";
   }
   return out;
+}
+
+FarmStatus farm_status_from_ndjson(const std::string& text) {
+  FarmStatus status;
+  bool saw_farm = false;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+    util::JsonValue record = util::JsonValue::parse(line);
+    const int schema =
+        static_cast<int>(record.get("schema").as_double(1.0));
+    if (schema > kStatusSchemaVersion) {
+      throw std::runtime_error(
+          "status schema " + std::to_string(schema) +
+          " is newer than this build understands (" +
+          std::to_string(kStatusSchemaVersion) + ")");
+    }
+    const std::string& type = record.get("type").as_string();
+    if (type == "farm") {
+      saw_farm = true;
+      status.schema = schema;
+      status.census.unit_count =
+          static_cast<std::uint32_t>(record.get("unit_count").as_double());
+      status.census.units_done =
+          static_cast<std::uint32_t>(record.get("units_done").as_double());
+      status.census.cells_done =
+          static_cast<std::uint64_t>(record.get("cells_done").as_double());
+      status.census.claims_outstanding = static_cast<std::uint32_t>(
+          record.get("claims_outstanding").as_double());
+      status.total_cells =
+          static_cast<std::uint64_t>(record.get("total_cells").as_double());
+      status.claims_live =
+          static_cast<std::uint32_t>(record.get("claims_live").as_double());
+      status.claims_stale =
+          static_cast<std::uint32_t>(record.get("claims_stale").as_double());
+      status.event_count =
+          static_cast<std::size_t>(record.get("events").as_double());
+      status.dropped_event_lines = static_cast<std::size_t>(
+          record.get("dropped_event_lines").as_double());
+      status.unreadable_heartbeats = static_cast<std::size_t>(
+          record.get("unreadable_heartbeats").as_double());
+      status.elapsed_seconds = record.get("elapsed_seconds").as_double();
+      status.throughput.percent = record.get("percent").as_double(100.0);
+      status.throughput.rate = record.get("cells_per_second").as_double();
+      status.throughput.eta_seconds =
+          record.get("eta_seconds").as_double(-1.0);
+    } else if (type == "worker") {
+      WorkerStatus worker;
+      worker.state =
+          worker_state_by_name(record.get("state").as_string("running"));
+      // Defensive double-clamp: a skewed remote producer (schema 1) could
+      // have written a negative age.
+      worker.age_seconds = std::max(0.0, record.get("age_seconds").as_double());
+      worker.cells_per_second = record.get("cells_per_second").as_double();
+      WorkerHeartbeat& hb = worker.heartbeat;
+      hb.worker_id = record.get("worker").as_string();
+      hb.pid = static_cast<std::int64_t>(record.get("pid").as_double());
+      hb.seq = static_cast<std::uint64_t>(record.get("seq").as_double());
+      hb.units_done =
+          static_cast<std::uint32_t>(record.get("units_done").as_double());
+      hb.cells_done =
+          static_cast<std::uint64_t>(record.get("cells_done").as_double());
+      hb.current_unit =
+          static_cast<std::int64_t>(record.get("current_unit").as_double(-1.0));
+      hb.current_cell =
+          static_cast<std::int64_t>(record.get("current_cell").as_double(-1.0));
+      hb.mips = record.get("mips").as_double();
+      hb.rusage.maxrss_kb =
+          static_cast<std::uint64_t>(record.get("maxrss_kb").as_double());
+      hb.exited = record.get("exited").as_bool();
+      status.workers.push_back(std::move(worker));
+    }
+  }
+  if (!saw_farm) {
+    throw std::runtime_error(
+        "status NDJSON carries no {\"type\":\"farm\"} record");
+  }
+  return status;
 }
 
 std::string fleet_unit_spans_trace(const std::vector<FarmEvent>& events) {

@@ -50,6 +50,14 @@ namespace icr::sim::farm {
 // Bumped when the heartbeat/event schema changes incompatibly.
 inline constexpr int kTelemetryFormatVersion = 1;
 
+// Monotonic version of the --status-json / GET /status NDJSON records
+// (docs/CAMPAIGN.md "Status schema"). Every record carries it as "schema"
+// so downstream parsers can detect format changes; records without the
+// field are implicitly version 1 (the pre-schema producer).
+//   1 — PR 7: farm + worker records, no schema field.
+//   2 — PR 9: explicit "schema" field on every record.
+inline constexpr int kStatusSchemaVersion = 2;
+
 // Worker ids become file names; anything outside [A-Za-z0-9._-] maps to '_'
 // (empty ids become "worker").
 [[nodiscard]] std::string sanitize_worker_id(const std::string& id);
@@ -220,6 +228,8 @@ struct StalenessPolicy {
 
 enum class WorkerState { kRunning, kStraggler, kDead, kExited };
 [[nodiscard]] const char* to_string(WorkerState state) noexcept;
+// Inverse of to_string; throws std::runtime_error on an unknown name.
+[[nodiscard]] WorkerState worker_state_by_name(const std::string& name);
 
 // Pure classification (tested at the exact boundaries): exited beats age;
 // age >= dead_after is dead, age >= straggler_after is a straggler,
@@ -243,6 +253,10 @@ struct FarmStatusOptions {
 };
 
 struct FarmStatus {
+  // Status-NDJSON schema of the producer. Locally collected status always
+  // carries kStatusSchemaVersion; farm_status_from_ndjson() preserves the
+  // (possibly older) version the remote server reported.
+  int schema = kStatusSchemaVersion;
   SpoolStatus census;
   std::uint64_t total_cells = 0;
   // Outstanding claims split by whether a non-dead worker says it is
@@ -273,8 +287,18 @@ struct FarmStatus {
 [[nodiscard]] std::string render_farm_status(const FarmStatus& status);
 
 // NDJSON for scripting: one {"type":"farm",...} summary line, then one
-// {"type":"worker",...} line per worker.
+// {"type":"worker",...} line per worker. Every record carries
+// "schema": kStatusSchemaVersion.
 [[nodiscard]] std::string farm_status_to_ndjson(const FarmStatus& status);
+
+// Inverse of farm_status_to_ndjson for remote readers (icr_report --farm
+// over a /status URL): rebuilds a FarmStatus from the NDJSON text. Records
+// without a "schema" field parse as version 1; a schema *newer* than this
+// build throws std::runtime_error (the reader cannot know what changed).
+// Fields the wire format does not carry (unit latency histogram,
+// now_unix_seconds) are left default; callers can refill the histogram
+// from /events publish durations.
+[[nodiscard]] FarmStatus farm_status_from_ndjson(const std::string& text);
 
 // ---- Fleet-wide Chrome trace merge --------------------------------------
 

@@ -1,0 +1,161 @@
+// Tier-1 contract of the Prometheus/SSE exposition layer
+// (src/obs/exposition.h): name sanitizing, label escaping, family
+// declaration dedup, the cumulative log2 histogram rendering (every line
+// the text format 0.0.4 accepts, +Inf bucket equals the count), registry
+// export, SSE framing, and the self-contained dashboard document.
+#include "src/obs/exposition.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/stat_registry.h"
+
+namespace icr::obs {
+namespace {
+
+// Minimal text-format 0.0.4 line checker: every non-empty line is either a
+// comment ("# HELP <name> ..." / "# TYPE <name> counter|gauge|histogram")
+// or a sample "<name>[{labels}] <value>" whose metric name is legal. This
+// is the same shape the CI smoke's python checker enforces.
+void expect_valid_prometheus_text(const std::string& text) {
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t samples = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream fields(line);
+      std::string hash, kind, name, rest;
+      fields >> hash >> kind >> name >> rest;
+      EXPECT_TRUE(kind == "HELP" || kind == "TYPE") << line;
+      EXPECT_FALSE(name.empty()) << line;
+      if (kind == "TYPE") {
+        EXPECT_TRUE(rest == "counter" || rest == "gauge" ||
+                    rest == "histogram")
+            << line;
+      }
+      continue;
+    }
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string value = line.substr(space + 1);
+    EXPECT_FALSE(value.empty()) << line;
+    std::string name = line.substr(0, space);
+    const std::size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      EXPECT_EQ(name.back(), '}') << line;
+      name = name.substr(0, brace);
+    }
+    ASSERT_FALSE(name.empty()) << line;
+    EXPECT_TRUE(std::isalpha(static_cast<unsigned char>(name[0])) ||
+                name[0] == '_' || name[0] == ':')
+        << line;
+    for (const char c : name) {
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                  c == ':')
+          << line;
+    }
+    ++samples;
+  }
+  EXPECT_GT(samples, 0u);
+}
+
+TEST(Exposition, SanitizesMetricNames) {
+  EXPECT_EQ(prom_sanitize_name("dl1.replication.successes"),
+            "dl1_replication_successes");
+  EXPECT_EQ(prom_sanitize_name("read-hits"), "read_hits");
+  EXPECT_EQ(prom_sanitize_name("2fast"), "_2fast");
+  EXPECT_EQ(prom_sanitize_name("already_legal"), "already_legal");
+}
+
+TEST(Exposition, EscapesLabelValues) {
+  EXPECT_EQ(prom_escape_label("plain"), "plain");
+  EXPECT_EQ(prom_escape_label("a\"b"), "a\\\"b");
+  EXPECT_EQ(prom_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(prom_escape_label("a\nb"), "a\\nb");
+}
+
+TEST(Exposition, DeclaresEachFamilyOnceAndRendersSamples) {
+  MetricsText out;
+  out.family("icr_worker_up", "worker liveness", "gauge");
+  out.sample("icr_worker_up", {{"worker", "w0"}}, std::uint64_t{1});
+  out.family("icr_worker_up", "worker liveness", "gauge");  // per-worker loop
+  out.sample("icr_worker_up", {{"worker", "w1"}}, std::uint64_t{0});
+  out.sample("icr_plain", {}, 2.5);
+
+  const std::string& text = out.text();
+  EXPECT_EQ(text.find("# HELP icr_worker_up"),
+            text.rfind("# HELP icr_worker_up"));
+  EXPECT_NE(text.find("icr_worker_up{worker=\"w0\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("icr_worker_up{worker=\"w1\"} 0"), std::string::npos);
+  EXPECT_NE(text.find("icr_plain 2.5"), std::string::npos);
+  expect_valid_prometheus_text(text);
+}
+
+TEST(Exposition, RendersLog2HistogramCumulatively) {
+  Log2Histogram hist;
+  hist.record(0);   // zero bucket
+  hist.record(3);   // [2,4)
+  hist.record(3);   // [2,4)
+  hist.record(40);  // [32,64)
+
+  MetricsText out;
+  out.histogram("icr_latency_ms", "unit latency", hist);
+  const std::string& text = out.text();
+
+  // Cumulative `le` counts at the bucket upper bounds...
+  EXPECT_NE(text.find("icr_latency_ms_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("icr_latency_ms_bucket{le=\"4\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("icr_latency_ms_bucket{le=\"64\"} 4"),
+            std::string::npos);
+  // ...and the mandatory +Inf bucket equals _count.
+  EXPECT_NE(text.find("icr_latency_ms_bucket{le=\"+Inf\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("icr_latency_ms_count 4"), std::string::npos);
+  // _sum is the lower-bound estimate: 0 + 2 + 2 + 32.
+  EXPECT_NE(text.find("icr_latency_ms_sum 36"), std::string::npos);
+  expect_valid_prometheus_text(text);
+}
+
+TEST(Exposition, ExportsRegistryCountersAndHistograms) {
+  std::uint64_t hits = 7;
+  StatRegistry registry;
+  registry.register_counter("dl1.read-hits", &hits);
+  registry.register_gauge("dl1.occupancy", [] { return std::uint64_t{3}; });
+  registry.histogram("dl1.burst")->record(5);
+
+  MetricsText out;
+  append_registry(out, registry, "icr_stat", {{"scheme", "ICR-P-PS(S)"}});
+  const std::string& text = out.text();
+  EXPECT_NE(text.find("icr_stat_dl1_read_hits{scheme=\"ICR-P-PS(S)\"} 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("icr_stat_dl1_occupancy{scheme=\"ICR-P-PS(S)\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("icr_stat_dl1_burst_count"), std::string::npos);
+  expect_valid_prometheus_text(text);
+}
+
+TEST(Exposition, FramesServerSentEvents) {
+  EXPECT_EQ(sse_event(0, "{\"a\":1}"), "id: 0\ndata: {\"a\":1}\n\n");
+  EXPECT_EQ(sse_event(7, "{}", "drained"),
+            "id: 7\nevent: drained\ndata: {}\n\n");
+}
+
+TEST(Exposition, DashboardIsSelfContainedAndWiredToTheEndpoints) {
+  const std::string html = dashboard_html();
+  EXPECT_NE(html.find("<!doctype html>"), std::string::npos);
+  // Polls /status, subscribes to /events, links the scrape endpoint.
+  EXPECT_NE(html.find("/status"), std::string::npos);
+  EXPECT_NE(html.find("EventSource"), std::string::npos);
+  EXPECT_NE(html.find("/metrics"), std::string::npos);
+  // Self-contained: no external scripts, styles or images.
+  EXPECT_EQ(html.find("src=\"http"), std::string::npos);
+  EXPECT_EQ(html.find("href=\"http"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace icr::obs

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <string>
 
 #include "src/obs/throughput.h"
@@ -46,6 +48,44 @@ TEST(Throughput, GuardsDegenerateInputs) {
   const Throughput over = estimate_throughput(150, 100, 10.0);
   EXPECT_DOUBLE_EQ(over.rate, 15.0);
   EXPECT_FALSE(over.eta_known());
+}
+
+TEST(Throughput, SurvivesExtremeCounts) {
+  // The HTTP status server feeds this arithmetic straight into /metrics
+  // and the dashboard, so the extremes must stay finite (satellite of the
+  // serving PR).
+
+  // Empty grid with work somehow done (a resume sweep recount): still
+  // "complete", never a negative remaining count.
+  const Throughput empty_done = estimate_throughput(3, 0, 2.0);
+  EXPECT_DOUBLE_EQ(empty_done.percent, 100.0);
+  EXPECT_FALSE(empty_done.eta_known());
+
+  // Instruction-scale counts past 2^53 (where doubles lose integer
+  // precision): rate, percent and ETA stay finite and non-negative.
+  const std::uint64_t huge_total = (1ULL << 62) + 12345;
+  const std::uint64_t huge_done = (1ULL << 61) + 999;
+  const Throughput huge = estimate_throughput(huge_done, huge_total, 100.0);
+  EXPECT_TRUE(std::isfinite(huge.rate));
+  EXPECT_GT(huge.rate, 0.0);
+  EXPECT_TRUE(std::isfinite(huge.percent));
+  EXPECT_GE(huge.percent, 0.0);
+  EXPECT_LE(huge.percent, 100.0);
+  ASSERT_TRUE(huge.eta_known());
+  EXPECT_TRUE(std::isfinite(huge.eta_seconds));
+  EXPECT_NEAR(huge.percent, 50.0, 0.01);
+  EXPECT_NEAR(huge.eta_seconds, 100.0, 0.01);
+
+  // Done == total at huge scale reads as exactly complete.
+  const Throughput full = estimate_throughput(huge_total, huge_total, 1.0);
+  EXPECT_DOUBLE_EQ(full.percent, 100.0);
+  ASSERT_TRUE(full.eta_known());
+  EXPECT_DOUBLE_EQ(full.eta_seconds, 0.0);
+
+  // MIPS at the same scale: finite, never negative.
+  const double mips = simulated_mips(huge_done, 1, 100.0);
+  EXPECT_TRUE(std::isfinite(mips));
+  EXPECT_GT(mips, 0.0);
 }
 
 TEST(Throughput, FormatsEta) {

@@ -349,6 +349,82 @@ TEST(FarmStatus, ClassifiesWorkersAndSplitsClaims) {
   EXPECT_EQ(lines, 3u);  // one farm summary + two workers
 }
 
+TEST(FarmStatus, NdjsonCarriesTheSchemaVersionAndRoundTrips) {
+  const CampaignSpec spec = small_spec();
+  const Manifest manifest = manifest_for(spec, 2);
+  const std::string spool = make_temp_spool();
+  init_spool(spool, manifest);
+  util::fs::make_directories(heartbeat_dir(spool));
+  WorkerHeartbeat hb;
+  hb.worker_id = "w0";
+  hb.time_unix_seconds = 1000.0;
+  hb.cells_done = 4;
+  util::fs::atomic_write_text_file(heartbeat_path(spool, "w0"), hb.to_json());
+
+  FarmStatusOptions options;
+  options.now_unix_seconds = 1002.0;
+  const FarmStatus status = collect_farm_status(spool, manifest, options);
+  const std::string ndjson = farm_status_to_ndjson(status);
+
+  // Satellite contract (docs/CAMPAIGN.md): every record carries the
+  // monotonic schema version so remote parsers can gate on it.
+  std::size_t begin = 0;
+  std::size_t records = 0;
+  while (begin < ndjson.size()) {
+    const std::size_t end = ndjson.find('\n', begin);
+    ASSERT_NE(end, std::string::npos);
+    const util::JsonValue doc =
+        util::JsonValue::parse(ndjson.substr(begin, end - begin));
+    EXPECT_EQ(static_cast<int>(doc.get("schema").as_double()),
+              kStatusSchemaVersion);
+    ++records;
+    begin = end + 1;
+  }
+  EXPECT_EQ(records, 2u);
+
+  // And the inverse parser rebuilds the same census (serve_test.cc covers
+  // the full field set over HTTP; this pins the local round trip).
+  const FarmStatus parsed = farm_status_from_ndjson(ndjson);
+  EXPECT_EQ(parsed.schema, kStatusSchemaVersion);
+  EXPECT_EQ(parsed.census.unit_count, status.census.unit_count);
+  EXPECT_EQ(parsed.census.cells_done, status.census.cells_done);
+  ASSERT_EQ(parsed.workers.size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed.workers[0].age_seconds, 2.0);
+  // Records without a schema field parse as version 1 (pre-PR-9 output).
+  const FarmStatus v1 = farm_status_from_ndjson(
+      "{\"type\":\"farm\",\"unit_count\":1,\"units_done\":0,"
+      "\"total_cells\":2,\"cells_done\":0,\"claims_outstanding\":0,"
+      "\"claims_live\":0,\"claims_stale\":0,\"events\":0,"
+      "\"dropped_event_lines\":0,\"unreadable_heartbeats\":0,"
+      "\"percent\":0,\"cells_per_second\":0,\"eta_seconds\":-1,"
+      "\"elapsed_seconds\":0,\"complete\":false,\"drained\":false}\n");
+  EXPECT_EQ(v1.schema, 1);
+}
+
+TEST(FarmStatus, FutureDatedHeartbeatRendersAsZeroAge) {
+  const CampaignSpec spec = small_spec();
+  const Manifest manifest = manifest_for(spec, 2);
+  const std::string spool = make_temp_spool();
+  init_spool(spool, manifest);
+  util::fs::make_directories(heartbeat_dir(spool));
+  WorkerHeartbeat hb;
+  hb.worker_id = "skewed";
+  hb.time_unix_seconds = 2000.0;  // 1000s in the reader's future
+  util::fs::atomic_write_text_file(heartbeat_path(spool, "skewed"),
+                                   hb.to_json());
+
+  FarmStatusOptions options;
+  options.now_unix_seconds = 1000.0;
+  const FarmStatus status = collect_farm_status(spool, manifest, options);
+  ASSERT_EQ(status.workers.size(), 1u);
+  // The classifier clamps the age; the human table must agree — never
+  // "-1000.0s ago" (satellite of the serving PR).
+  EXPECT_DOUBLE_EQ(status.workers[0].age_seconds, 0.0);
+  const std::string table = render_farm_status(status);
+  EXPECT_NE(table.find("0.0s ago"), std::string::npos);
+  EXPECT_EQ(table.find("-1000"), std::string::npos);
+}
+
 TEST(FarmTelemetry, WorkerLoopEmitsTelemetryWithoutPerturbingExports) {
   const CampaignSpec spec = small_spec();
   const Manifest manifest = manifest_for(spec, 3);

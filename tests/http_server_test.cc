@@ -1,0 +1,178 @@
+// Tier-1 contract of the embedded HTTP server (src/obs/http_server.h):
+// routing, query parsing, SSE streaming, the connection cap, prompt clean
+// shutdown even mid-stream, and the tiny blocking client's error paths.
+#include "src/obs/http_server.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace icr::obs::http {
+namespace {
+
+// Raw one-shot client for request shapes http_get cannot produce (bad
+// methods, pipelined garbage). Sends `request` verbatim, reads to close.
+std::string raw_request(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string reply;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    reply.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return reply;
+}
+
+TEST(HttpServer, ServesBufferedHandlersAndResolvesEphemeralPort) {
+  Server server;
+  server.handle("/healthz", [](const Request&) {
+    Response r;
+    r.body = "ok\n";
+    return r;
+  });
+  ServerOptions options;  // port 0 = ephemeral
+  server.start(options);
+  ASSERT_TRUE(server.running());
+  ASSERT_NE(server.port(), 0);
+  EXPECT_EQ(server.url(), "http://127.0.0.1:" + std::to_string(server.port()));
+
+  const FetchResult reply = http_get(server.url() + "/healthz");
+  EXPECT_EQ(reply.status, 200);
+  EXPECT_EQ(reply.body, "ok\n");
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  server.stop();  // idempotent
+}
+
+TEST(HttpServer, RoutesByExactPathWith404And405) {
+  Server server;
+  server.handle("/here", [](const Request&) { return Response{}; });
+  server.start({});
+  EXPECT_EQ(http_get(server.url() + "/here").status, 200);
+  EXPECT_EQ(http_get(server.url() + "/missing").status, 404);
+  // Prefixes are not routes: exact match only.
+  EXPECT_EQ(http_get(server.url() + "/here/sub").status, 404);
+
+  const std::string post = raw_request(
+      server.port(), "POST /here HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(post.find("405"), std::string::npos);
+  const std::string garbage = raw_request(server.port(), "not-http\r\n\r\n");
+  EXPECT_NE(garbage.find("400"), std::string::npos);
+  server.stop();
+}
+
+TEST(HttpServer, ParsesQueryParamsAndHeaders) {
+  Server server;
+  server.handle("/echo", [](const Request& request) {
+    Response r;
+    r.body = request.path + "|" + request.query_param("after", "none") + "|" +
+             request.query_param("missing", "fallback") + "|" +
+             request.header("x-test");
+    return r;
+  });
+  server.start({});
+  const FetchResult reply =
+      http_get(server.url() + "/echo?after=7&once=1", 10.0, {"X-Test: hi"});
+  EXPECT_EQ(reply.status, 200);
+  EXPECT_EQ(reply.body, "/echo|7|fallback|hi");
+  server.stop();
+}
+
+TEST(HttpServer, StreamsIncrementallyUntilHandlerReturns) {
+  Server server;
+  server.handle_stream("/events", [](const Request&, ClientStream& stream) {
+    for (int i = 0; i < 3; ++i) {
+      if (!stream.write("id: " + std::to_string(i) + "\ndata: x\n\n")) return;
+    }
+  });
+  server.start({});
+  const FetchResult reply = http_get(server.url() + "/events");
+  EXPECT_EQ(reply.status, 200);
+  EXPECT_EQ(reply.body, "id: 0\ndata: x\n\nid: 1\ndata: x\n\nid: 2\ndata: x\n\n");
+  server.stop();
+}
+
+TEST(HttpServer, StopUnblocksAStreamingHandler) {
+  Server server;
+  std::atomic<bool> entered{false};
+  server.handle_stream("/slow", [&](const Request&, ClientStream& stream) {
+    entered.store(true);
+    // wait() returns false on shutdown; a cooperative handler exits then.
+    while (!stream.stopping()) {
+      if (!stream.wait(30.0)) break;
+    }
+  });
+  server.start({});
+
+  std::thread client([&] { (void)http_get(server.url() + "/slow", 30.0); });
+  while (!entered.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto begin = std::chrono::steady_clock::now();
+  server.stop();  // must join the streaming connection promptly
+  const double stop_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  EXPECT_LT(stop_seconds, 10.0);
+  client.join();
+}
+
+TEST(HttpServer, CapsConcurrentConnectionsWith503) {
+  Server server;
+  std::atomic<bool> entered{false};
+  server.handle_stream("/hold", [&](const Request&, ClientStream& stream) {
+    entered.store(true);
+    while (stream.wait(30.0)) {
+    }
+  });
+  ServerOptions options;
+  options.max_connections = 1;
+  server.start(options);
+
+  std::thread holder([&] { (void)http_get(server.url() + "/hold", 30.0); });
+  while (!entered.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const FetchResult overflow = http_get(server.url() + "/hold");
+  EXPECT_EQ(overflow.status, 503);
+  server.stop();
+  holder.join();
+}
+
+TEST(HttpClient, ThrowsClearlyOnBadUrlAndUnreachableServer) {
+  EXPECT_THROW((void)http_get("ftp://127.0.0.1/"), std::runtime_error);
+  EXPECT_THROW((void)http_get("http://"), std::runtime_error);
+
+  // Grab a port that was just freed — nothing listens there anymore.
+  Server server;
+  server.handle("/", [](const Request&) { return Response{}; });
+  server.start({});
+  const std::string url = server.url();
+  server.stop();
+  EXPECT_THROW((void)http_get(url + "/", 2.0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace icr::obs::http

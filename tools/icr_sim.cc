@@ -14,6 +14,8 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/obs/obs_io.h"
 #include "src/obs/prof.h"
@@ -23,6 +25,7 @@
 #include "src/sim/experiment.h"
 #include "src/sim/results_io.h"
 #include "src/sim/sampling.h"
+#include "src/sim/serve.h"
 #include "src/sim/simulator.h"
 #include "src/trace/trace_file.h"
 #include "src/trace/trace_v2.h"
@@ -66,6 +69,7 @@ struct Options {
   std::string rel_intervals_out;
   bool prof = false;
   std::string prof_out;
+  std::string serve_spec;  // HTTP status server: PORT or ADDR:PORT
 };
 
 void usage() {
@@ -105,7 +109,10 @@ void usage() {
       "  --prof                profile the simulator itself: self-time\n"
       "                        table of host-side zones on stderr\n"
       "  --prof-out=FILE       write the capture as Chrome trace-event JSON\n"
-      "                        (open in Perfetto; implies --prof)\n");
+      "                        (open in Perfetto; implies --prof)\n"
+      "  --serve=[ADDR:]PORT   embedded HTTP status server for long runs\n"
+      "                        (docs/SERVING.md): GET / /healthz /status\n"
+      "                        /metrics /events; binds 127.0.0.1 by default\n");
 }
 
 void print_csv(const sim::RunResult& r) {
@@ -219,6 +226,8 @@ int main(int argc, char** argv) {
     } else if (parse_flag(argv[i], "--prof-out", value)) {
       opt.prof_out = value;
       opt.prof = true;
+    } else if (parse_flag(argv[i], "--serve", value)) {
+      opt.serve_spec = value;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       usage();
@@ -283,6 +292,64 @@ int main(int argc, char** argv) {
 
   if (opt.prof) obs::prof::begin_capture();
 
+  // HTTP status server for long runs. The simulation thread pushes
+  // snapshots between run chunks; chunked execution commits the identical
+  // instruction stream (simulator contract, tier-1 guarded), so serving
+  // never changes results.
+  std::unique_ptr<sim::farm::SimStatusSource> serve_source;
+  std::unique_ptr<obs::http::Server> serve_server;
+  if (!opt.serve_spec.empty()) {
+    try {
+      sim::farm::ServeOptions serve_options;
+      sim::farm::parse_serve_spec(opt.serve_spec, &serve_options);
+      serve_source = std::make_unique<sim::farm::SimStatusSource>(
+          opt.scheme, opt.trace_path.empty() ? opt.app : opt.trace_path,
+          instructions);
+      serve_server =
+          sim::farm::start_status_server(*serve_source, serve_options);
+      std::fprintf(stderr, "serving run status on %s\n",
+                   serve_server->url().c_str());
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "icr_sim: %s\n", error.what());
+      return 2;
+    }
+  }
+  const auto serve_update = [&](sim::Simulator& simulator,
+                                std::uint64_t done) {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    if (obs::Observability* o = simulator.observability()) {
+      const auto values = o->registry.snapshot_counters();
+      const auto& names = o->registry.counter_names();
+      counters.reserve(names.size());
+      for (std::size_t c = 0; c < names.size(); ++c) {
+        counters.emplace_back(names[c], values[c]);
+      }
+    }
+    serve_source->update(done, std::move(counters),
+                         opt.prof ? obs::prof::snapshot_zones()
+                                  : std::vector<obs::prof::ZoneNode>{});
+  };
+  const auto run_serving = [&](sim::Simulator& simulator) {
+    if (serve_source == nullptr) return simulator.run(instructions);
+    // Chunk against the *committed* count, like Simulator::run does for
+    // sampling intervals: the commit stage overshoots each call by up to
+    // commit_width-1, and absolute targets keep that from accumulating —
+    // the chunked run commits the exact stream a single run() would.
+    const std::uint64_t chunk =
+        std::max<std::uint64_t>(instructions / 200, 10000);
+    const std::uint64_t base = simulator.result().instructions;
+    const std::uint64_t target = base + instructions;
+    sim::RunResult chunk_result = simulator.result();
+    while (chunk_result.instructions < target) {
+      const std::uint64_t next =
+          std::min(chunk_result.instructions + chunk, target);
+      chunk_result = simulator.run(next - chunk_result.instructions);
+      serve_update(simulator,
+                   std::min(chunk_result.instructions - base, instructions));
+    }
+    return chunk_result;
+  };
+
   sim::RunResult result;
   sim::SampleProvenance provenance;
   obs::CellObservability telemetry;
@@ -314,12 +381,14 @@ int main(int argc, char** argv) {
           sim::SamplingController(simulator, sampling).run(instructions);
       result = std::move(sampled.estimate);
       provenance = sampled.provenance;
+      if (serve_source != nullptr) serve_update(simulator, instructions);
     } else {
-      result = simulator.run(instructions);
+      result = run_serving(simulator);
     }
     if (obsopt.any()) telemetry = simulator.collect_observability();
     if (relopt.enabled) rel_report = simulator.collect_rel();
-  } else if (obsopt.any() || relopt.enabled || sampling.enabled()) {
+  } else if (obsopt.any() || relopt.enabled || sampling.enabled() ||
+             serve_source != nullptr) {
     sim::Simulator simulator(config, scheme,
                              trace::profile_for(app_by_name(opt.app)));
     if (obsopt.any()) simulator.enable_observability(obsopt);
@@ -329,8 +398,9 @@ int main(int argc, char** argv) {
           sim::SamplingController(simulator, sampling).run(instructions);
       result = std::move(sampled.estimate);
       provenance = sampled.provenance;
+      if (serve_source != nullptr) serve_update(simulator, instructions);
     } else {
-      result = simulator.run(instructions);
+      result = run_serving(simulator);
     }
     if (obsopt.any()) telemetry = simulator.collect_observability();
     if (relopt.enabled) rel_report = simulator.collect_rel();
@@ -338,6 +408,7 @@ int main(int argc, char** argv) {
     result =
         sim::run_one(app_by_name(opt.app), scheme, config, instructions);
   }
+  if (serve_source != nullptr) serve_source->finish();
 
   // End the capture before reporting: the simulation is what we profile,
   // not the table rendering. The table goes to stderr so --csv stdout

@@ -40,6 +40,7 @@
 #include "src/sim/farm.h"
 #include "src/sim/farm_telemetry.h"
 #include "src/sim/results_io.h"
+#include "src/sim/serve.h"
 #include "src/util/fs.h"
 #include "src/util/table.h"
 
@@ -92,6 +93,7 @@ struct Options {
   std::string status_json;        // status mode: NDJSON out ("-" = stdout)
   double stale_after = 15.0;      // straggler threshold (seconds)
   double dead_after = 60.0;       // dead threshold (seconds)
+  std::string serve_spec;         // HTTP status server: PORT or ADDR:PORT
   // Per-cell telemetry / reliability / profiling (in-process mode only).
   std::uint64_t stats_interval = 0;
   std::string intervals_out;
@@ -174,6 +176,12 @@ void usage() {
       "(default 15)\n"
       "  --dead-after=S        heartbeat age that flags a dead worker\n"
       "                        (default 60)\n"
+      "  --serve=[ADDR:]PORT   embedded HTTP status server (docs/SERVING.md):\n"
+      "                        GET / /healthz /status /metrics /events. Works\n"
+      "                        in --farm, in-process, and --farm-status modes\n"
+      "                        (the latter keeps serving until drained).\n"
+      "                        Binds 127.0.0.1 unless ADDR is given; port 0\n"
+      "                        picks an ephemeral port (printed at start)\n"
       "\n"
       "Per-cell telemetry (in-process mode only):\n"
       "  --stats-interval=N    per-cell telemetry every N instructions\n"
@@ -290,18 +298,38 @@ int run_farm_status_mode(const Options& opt) {
   try {
     const sim::farm::Manifest manifest =
         sim::farm::load_manifest(opt.farm_status_dir);
+    sim::farm::StalenessPolicy staleness;
+    staleness.straggler_after_seconds = opt.stale_after;
+    staleness.dead_after_seconds = opt.dead_after;
+    // With --serve the process stays up (re-rendering only under --watch)
+    // until the fleet drains, so remote readers can poll a stable URL.
+    std::unique_ptr<sim::farm::SpoolStatusSource> serve_source;
+    std::unique_ptr<obs::http::Server> serve_server;
+    if (!opt.serve_spec.empty()) {
+      sim::farm::ServeOptions serve_options;
+      sim::farm::parse_serve_spec(opt.serve_spec, &serve_options);
+      serve_source = std::make_unique<sim::farm::SpoolStatusSource>(
+          opt.farm_status_dir, manifest, staleness);
+      serve_server =
+          sim::farm::start_status_server(*serve_source, serve_options);
+      std::printf("serving farm status on %s (spool %s)\n",
+                  serve_server->url().c_str(), opt.farm_status_dir.c_str());
+      std::fflush(stdout);
+    }
+    bool first = true;
     for (;;) {
       sim::farm::FarmStatusOptions status_options;
-      status_options.staleness.straggler_after_seconds = opt.stale_after;
-      status_options.staleness.dead_after_seconds = opt.dead_after;
+      status_options.staleness = staleness;
       const sim::farm::FarmStatus status = sim::farm::collect_farm_status(
           opt.farm_status_dir, manifest, status_options);
-      if (!opt.quiet) {
+      const bool refresh = first || opt.watch_seconds > 0.0;
+      if (!opt.quiet && refresh) {
+        if (!first) std::printf("\n");
         std::printf("farm status — spool %s\n", opt.farm_status_dir.c_str());
         std::fputs(sim::farm::render_farm_status(status).c_str(), stdout);
         std::fflush(stdout);
       }
-      if (!opt.status_json.empty()) {
+      if (!opt.status_json.empty() && refresh) {
         const std::string ndjson = sim::farm::farm_status_to_ndjson(status);
         if (opt.status_json == "-") {
           std::fputs(ndjson.c_str(), stdout);
@@ -310,9 +338,12 @@ int run_farm_status_mode(const Options& opt) {
           util::fs::atomic_write_text_file(opt.status_json, ndjson);
         }
       }
-      if (opt.watch_seconds <= 0.0 || status.drained()) break;
-      ::usleep(static_cast<useconds_t>(opt.watch_seconds * 1e6));
-      if (!opt.quiet) std::printf("\n");
+      first = false;
+      if (status.drained()) break;
+      if (opt.watch_seconds <= 0.0 && serve_server == nullptr) break;
+      const double sleep_seconds =
+          opt.watch_seconds > 0.0 ? opt.watch_seconds : 0.5;
+      ::usleep(static_cast<useconds_t>(sleep_seconds * 1e6));
     }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "farm status: %s\n", error.what());
@@ -381,6 +412,30 @@ int run_coordinator_mode(const Options& opt, const sim::CampaignSpec& spec,
               manifest.unit_count,
               static_cast<unsigned long long>(manifest.unit_cells),
               spool.c_str(), opt.workers);
+
+  // HTTP status server over the spool: read-only by construction, so the
+  // exports stay byte-identical with --serve on (tier-1 guarded). Stops on
+  // scope exit, after aggregation.
+  std::unique_ptr<sim::farm::SpoolStatusSource> serve_source;
+  std::unique_ptr<obs::http::Server> serve_server;
+  if (!opt.serve_spec.empty()) {
+    try {
+      sim::farm::ServeOptions serve_options;
+      sim::farm::parse_serve_spec(opt.serve_spec, &serve_options);
+      sim::farm::StalenessPolicy staleness;
+      staleness.straggler_after_seconds = opt.stale_after;
+      staleness.dead_after_seconds = opt.dead_after;
+      serve_source = std::make_unique<sim::farm::SpoolStatusSource>(
+          spool, manifest, staleness);
+      serve_server =
+          sim::farm::start_status_server(*serve_source, serve_options);
+      std::printf("serving farm status on %s\n", serve_server->url().c_str());
+      std::fflush(stdout);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "farm: %s\n", error.what());
+      return 2;
+    }
+  }
 
   obs::FarmProgressOptions progress_options;
   progress_options.enabled = opt.progress;
@@ -575,6 +630,8 @@ int main(int argc, char** argv) {
       opt.stale_after = std::atof(value.c_str());
     } else if (parse_flag(argv[i], "--dead-after", value)) {
       opt.dead_after = std::atof(value.c_str());
+    } else if (parse_flag(argv[i], "--serve", value)) {
+      opt.serve_spec = value;
     } else if (parse_flag(argv[i], "--stats-interval", value)) {
       opt.stats_interval = std::strtoull(value.c_str(), nullptr, 10);
     } else if (parse_flag(argv[i], "--intervals-out", value)) {
@@ -618,6 +675,12 @@ int main(int argc, char** argv) {
   if (opt.worker) {
     if (!opt.farm_dir.empty()) {
       std::fprintf(stderr, "--worker and --farm are mutually exclusive\n");
+      return 2;
+    }
+    if (!opt.serve_spec.empty()) {
+      std::fprintf(stderr,
+                   "--serve belongs to the coordinator, in-process, or "
+                   "--farm-status invocation, not to workers\n");
       return 2;
     }
     return run_worker_mode(opt);
@@ -738,9 +801,30 @@ int main(int argc, char** argv) {
   }
 
   sim::CampaignRunner runner(opt.threads);
-  if (opt.progress) {
-    sim::ProgressOptions progress;
-    progress.enabled = true;
+  std::unique_ptr<sim::farm::CampaignStatusSource> serve_source;
+  std::unique_ptr<obs::http::Server> serve_server;
+  if (!opt.serve_spec.empty()) {
+    try {
+      sim::farm::ServeOptions serve_options;
+      sim::farm::parse_serve_spec(opt.serve_spec, &serve_options);
+      serve_source = std::make_unique<sim::farm::CampaignStatusSource>(
+          spec.cell_count(), spec.instructions);
+      serve_server =
+          sim::farm::start_status_server(*serve_source, serve_options);
+      std::printf("serving campaign status on %s\n",
+                  serve_server->url().c_str());
+      std::fflush(stdout);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "run_campaign: %s\n", error.what());
+      return 2;
+    }
+  }
+  if (opt.progress || serve_source != nullptr) {
+    sim::ProgressOptions progress = runner.progress();
+    progress.enabled = progress.enabled || opt.progress;
+    if (serve_source != nullptr) {
+      progress.live_cells_done = &serve_source->cells_done();
+    }
     runner.with_progress(progress);
   }
   const std::size_t app_axis = spec.app_axis();
@@ -752,6 +836,7 @@ int main(int argc, char** argv) {
 
   if (opt.prof) obs::prof::begin_capture();
   const sim::CampaignResult campaign = runner.run(spec);
+  if (serve_source != nullptr) serve_source->finish();
 
   if (!opt.quiet) {
     // Summary: cycles per (scheme, app), averaged over trials.
