@@ -89,6 +89,40 @@ void BM_DL1StoreWithReplicaUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_DL1StoreWithReplicaUpdate);
 
+// Replication-site search over a warmed set. The masked variant disables
+// ways per set (docs/GEOMETRY.md); its scan skips them through the
+// per-set bitmask, so masked search must not be slower than the full scan
+// beyond noise — the property the BENCH baseline pins down.
+void victim_search_bench(benchmark::State& state, std::uint32_t disabled) {
+  mem::MemoryHierarchy hierarchy;
+  mem::WayDisableConfig mask;
+  mask.count = disabled;
+  const mem::CacheGeometry geometry = mem::l1d_geometry_default();
+  core::IcrCache dl1(geometry, core::Scheme::IcrPPS_S(), hierarchy, mask);
+  std::uint64_t cycle = 0;
+  const std::uint64_t lines = geometry.size_bytes / geometry.line_bytes;
+  for (std::uint64_t b = 0; b < lines; ++b) {
+    dl1.store(b * geometry.line_bytes, b, cycle++);
+  }
+  const std::uint32_t sets = geometry.num_sets();
+  std::uint32_t set = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dl1.select_replica_victim(set, ~0ULL, cycle++));
+    set = (set + 1) % sets;
+  }
+}
+
+void BM_VictimSearch(benchmark::State& state) {
+  victim_search_bench(state, 0);
+}
+BENCHMARK(BM_VictimSearch);
+
+void BM_VictimSearchMasked(benchmark::State& state) {
+  victim_search_bench(state, 2);
+}
+BENCHMARK(BM_VictimSearchMasked);
+
 void BM_TraceGeneration(benchmark::State& state) {
   trace::SyntheticWorkload w(trace::profile_for(trace::App::kGcc));
   for (auto _ : state) {

@@ -1,7 +1,9 @@
 #include "src/core/icr_cache.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
+#include <stdexcept>
 
 #include "src/coding/parity.h"
 #include "src/obs/prof.h"
@@ -12,13 +14,22 @@
 namespace icr::core {
 
 IcrCache::IcrCache(mem::CacheGeometry geometry, Scheme scheme,
-                   mem::MemoryHierarchy& next)
+                   mem::MemoryHierarchy& next,
+                   mem::WayDisableConfig way_disable)
     : geometry_(geometry),
       scheme_(std::move(scheme)),
       next_(next),
       dbp_(scheme_.decay_window),
       distances_(candidate_distances(scheme_.replication, geometry.num_sets())) {
   geometry_.validate();
+  way_disable.validate(geometry_.associativity);
+  if (way_disable.enabled()) {
+    disabled_masks_.resize(geometry_.num_sets());
+    for (std::uint32_t s = 0; s < geometry_.num_sets(); ++s) {
+      disabled_masks_[s] =
+          way_disable.mask_for_set(s, geometry_.associativity);
+    }
+  }
   lines_.resize(static_cast<std::size_t>(geometry_.num_sets()) *
                 geometry_.associativity);
   const std::uint32_t words = geometry_.words_per_line();
@@ -162,19 +173,50 @@ void IcrCache::evict_line(IcrLine& line, std::uint64_t cycle) {
   line.replica_count = 0;
 }
 
+std::uint64_t IcrCache::enabled_lines() const noexcept {
+  std::uint64_t total = static_cast<std::uint64_t>(geometry_.num_sets()) *
+                        geometry_.associativity;
+  for (std::uint32_t mask : disabled_masks_) {
+    total -= static_cast<std::uint32_t>(std::popcount(mask));
+  }
+  return total;
+}
+
+void IcrCache::disable_way(std::uint32_t set, std::uint32_t way,
+                           std::uint64_t cycle) {
+  ICR_CHECK(set < geometry_.num_sets() && way < geometry_.associativity);
+  const std::uint32_t all = geometry_.associativity >= 32
+                                ? ~0u
+                                : ((1u << geometry_.associativity) - 1u);
+  const std::uint32_t mask = disabled_mask(set) | (1u << way);
+  if ((mask & all) == all) {
+    throw std::invalid_argument(
+        "IcrCache::disable_way: last enabled way of the set");
+  }
+  if (disabled_masks_.empty()) disabled_masks_.resize(geometry_.num_sets());
+  evict_line(set_base(set)[way], cycle);  // flush the resident line first
+  disabled_masks_[set] = mask;
+}
+
 IcrLine& IcrCache::allocate_primary_slot(std::uint64_t block,
                                          std::uint64_t cycle) {
-  // §3.1: primary placement is plain LRU over every way — dead, replica or
-  // primary alike.
-  IcrLine* base = set_base(geometry_.set_index(block));
-  IcrLine* victim = &base[0];
+  // §3.1: primary placement is plain LRU over every enabled way — dead,
+  // replica or primary alike. Disabled ways never participate.
+  const std::uint32_t set = geometry_.set_index(block);
+  const std::uint32_t disabled = disabled_mask(set);
+  IcrLine* base = set_base(set);
+  IcrLine* victim = nullptr;
   for (std::uint32_t w = 0; w < geometry_.associativity; ++w) {
+    if ((disabled >> w) & 1u) continue;
     if (!base[w].valid) {
       victim = &base[w];
       break;
     }
-    if (base[w].lru_stamp < victim->lru_stamp) victim = &base[w];
+    if (victim == nullptr || base[w].lru_stamp < victim->lru_stamp) {
+      victim = &base[w];
+    }
   }
+  ICR_CHECK(victim != nullptr);  // validate() keeps >= 1 way enabled per set
   evict_line(*victim, cycle);
   return *victim;
 }
@@ -183,11 +225,13 @@ IcrLine* IcrCache::select_replica_victim(std::uint32_t set,
                                          std::uint64_t block,
                                          std::uint64_t cycle) {
   ICR_PROF_ZONE_HOT("IcrCache::select_replica_victim");
+  const std::uint32_t disabled = disabled_mask(set);
   IcrLine* base = set_base(set);
   IcrLine* invalid = nullptr;
   IcrLine* dead = nullptr;     // LRU dead primary
   IcrLine* replica = nullptr;  // LRU replica
   for (std::uint32_t w = 0; w < geometry_.associativity; ++w) {
+    if ((disabled >> w) & 1u) continue;
     IcrLine& l = base[w];
     if (!l.valid) {
       if (invalid == nullptr) invalid = &l;
@@ -780,6 +824,8 @@ void IcrCache::check_invariants() const {
     for (std::uint32_t w = 0; w < geometry_.associativity; ++w) {
       const IcrLine& l = base[w];
       if (!l.valid) continue;
+      // A disabled way never holds a valid line.
+      ICR_CHECK(!way_disabled(s, w));
       if (l.replica) {
         ICR_CHECK(!l.dirty);
         ICR_CHECK(l.replica_count == 0);

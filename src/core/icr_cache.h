@@ -146,8 +146,12 @@ struct IcrStats {
 
 class IcrCache {
  public:
+  // `way_disable` masks faulty ways out of the array (degraded-geometry
+  // mode): a disabled way is never allocated, never searched as a
+  // replication site, and never holds a valid line. Default: none disabled.
   IcrCache(mem::CacheGeometry geometry, Scheme scheme,
-           mem::MemoryHierarchy& next);
+           mem::MemoryHierarchy& next,
+           mem::WayDisableConfig way_disable = {});
 
   struct AccessOutcome {
     // Which rung of the recovery ladder produced the delivered value (set
@@ -252,12 +256,38 @@ class IcrCache {
   // tests/rel_tracker_test.cc). The tracker must outlive the cache.
   void attach_rel(rel::RelTracker* rel) noexcept { rel_ = rel; }
 
+  // ---- degraded-geometry surface ----
+  // Disabled-way bitmask for `set` (bit w set == way w masked out).
+  [[nodiscard]] std::uint32_t disabled_mask(std::uint32_t set) const noexcept {
+    return disabled_masks_.empty() ? 0 : disabled_masks_[set];
+  }
+  [[nodiscard]] bool way_disabled(std::uint32_t set,
+                                  std::uint32_t way) const noexcept {
+    return (disabled_mask(set) >> way) & 1u;
+  }
+  // Enabled (allocatable) line count across the whole array.
+  [[nodiscard]] std::uint64_t enabled_lines() const noexcept;
+  // Disables (set, way) at runtime — the hard-fault mitigation path. The
+  // resident line, if any, is flushed (written back when dirty) and
+  // invalidated before the way is masked. Throws std::invalid_argument if
+  // this would disable the set's last enabled way.
+  void disable_way(std::uint32_t set, std::uint32_t way, std::uint64_t cycle);
+
+  // §3.1 replica victim selection inside `set` (never a live primary, never
+  // the block's own primary copy, never a disabled way). Returns nullptr if
+  // no candidate. Public for the property-test reference scan and the
+  // victim-search microbench.
+  [[nodiscard]] IcrLine* select_replica_victim(std::uint32_t set,
+                                               std::uint64_t block,
+                                               std::uint64_t cycle);
+
   // Aborts if any structural invariant is violated (test hook):
   //  - at most one primary per block;
   //  - every primary's replica_count matches the resident replicas of its
   //    block at the policy's candidate sites;
   //  - replicas are never dirty;
-  //  - every replica of block B lives at a candidate distance from B's set.
+  //  - every replica of block B lives at a candidate distance from B's set;
+  //  - no valid line occupies a disabled way.
   void check_invariants() const;
 
  private:
@@ -289,15 +319,9 @@ class IcrCache {
   // Evicts `line` (writeback if dirty primary, replica bookkeeping, etc.).
   void evict_line(IcrLine& line, std::uint64_t cycle);
 
-  // Victim by plain LRU over all ways of the natural set; evicts it and
-  // returns the now-invalid line.
+  // Victim by plain LRU over the enabled ways of the natural set; evicts it
+  // and returns the now-invalid line.
   IcrLine& allocate_primary_slot(std::uint64_t block, std::uint64_t cycle);
-
-  // §3.1 replica victim selection inside `set` (never a live primary, never
-  // the block's own primary copy). Returns nullptr if no candidate.
-  [[nodiscard]] IcrLine* select_replica_victim(std::uint32_t set,
-                                               std::uint64_t block,
-                                               std::uint64_t cycle);
 
   // One replication attempt for `primary` (counts metrics, walks the
   // candidate distances, installs up to the configured number of replicas).
@@ -316,6 +340,9 @@ class IcrCache {
 
   mem::CacheGeometry geometry_;
   Scheme scheme_;
+  // Per-set disabled-way bitmasks; empty when no ways are disabled so the
+  // common path stays a single emptiness check.
+  std::vector<std::uint32_t> disabled_masks_;
   mem::MemoryHierarchy& next_;
   const ReplicationHints* hints_ = nullptr;
   baselines::RCache* rcache_ = nullptr;

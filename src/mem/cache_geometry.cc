@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "src/util/bitops.h"
+#include "src/util/rng.h"
 
 namespace icr::mem {
 
@@ -16,6 +17,57 @@ void CacheGeometry::validate() const {
   if (size_bytes < line_bytes * associativity) {
     throw std::invalid_argument("CacheGeometry: size < one set");
   }
+}
+
+std::uint32_t WayDisableConfig::mask_for_set(std::uint32_t set,
+                                             std::uint32_t ways) const noexcept {
+  if (!enabled() || ways == 0) return 0;
+  const std::uint32_t all = ways >= 32 ? ~0u : ((1u << ways) - 1u);
+  if (fixed_mask != 0) return fixed_mask & all;
+  const std::uint32_t k = count < ways ? count : ways - 1;
+  if (pattern == Pattern::kFixed) return (1u << k) - 1u;
+  // Per-set k-of-N draw: partial Fisher-Yates over the way indices, seeded
+  // by (seed, set) so every set draws independently but reproducibly.
+  std::uint64_t state = mix64(seed ^ mix64(0x3AD0'57A7ull + set));
+  std::uint32_t order[32];
+  for (std::uint32_t w = 0; w < ways; ++w) order[w] = w;
+  std::uint32_t mask = 0;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const std::uint32_t j =
+        i + static_cast<std::uint32_t>(split_mix64(state) % (ways - i));
+    const std::uint32_t tmp = order[i];
+    order[i] = order[j];
+    order[j] = tmp;
+    mask |= 1u << order[i];
+  }
+  return mask;
+}
+
+void WayDisableConfig::validate(std::uint32_t ways) const {
+  if (!enabled()) return;
+  if (ways == 0 || ways > 32) {
+    throw std::invalid_argument("WayDisableConfig: ways must be in [1, 32]");
+  }
+  const std::uint32_t all = ways >= 32 ? ~0u : ((1u << ways) - 1u);
+  if (fixed_mask != 0) {
+    if ((fixed_mask & ~all) != 0) {
+      throw std::invalid_argument(
+          "WayDisableConfig: fixed_mask names ways outside the geometry");
+    }
+    if ((fixed_mask & all) == all) {
+      throw std::invalid_argument(
+          "WayDisableConfig: at least one way must stay enabled");
+    }
+    return;
+  }
+  if (count >= ways) {
+    throw std::invalid_argument(
+        "WayDisableConfig: at least one way must stay enabled");
+  }
+}
+
+const char* way_pattern_name(WayDisableConfig::Pattern pattern) noexcept {
+  return pattern == WayDisableConfig::Pattern::kRandom ? "random" : "fixed";
 }
 
 CacheGeometry l1d_geometry_default() noexcept {

@@ -37,4 +37,39 @@ struct CacheGeometry {
 [[nodiscard]] CacheGeometry l1i_geometry_default() noexcept;  // 16KB 1-way 32B
 [[nodiscard]] CacheGeometry l2_geometry_default() noexcept;   // 256KB 4-way 64B
 
+// Faulty-way masking: which ways of a set are disabled (never allocated,
+// never searched as replication sites). Two shapes:
+//   - kFixed: the same ways in every set — either an explicit `fixed_mask`
+//     or, when only `count` is given, the low `count` ways.
+//   - kRandom: a per-set k-of-N draw seeded by (`seed`, set index), modelling
+//     hard faults scattered across the array. Deterministic: the same
+//     (seed, set, ways) always yields the same mask, so the draw can be
+//     folded into campaign config hashes.
+// Default-constructed means "no ways disabled" (enabled() == false).
+struct WayDisableConfig {
+  enum class Pattern : std::uint8_t { kFixed = 0, kRandom = 1 };
+
+  std::uint32_t count = 0;       // ways disabled per set (k of N)
+  std::uint32_t fixed_mask = 0;  // explicit mask; overrides count when set
+  Pattern pattern = Pattern::kFixed;
+  std::uint64_t seed = 0x0DDB17;  // per-set draw seed (kRandom only)
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return count != 0 || fixed_mask != 0;
+  }
+
+  // Disabled-way bitmask for `set` in a cache with `ways` ways. Bit w set
+  // means way w is disabled.
+  [[nodiscard]] std::uint32_t mask_for_set(std::uint32_t set,
+                                           std::uint32_t ways) const noexcept;
+
+  // Throws std::invalid_argument if the config would disable every way of a
+  // `ways`-way cache (at least one way must stay enabled) or names ways
+  // outside the geometry.
+  void validate(std::uint32_t ways) const;
+};
+
+[[nodiscard]] const char* way_pattern_name(
+    WayDisableConfig::Pattern pattern) noexcept;
+
 }  // namespace icr::mem

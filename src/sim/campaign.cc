@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -43,6 +44,17 @@ void hash_fold_config(std::uint64_t& state, const SimConfig& config) noexcept {
   hash_fold(state, config.dl1.size_bytes);
   hash_fold(state, config.dl1.associativity);
   hash_fold(state, config.dl1.line_bytes);
+  if (config.dl1_way_disable.enabled()) {
+    // Way-disabling changes the numbers, so the full draw configuration
+    // fingerprints — but only when enabled, keeping hashes of undegraded
+    // configs stable across versions.
+    hash_fold(state, 0xD15AB1EDULL);  // domain separator
+    hash_fold(state, config.dl1_way_disable.count);
+    hash_fold(state, config.dl1_way_disable.fixed_mask);
+    hash_fold(state,
+              static_cast<std::uint64_t>(config.dl1_way_disable.pattern));
+    hash_fold(state, config.dl1_way_disable.seed);
+  }
 }
 
 // Runs one cell of the expanded grid; the only writer of cells[index].
@@ -65,6 +77,16 @@ CellResult run_cell(const CampaignSpec& spec, std::size_t variant_idx,
   cell.cell.variant_idx = static_cast<std::uint32_t>(variant_idx);
   cell.cell.app_idx = static_cast<std::uint32_t>(app_idx);
   cell.cell.trial_idx = static_cast<std::uint32_t>(trial_idx);
+  if (spec.geometry.enabled()) {
+    cell.geometry.present = true;
+    cell.geometry.dl1_size_bytes = config.dl1.size_bytes;
+    cell.geometry.dl1_assoc = config.dl1.associativity;
+    const mem::WayDisableConfig& wd = config.dl1_way_disable;
+    cell.geometry.ways_disabled =
+        wd.fixed_mask != 0
+            ? static_cast<std::uint32_t>(std::popcount(wd.fixed_mask))
+            : wd.count;
+  }
 
   std::uint64_t workload_seed = 0;
   if (spec.derive_seeds) {
@@ -208,6 +230,66 @@ void resolve_trace_campaign(CampaignSpec& spec) {
   }
   spec.trace.fingerprint = info.fingerprint;
   spec.trace.records = info.records;
+}
+
+std::string geometry_label_suffix(std::uint32_t size_bytes,
+                                  std::uint32_t assoc,
+                                  std::uint32_t ways_disabled) {
+  const std::string size = size_bytes % 1024 == 0
+                               ? std::to_string(size_bytes / 1024) + "K"
+                               : std::to_string(size_bytes);
+  return "@" + size + "/" + std::to_string(assoc) + "w-d" +
+         std::to_string(ways_disabled);
+}
+
+void expand_geometry_sweep(CampaignSpec& spec) {
+  if (!spec.geometry.enabled()) return;
+  if (!spec.geometry.base_schemes.empty()) {
+    throw std::invalid_argument(
+        "expand_geometry_sweep: spec already expanded (base_schemes set)");
+  }
+  GeometrySweep& sweep = spec.geometry;
+  // Absent axes sweep the single value the spec already carries.
+  std::vector<std::uint32_t> sizes = sweep.sizes;
+  std::vector<std::uint32_t> assocs = sweep.assocs;
+  std::vector<std::uint32_t> kvals = sweep.ways_disabled;
+  if (sizes.empty()) sizes.push_back(spec.config.dl1.size_bytes);
+  if (assocs.empty()) assocs.push_back(spec.config.dl1.associativity);
+  if (kvals.empty()) kvals.push_back(0);
+
+  std::vector<SchemeVariant> expanded;
+  expanded.reserve(spec.variants.size() * sizes.size() * assocs.size() *
+                   kvals.size());
+  for (const SchemeVariant& base : spec.variants) {
+    sweep.base_schemes.push_back(base.label);
+    for (const std::uint32_t size : sizes) {
+      for (const std::uint32_t assoc : assocs) {
+        for (const std::uint32_t k : kvals) {
+          // Infeasible grid cells (a 2-way set cannot lose 2 ways) are
+          // skipped, not errors: a rectangular sizes x assocs x k request
+          // naturally contains them. The skip is deterministic, so
+          // spec_from_manifest's re-expansion reproduces the same grid.
+          if (k >= assoc) continue;
+          SchemeVariant v = base;
+          SimConfig config = base.config ? *base.config : spec.config;
+          config.dl1.size_bytes = size;
+          config.dl1.associativity = assoc;
+          config.dl1.validate();
+          config.dl1_way_disable = mem::WayDisableConfig{};
+          if (k != 0) {
+            config.dl1_way_disable.count = k;
+            config.dl1_way_disable.pattern = sweep.pattern;
+            config.dl1_way_disable.seed = sweep.way_seed;
+          }
+          config.dl1_way_disable.validate(assoc);
+          v.label = base.label + geometry_label_suffix(size, assoc, k);
+          v.config = config;
+          expanded.push_back(std::move(v));
+        }
+      }
+    }
+  }
+  spec.variants = std::move(expanded);
 }
 
 std::uint64_t resolved_instruction_count(const CampaignSpec& spec) {
@@ -358,6 +440,7 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
   result.meta.instructions = instructions;
   result.meta.trials = static_cast<std::uint32_t>(trials);
   result.meta.sampling = spec.sampling;
+  result.meta.geometry = spec.geometry.enabled();
   result.cells.resize(total);
 
   const auto start = std::chrono::steady_clock::now();

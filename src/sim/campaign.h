@@ -60,10 +60,37 @@ struct TraceCampaignOptions {
   [[nodiscard]] bool enabled() const noexcept { return !path.empty(); }
 };
 
+// Degraded-geometry sweep axes (docs/GEOMETRY.md). When enabled(), the
+// campaign grid gains geometry dimensions: expand_geometry_sweep() crosses
+// every base scheme variant with (size × associativity × disabled-way
+// count), producing one labelled variant per geometry cell whose per-variant
+// SimConfig override carries the dL1 geometry and way-disable draw. The
+// expansion is deterministic, so a farm worker reconstructing the spec from
+// a manifest (base schemes + these axes) re-derives the identical grid and
+// config hash.
+struct GeometrySweep {
+  std::vector<std::uint32_t> sizes;   // dL1 sizes in bytes; empty = spec dL1
+  std::vector<std::uint32_t> assocs;  // associativities; empty = spec dL1
+  std::vector<std::uint32_t> ways_disabled;  // k per set; empty = {0}
+  mem::WayDisableConfig::Pattern pattern =
+      mem::WayDisableConfig::Pattern::kFixed;
+  std::uint64_t way_seed = 0x0DDB17;  // per-set draw seed (kRandom)
+  // Base scheme labels recorded by expand_geometry_sweep(); what the farm
+  // manifest serializes so spec_from_manifest() can re-expand.
+  std::vector<std::string> base_schemes;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return !sizes.empty() || !assocs.empty() || !ways_disabled.empty();
+  }
+};
+
 struct CampaignSpec {
   std::vector<SchemeVariant> variants;
   std::vector<trace::App> apps;
   TraceCampaignOptions trace;  // when enabled(), replaces the app axis
+  // Geometry axes; absent (the default) leaves the variant grid, config
+  // hash and export schemas exactly as before the degraded-geometry PR.
+  GeometrySweep geometry;
   SimConfig config = SimConfig::table1();  // per-variant override wins
   std::uint64_t instructions = 0;          // 0 = default_instruction_count()
   std::uint32_t trials = 1;                // repeated cells per (variant, app)
@@ -113,6 +140,23 @@ struct CampaignSpec {
 // trace campaign; throws std::runtime_error on a missing/corrupt trace.
 void resolve_trace_campaign(CampaignSpec& spec);
 
+// Crosses spec.variants with the geometry axes (no-op when
+// spec.geometry.enabled() is false). Each base variant × (size, assoc, k)
+// cell becomes one variant labelled "<base>@<size>/<assoc>w-d<k>" whose
+// config override carries the geometry and way-disable draw; the base
+// labels are recorded in spec.geometry.base_schemes. Idempotent per spec
+// (expanding twice throws). Call once, before hashing or manifesting;
+// throws std::invalid_argument on a malformed geometry (non-power-of-two,
+// k >= associativity, ...).
+void expand_geometry_sweep(CampaignSpec& spec);
+
+// Deterministic geometry cell label suffix: "@<size>/<assoc>w-d<k>" with
+// the size printed as "16K"-style when divisible by 1024. Comma-free, so
+// expanded variant labels stay CSV-safe.
+[[nodiscard]] std::string geometry_label_suffix(std::uint32_t size_bytes,
+                                                std::uint32_t assoc,
+                                                std::uint32_t ways_disabled);
+
 // The per-campaign instruction budget: spec.instructions when set, else
 // the whole trace (trace campaigns) or default_instruction_count().
 [[nodiscard]] std::uint64_t resolved_instruction_count(
@@ -141,11 +185,24 @@ struct CampaignCell {
   std::uint64_t seed = 0;  // derived seed (0 when derive_seeds is false)
 };
 
+// Per-cell geometry provenance: the resolved dL1 geometry the cell ran
+// with. `present` is true only for cells of a geometry-swept campaign —
+// exports add geometry columns exactly when a sweep was requested, so
+// legacy export schemas are byte-stable (mirrors SampleProvenance).
+struct GeometryProvenance {
+  bool present = false;
+  std::uint32_t dl1_size_bytes = 0;
+  std::uint32_t dl1_assoc = 0;
+  std::uint32_t ways_disabled = 0;  // per-set disabled-way count
+};
+
 struct CellResult {
   CampaignCell cell;
   RunResult result;
   // How the result was obtained; sampling.sampled is false for full runs.
   SampleProvenance sampling;
+  // Resolved dL1 geometry; present only in geometry-swept campaigns.
+  GeometryProvenance geometry;
   // Telemetry extract; null when the spec's ObsOptions asked for nothing.
   std::unique_ptr<obs::CellObservability> obs;
   // Analytical reliability report; null unless the spec enabled rel.
@@ -173,6 +230,7 @@ struct CampaignMeta {
   std::uint32_t trials = 1;
   unsigned threads = 1;
   SamplingOptions sampling;  // copy of the spec's sampling request
+  bool geometry = false;     // geometry sweep — exports carry geometry columns
   std::uint64_t completed_cells = 0;
   double wall_seconds = 0.0;
   double cells_per_second = 0.0;

@@ -15,6 +15,9 @@ struct SimConfig {
   cpu::PipelineConfig pipeline;                       // 4-wide, RUU 16, LSQ 8
   mem::HierarchyConfig hierarchy;                     // L1I/L2/memory
   mem::CacheGeometry dl1 = mem::l1d_geometry_default();  // 16KB 4-way 64B
+  // Degraded-geometry mode: faulty dL1 ways masked out of allocation and
+  // replication-site search (docs/GEOMETRY.md). Default: none disabled.
+  mem::WayDisableConfig dl1_way_disable;
 
   energy::EnergyParams energy;
 

@@ -106,6 +106,26 @@ std::string Manifest::to_json() const {
          ",\n";
   out += "    \"sampling\": ";
   append_sampling_json(out, sampling);
+  if (geometry.enabled()) {
+    auto append_u32_array = [&out](const char* key,
+                                   const std::vector<std::uint32_t>& values) {
+      out += std::string("\"") + key + "\": [";
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += std::to_string(values[i]);
+      }
+      out += ']';
+    };
+    out += ",\n    \"geometry\": {";
+    append_u32_array("sizes", geometry.sizes);
+    out += ", ";
+    append_u32_array("assocs", geometry.assocs);
+    out += ", ";
+    append_u32_array("ways_disabled", geometry.ways_disabled);
+    out += std::string(", \"pattern\": \"") +
+           mem::way_pattern_name(geometry.pattern) + "\", \"way_seed\": \"" +
+           hex64(geometry.way_seed) + "\"}";
+  }
   if (trace.enabled()) {
     out += ",\n    \"trace\": {\"path\": \"" + util::json_escape(trace.path) +
            "\", \"shard_instructions\": " +
@@ -158,6 +178,23 @@ Manifest Manifest::parse(const std::string& text) {
   if (f.get("sampling").is_object()) {
     m.sampling = parse_sampling(f.get("sampling"));
   }
+  if (f.get("geometry").is_object()) {
+    const util::JsonValue& g = f.get("geometry");
+    for (const util::JsonValue& v : g.get("sizes").items()) {
+      m.geometry.sizes.push_back(static_cast<std::uint32_t>(as_u64(v)));
+    }
+    for (const util::JsonValue& v : g.get("assocs").items()) {
+      m.geometry.assocs.push_back(static_cast<std::uint32_t>(as_u64(v)));
+    }
+    for (const util::JsonValue& v : g.get("ways_disabled").items()) {
+      m.geometry.ways_disabled.push_back(
+          static_cast<std::uint32_t>(as_u64(v)));
+    }
+    m.geometry.pattern = g.get("pattern").as_string("fixed") == "random"
+                             ? mem::WayDisableConfig::Pattern::kRandom
+                             : mem::WayDisableConfig::Pattern::kFixed;
+    m.geometry.way_seed = parse_hex64(g.get("way_seed"));
+  }
   if (f.get("trace").is_object()) {
     const util::JsonValue& t = f.get("trace");
     m.trace.path = t.get("path").as_string();
@@ -194,7 +231,14 @@ Manifest manifest_for(const CampaignSpec& spec, std::uint64_t unit_cells) {
   m.unit_cells = unit_cells == 0 ? 1 : unit_cells;
   m.unit_count = static_cast<std::uint32_t>(
       (m.total_cells + m.unit_cells - 1) / m.unit_cells);
-  for (const SchemeVariant& v : spec.variants) m.schemes.push_back(v.label);
+  if (spec.geometry.enabled()) {
+    // The expanded labels are not cli-resolvable; serialize the recorded
+    // base labels plus the axes, and let readers re-expand.
+    m.geometry = spec.geometry;
+    m.schemes = spec.geometry.base_schemes;
+  } else {
+    for (const SchemeVariant& v : spec.variants) m.schemes.push_back(v.label);
+  }
   for (const trace::App app : spec.apps) {
     m.apps.push_back(trace::to_string(app));
   }
@@ -229,6 +273,13 @@ CampaignSpec spec_from_manifest(const Manifest& manifest) {
   spec.config.fault_probability = manifest.fault_probability;
   spec.sampling = manifest.sampling;
   spec.trace = manifest.trace;
+  if (manifest.geometry.enabled()) {
+    // Re-run the deterministic expansion over the base variants; the
+    // caller's config-hash check proves it reproduced the original grid.
+    spec.geometry = manifest.geometry;
+    spec.geometry.base_schemes.clear();
+    expand_geometry_sweep(spec);
+  }
   return spec;
 }
 
@@ -292,6 +343,7 @@ CellRecord CellRecord::from_cell(const CellResult& cell) {
   std::memcpy(record.metric_bits.data(), values.data(),
               values.size() * sizeof(double));
   record.sampling = cell.sampling;
+  record.geometry = cell.geometry;
   return record;
 }
 
@@ -314,7 +366,15 @@ std::string unit_to_json(std::uint32_t unit,
            ", \"trial\": " + std::to_string(c.trial_idx) + ", \"seed\": \"" +
            hex64(c.seed) + "\", \"variant\": \"" +
            util::json_escape(c.variant) + "\", \"app\": \"" +
-           util::json_escape(c.app) + "\", \"metric_bits\": [";
+           util::json_escape(c.app) + "\"";
+    if (c.geometry.present) {
+      out += ", \"geometry\": {\"dl1_size\": " +
+             std::to_string(c.geometry.dl1_size_bytes) +
+             ", \"dl1_assoc\": " + std::to_string(c.geometry.dl1_assoc) +
+             ", \"ways_disabled\": " +
+             std::to_string(c.geometry.ways_disabled) + "}";
+    }
+    out += ", \"metric_bits\": [";
     for (std::size_t m = 0; m < c.metric_bits.size(); ++m) {
       if (m != 0) out += ", ";
       out += '"';
@@ -359,6 +419,16 @@ std::vector<CellRecord> parse_unit_json(const std::string& text,
     record.seed = parse_hex64(c.get("seed"));
     record.variant = c.get("variant").as_string();
     record.app = c.get("app").as_string();
+    if (c.get("geometry").is_object()) {
+      const util::JsonValue& g = c.get("geometry");
+      record.geometry.present = true;
+      record.geometry.dl1_size_bytes =
+          static_cast<std::uint32_t>(as_u64(g.get("dl1_size")));
+      record.geometry.dl1_assoc =
+          static_cast<std::uint32_t>(as_u64(g.get("dl1_assoc")));
+      record.geometry.ways_disabled =
+          static_cast<std::uint32_t>(as_u64(g.get("ways_disabled")));
+    }
     for (const util::JsonValue& bits : c.get("metric_bits").items()) {
       record.metric_bits.push_back(parse_hex64(bits));
     }
@@ -479,7 +549,8 @@ FarmAggregator::FarmAggregator(const Manifest& manifest, std::ostream* csv,
                                std::ostream* json)
     : manifest_(manifest), csv_(csv), json_(json) {
   if (csv_ != nullptr) {
-    *csv_ << results_csv_header(manifest_.sampling.enabled());
+    *csv_ << results_csv_header(manifest_.sampling.enabled(),
+                                manifest_.geometry.enabled());
   }
   if (json_ != nullptr) {
     CampaignMeta meta;
@@ -488,6 +559,7 @@ FarmAggregator::FarmAggregator(const Manifest& manifest, std::ostream* csv,
     meta.instructions = manifest_.instructions;
     meta.trials = manifest_.trials;
     meta.sampling = manifest_.sampling;
+    meta.geometry = manifest_.geometry.enabled();
     // Farm exports never carry timing: wall time depends on the worker
     // fleet, and the byte-identity guarantee is against
     // to_json(campaign, include_timing=false).
@@ -507,6 +579,7 @@ void FarmAggregator::add_unit(std::uint32_t unit,
   }
   ++next_unit_;
   const bool sampled = manifest_.sampling.enabled();
+  const bool geometry = manifest_.geometry.enabled();
   std::string row;  // scratch for one cell; capacity bounded by the schema
   for (const CellRecord& record : records) {
     ++cells_emitted_;
@@ -518,7 +591,8 @@ void FarmAggregator::add_unit(std::uint32_t unit,
       row.clear();
       append_results_csv_row(row, record.variant, record.app,
                              record.trial_idx, record.seed, metrics,
-                             sampled ? &record.sampling : nullptr);
+                             sampled ? &record.sampling : nullptr,
+                             geometry ? &record.geometry : nullptr);
       *csv_ << row;
     }
     if (json_ != nullptr) {
@@ -526,7 +600,8 @@ void FarmAggregator::add_unit(std::uint32_t unit,
       append_results_json_cell(row, record.variant, record.app,
                                record.trial_idx, record.seed, metrics,
                                sampled ? &record.sampling : nullptr,
-                               cells_emitted_ == manifest_.total_cells);
+                               cells_emitted_ == manifest_.total_cells,
+                               geometry ? &record.geometry : nullptr);
       *json_ << row;
     }
   }

@@ -97,6 +97,13 @@ struct Manifest {
   // ignores the key, reconstructs a synthetic spec, and fails the config
   // hash check — a loud mismatch, never silently different numbers.
   TraceCampaignOptions trace;
+  // Geometry sweep axes (docs/GEOMETRY.md). Serialized as an optional
+  // "geometry" object only when enabled — same schema-stability contract
+  // as "trace". For swept campaigns `schemes` carries the *base* scheme
+  // labels (cli-resolvable); spec_from_manifest re-runs the deterministic
+  // expand_geometry_sweep() to recover the full variant grid, and the
+  // config hash check proves the re-expansion matched.
+  GeometrySweep geometry;
 
   [[nodiscard]] std::string to_json() const;
   // Parses a manifest document (throws std::runtime_error on malformed
@@ -154,6 +161,9 @@ struct CellRecord {
   std::string app;
   std::vector<std::uint64_t> metric_bits;
   SampleProvenance sampling;
+  // Serialized as an optional "geometry" object only when present, so
+  // unswept unit records keep their historical bytes.
+  GeometryProvenance geometry;
 
   [[nodiscard]] static CellRecord from_cell(const CellResult& cell);
   [[nodiscard]] std::vector<double> metrics() const;

@@ -123,8 +123,9 @@ std::vector<double> metric_values(const RunResult& r) {
   };
 }
 
-std::string results_csv_header(bool sampled) {
+std::string results_csv_header(bool sampled, bool geometry) {
   std::string out = "variant,app,trial,seed";
+  if (geometry) out += ",dl1_size,dl1_assoc,ways_disabled";
   for (const std::string& column : metric_columns()) {
     out += ',';
     out += column;
@@ -141,7 +142,8 @@ void append_results_csv_row(std::string& out, const std::string& variant,
                             const std::string& app, std::uint32_t trial,
                             std::uint64_t seed,
                             const std::vector<double>& metrics,
-                            const SampleProvenance* sampling) {
+                            const SampleProvenance* sampling,
+                            const GeometryProvenance* geometry) {
   out += variant;
   out += ',';
   out += app;
@@ -149,6 +151,14 @@ void append_results_csv_row(std::string& out, const std::string& variant,
   out += std::to_string(trial);
   out += ',';
   out += hex64(seed);
+  if (geometry != nullptr) {
+    out += ',';
+    out += std::to_string(geometry->dl1_size_bytes);
+    out += ',';
+    out += std::to_string(geometry->dl1_assoc);
+    out += ',';
+    out += std::to_string(geometry->ways_disabled);
+  }
   for (const double value : metrics) {
     out += ',';
     out += format_value(value);
@@ -183,6 +193,9 @@ std::string results_json_prologue(const CampaignMeta& meta, std::size_t cells,
            ", \"mode\": \"" + to_string(s.mode) + "\", \"seed\": \"" +
            hex64(s.seed) + "\"}";
   }
+  if (meta.geometry) {
+    out += ",\n    \"geometry\": true";
+  }
   if (include_timing) {
     out += ",\n    \"threads\": " + std::to_string(meta.threads) + ",\n";
     out += "    \"completed_cells\": " + std::to_string(meta.completed_cells) +
@@ -201,10 +214,19 @@ void append_results_json_cell(std::string& out, const std::string& variant,
                               const std::string& app, std::uint32_t trial,
                               std::uint64_t seed,
                               const std::vector<double>& metrics,
-                              const SampleProvenance* sampling, bool last) {
+                              const SampleProvenance* sampling, bool last,
+                              const GeometryProvenance* geometry) {
   out += "    {\"variant\": \"" + json_escape(variant) + "\", \"app\": \"" +
          json_escape(app) + "\", \"trial\": " + std::to_string(trial) +
-         ", \"seed\": \"" + hex64(seed) + "\", \"metrics\": {";
+         ", \"seed\": \"" + hex64(seed) + "\"";
+  if (geometry != nullptr) {
+    out += ", \"geometry\": {\"dl1_size\": " +
+           std::to_string(geometry->dl1_size_bytes) +
+           ", \"dl1_assoc\": " + std::to_string(geometry->dl1_assoc) +
+           ", \"ways_disabled\": " + std::to_string(geometry->ways_disabled) +
+           "}";
+  }
+  out += ", \"metrics\": {";
   const std::vector<std::string>& columns = metric_columns();
   for (std::size_t m = 0; m < columns.size(); ++m) {
     if (m != 0) out += ", ";
@@ -233,12 +255,13 @@ std::string to_csv(const CampaignResult& campaign) {
   // row with its provenance so downstream analysis can never confuse the
   // two. Unsampled campaigns keep the historical schema byte for byte.
   const bool sampled = campaign.meta.sampling.enabled();
-  std::string out = results_csv_header(sampled);
+  std::string out = results_csv_header(sampled, campaign.meta.geometry);
   for (const CellResult& cell : campaign.cells) {
     append_results_csv_row(out, cell.result.scheme, cell.result.app,
                            cell.cell.trial_idx, cell.cell.seed,
                            metric_values(cell.result),
-                           sampled ? &cell.sampling : nullptr);
+                           sampled ? &cell.sampling : nullptr,
+                           campaign.meta.geometry ? &cell.geometry : nullptr);
   }
   return out;
 }
@@ -255,7 +278,9 @@ std::string to_json(const CampaignResult& campaign, bool include_timing) {
                              cell.cell.trial_idx, cell.cell.seed,
                              metric_values(cell.result),
                              sampled ? &cell.sampling : nullptr,
-                             i + 1 == campaign.cells.size());
+                             i + 1 == campaign.cells.size(),
+                             campaign.meta.geometry ? &cell.geometry
+                                                    : nullptr);
   }
   out += results_json_epilogue();
   return out;

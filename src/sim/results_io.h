@@ -46,12 +46,18 @@ namespace icr::sim {
 // in-memory ones by construction, not by parallel maintenance of two
 // writers. `sampling == nullptr` means an unsampled campaign (historical
 // schema); pass a provenance object for every row of a sampled one.
-[[nodiscard]] std::string results_csv_header(bool sampled);
+// Likewise `geometry == nullptr` / `geometry = false` means no geometry
+// sweep: CSV rows gain dl1_size/dl1_assoc/ways_disabled columns (after the
+// seed) and JSON cells a "geometry" object only for geometry-swept
+// campaigns, keeping legacy export bytes untouched (docs/GEOMETRY.md).
+[[nodiscard]] std::string results_csv_header(bool sampled,
+                                             bool geometry = false);
 void append_results_csv_row(std::string& out, const std::string& variant,
                             const std::string& app, std::uint32_t trial,
                             std::uint64_t seed,
                             const std::vector<double>& metrics,
-                            const SampleProvenance* sampling);
+                            const SampleProvenance* sampling,
+                            const GeometryProvenance* geometry = nullptr);
 // JSON document skeleton: prologue (campaign meta + opening of the cells
 // array, `cells` = grid size), one object per cell (`last` controls the
 // trailing comma), closing epilogue.
@@ -62,7 +68,8 @@ void append_results_json_cell(std::string& out, const std::string& variant,
                               const std::string& app, std::uint32_t trial,
                               std::uint64_t seed,
                               const std::vector<double>& metrics,
-                              const SampleProvenance* sampling, bool last);
+                              const SampleProvenance* sampling, bool last,
+                              const GeometryProvenance* geometry = nullptr);
 [[nodiscard]] std::string results_json_epilogue();
 
 // Observability exports over every cell that recorded telemetry (cells

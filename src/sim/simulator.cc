@@ -20,7 +20,8 @@ Simulator::Simulator(SimConfig config, core::Scheme scheme,
       source_(std::move(source)),
       app_name_(std::move(app_name)) {
   hierarchy_ = std::make_unique<mem::MemoryHierarchy>(config_.hierarchy);
-  dl1_ = std::make_unique<core::IcrCache>(config_.dl1, scheme_, *hierarchy_);
+  dl1_ = std::make_unique<core::IcrCache>(config_.dl1, scheme_, *hierarchy_,
+                                          config_.dl1_way_disable);
   if (config_.rcache_entries > 0) {
     rcache_ = std::make_unique<baselines::RCache>(config_.rcache_entries);
     dl1_->attach_rcache(rcache_.get());

@@ -1,0 +1,352 @@
+// Property-test layer for the cache core under degraded geometry
+// (docs/GEOMETRY.md): ~200 random (geometry, disabled-way mask, op
+// sequence) cases drive IcrCache through loads, stores, and runtime way
+// disabling, asserting after every burst that
+//   * no allocation ever lands in a disabled way;
+//   * occupancy never exceeds the enabled capacity (whole-array and
+//     per-set);
+//   * the mask-aware replica victim search returns exactly what a
+//     reference linear scan over the enabled ways returns;
+//   * a replica never shares a line with its primary, and never shares a
+//     set unless the scheme's candidate distances include 0 (horizontal
+//     replication);
+// plus the structural check_invariants() sweep. Corner geometries
+// (2-way/64-set, 16-way/512-set) get dedicated regressions so latent
+// power-of-two assumptions in set-index/way arithmetic cannot creep back.
+#include "src/core/icr_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "src/core/replication_policy.h"
+#include "src/core/scheme.h"
+#include "src/mem/cache_geometry.h"
+#include "src/mem/memory_hierarchy.h"
+#include "src/util/rng.h"
+
+namespace icr::core {
+namespace {
+
+// Reference implementation of the §3.1 victim search: a plain linear scan
+// over the enabled ways using only the public surface. Mirrors the
+// documented policy, not the production code path.
+const IcrLine* reference_victim(const IcrCache& cache, std::uint32_t set,
+                                std::uint64_t block, std::uint64_t cycle) {
+  const IcrLine* invalid = nullptr;
+  const IcrLine* dead = nullptr;
+  const IcrLine* replica = nullptr;
+  for (std::uint32_t w = 0; w < cache.ways(); ++w) {
+    if (cache.way_disabled(set, w)) continue;
+    const IcrLine& l = cache.line(set, w);
+    if (!l.valid) {
+      if (invalid == nullptr) invalid = &l;
+      continue;
+    }
+    if (l.block_addr == block) continue;
+    if (l.replica) {
+      if (replica == nullptr || l.lru_stamp < replica->lru_stamp) {
+        replica = &l;
+      }
+      continue;
+    }
+    if (cache.dead_block_predictor().is_dead(l.last_access_cycle, cycle)) {
+      if (dead == nullptr || l.lru_stamp < dead->lru_stamp) dead = &l;
+    }
+  }
+  if (invalid != nullptr) return invalid;
+  switch (cache.scheme().victim_policy) {
+    case ReplicaVictimPolicy::kDeadOnly: return dead;
+    case ReplicaVictimPolicy::kReplicaOnly: return replica;
+    case ReplicaVictimPolicy::kDeadFirst:
+      return dead != nullptr ? dead : replica;
+    case ReplicaVictimPolicy::kReplicaFirst:
+      return replica != nullptr ? replica : dead;
+  }
+  return nullptr;
+}
+
+std::uint32_t enabled_ways_in_set(const IcrCache& cache, std::uint32_t set) {
+  return cache.ways() - std::popcount(cache.disabled_mask(set));
+}
+
+// The full assertion battery over the cache's current state.
+void assert_properties(IcrCache& cache, std::uint64_t cycle, Rng& rng) {
+  cache.check_invariants();
+
+  const std::uint32_t sets = cache.num_sets();
+  const bool horizontal_allowed = [&] {
+    const auto distances =
+        candidate_distances(cache.scheme().replication, sets);
+    return std::find(distances.begin(), distances.end(), 0u) !=
+           distances.end();
+  }();
+
+  std::uint64_t valid_lines = 0;
+  for (std::uint32_t s = 0; s < sets; ++s) {
+    std::uint32_t valid_in_set = 0;
+    for (std::uint32_t w = 0; w < cache.ways(); ++w) {
+      const IcrLine& l = cache.line(s, w);
+      if (!l.valid) continue;
+      ++valid_in_set;
+      ++valid_lines;
+      // No allocation in a disabled way — the core masking property.
+      ASSERT_FALSE(cache.way_disabled(s, w))
+          << "valid line in disabled way " << w << " of set " << s;
+      if (l.replica && !horizontal_allowed) {
+        // Vertical replication: the replica's set must differ from its
+        // block's home set, so it can never share a way with its primary.
+        ASSERT_NE(s, cache.geometry().set_index(l.block_addr))
+            << "replica shares its primary's set under a vertical scheme";
+      }
+    }
+    ASSERT_LE(valid_in_set, enabled_ways_in_set(cache, s));
+  }
+  ASSERT_LE(valid_lines, cache.enabled_lines());
+
+  // Victim search == reference scan, probed at random coordinates.
+  for (int probe = 0; probe < 8; ++probe) {
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(rng.next_below(sets));
+    const std::uint64_t block = rng.next_below(4) == 0
+                                    ? cache.line(set, 0).block_addr
+                                    : rng.next_u64() & ~63ULL;
+    ASSERT_EQ(cache.select_replica_victim(set, block, cycle),
+              reference_victim(cache, set, block, cycle))
+        << "masked victim search diverged from the reference scan at set "
+        << set;
+  }
+}
+
+Scheme random_scheme(Rng& rng) {
+  Scheme scheme;
+  switch (rng.next_below(4)) {
+    case 0: scheme = Scheme::IcrPPS_S(); break;
+    case 1: scheme = Scheme::IcrPPS_LS(); break;
+    case 2: scheme = Scheme::IcrEccPS_S(); break;
+    default: scheme = Scheme::IcrPPP_S(); break;
+  }
+  static constexpr ReplicaVictimPolicy kPolicies[] = {
+      ReplicaVictimPolicy::kDeadOnly, ReplicaVictimPolicy::kReplicaOnly,
+      ReplicaVictimPolicy::kDeadFirst, ReplicaVictimPolicy::kReplicaFirst};
+  scheme = scheme.with_victim_policy(kPolicies[rng.next_below(4)]);
+  static constexpr std::uint64_t kWindows[] = {0, 50, 500};
+  scheme = scheme.with_decay_window(kWindows[rng.next_below(3)]);
+  if (rng.next_below(4) == 0) {
+    // Horizontal replication: candidate distance 0 — the one family where
+    // a replica legitimately shares its primary's set.
+    ReplicationConfig config;
+    config.first_distance = Distance::zero();
+    scheme = scheme.with_replication(config);
+  }
+  return scheme;
+}
+
+mem::WayDisableConfig random_mask(Rng& rng, std::uint32_t ways) {
+  mem::WayDisableConfig mask;
+  if (ways == 1) return mask;  // nothing can be disabled
+  switch (rng.next_below(3)) {
+    case 0:  // no degradation
+      break;
+    case 1:  // k-of-N draw, fixed or per-set random placement
+      mask.count = static_cast<std::uint32_t>(rng.next_range(1, ways - 1));
+      mask.pattern = rng.next_below(2) == 0
+                         ? mem::WayDisableConfig::Pattern::kFixed
+                         : mem::WayDisableConfig::Pattern::kRandom;
+      mask.seed = rng.next_u64();
+      break;
+    default:  // explicit mask, guaranteed not to cover every way
+      mask.fixed_mask = static_cast<std::uint32_t>(
+          rng.next_range(1, (1ULL << ways) - 2));
+      break;
+  }
+  return mask;
+}
+
+TEST(CacheProperties, RandomizedDegradedGeometryCases) {
+  constexpr int kCases = 200;
+  for (int c = 0; c < kCases; ++c) {
+    Rng rng(0x9E0D1CULL + static_cast<std::uint64_t>(c));
+
+    static constexpr std::uint32_t kAssocs[] = {1, 2, 4, 8, 16};
+    static constexpr std::uint32_t kSets[] = {16, 32, 64, 128};
+    mem::CacheGeometry geometry;
+    geometry.line_bytes = 64;
+    geometry.associativity = kAssocs[rng.next_below(5)];
+    const std::uint32_t sets = kSets[rng.next_below(4)];
+    geometry.size_bytes = sets * geometry.associativity * geometry.line_bytes;
+    ASSERT_NO_THROW(geometry.validate());
+
+    const mem::WayDisableConfig mask =
+        random_mask(rng, geometry.associativity);
+    mem::MemoryHierarchy hierarchy;
+    IcrCache cache(geometry, random_scheme(rng), hierarchy, mask);
+    ASSERT_EQ(cache.num_sets(), sets);
+
+    // Footprint of 4x the enabled capacity keeps sets under pressure.
+    const std::uint64_t footprint =
+        static_cast<std::uint64_t>(geometry.size_bytes) * 4;
+    std::uint64_t cycle = 1;
+    const int ops = 150 + static_cast<int>(rng.next_below(150));
+    for (int op = 0; op < ops; ++op) {
+      const std::uint64_t addr = rng.next_below(footprint) & ~7ULL;
+      if (rng.bernoulli(0.4)) {
+        cache.store(addr, rng.next_u64(), cycle);
+      } else {
+        cache.load(addr, cycle);
+      }
+      cycle += 1 + rng.next_below(20);
+
+      // Occasional runtime hard-fault: disable a random (set, way),
+      // tolerating the last-enabled-way refusal.
+      if (rng.bernoulli(0.01)) {
+        const std::uint32_t set =
+            static_cast<std::uint32_t>(rng.next_below(sets));
+        const std::uint32_t way = static_cast<std::uint32_t>(
+            rng.next_below(geometry.associativity));
+        try {
+          cache.disable_way(set, way, cycle);
+          ASSERT_TRUE(cache.way_disabled(set, way));
+        } catch (const std::invalid_argument&) {
+          ASSERT_EQ(enabled_ways_in_set(cache, set), 1u);
+        }
+      }
+
+      if (op % 50 == 49) assert_properties(cache, cycle, rng);
+    }
+    assert_properties(cache, cycle, rng);
+  }
+}
+
+// Deterministic op stream at a corner geometry; shared by the regressions
+// below so both corners run the identical battery.
+void corner_case(mem::CacheGeometry geometry, std::uint32_t expected_sets,
+                 std::uint32_t disabled) {
+  ASSERT_NO_THROW(geometry.validate());
+  mem::WayDisableConfig mask;
+  mask.count = disabled;
+  mem::MemoryHierarchy hierarchy;
+  IcrCache cache(geometry, Scheme::IcrPPS_S(), hierarchy, mask);
+  ASSERT_EQ(cache.num_sets(), expected_sets);
+  ASSERT_EQ(cache.enabled_lines(),
+            static_cast<std::uint64_t>(expected_sets) *
+                (geometry.associativity - disabled));
+
+  Rng rng(0xC02EULL + geometry.associativity);
+  std::uint64_t cycle = 1;
+  // Enough ops to cycle the whole array a few times over the 4x footprint,
+  // so even the 512-set corner sees real set pressure and evictions.
+  const int ops = std::max(
+      2000, static_cast<int>(geometry.size_bytes / geometry.line_bytes) * 3);
+  for (int op = 0; op < ops; ++op) {
+    const std::uint64_t addr =
+        rng.next_below(geometry.size_bytes * 4) & ~7ULL;
+    if ((op & 3) == 0) {
+      cache.store(addr, mix64(addr), cycle);
+    } else {
+      cache.load(addr, cycle);
+    }
+    cycle += 3;
+  }
+  assert_properties(cache, cycle, rng);
+  EXPECT_GT(cache.stats().loads, 0u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+// 2-way/64-set (8KB) — the smallest associativity where masking is legal.
+TEST(CacheProperties, CornerGeometryTwoWay64Set) {
+  corner_case({8 * 1024, 64, 2}, 64, 0);
+  corner_case({8 * 1024, 64, 2}, 64, 1);
+}
+
+// 16-way/512-set (512KB) — wide sets, many sets; way iteration and
+// set-index arithmetic far from the 4-way default.
+TEST(CacheProperties, CornerGeometrySixteenWay512Set) {
+  corner_case({512 * 1024, 64, 16}, 512, 0);
+  corner_case({512 * 1024, 64, 16}, 512, 2);
+}
+
+TEST(CacheProperties, DisableWayFlushesResidentLine) {
+  mem::MemoryHierarchy hierarchy;
+  IcrCache cache(mem::l1d_geometry_default(), Scheme::IcrPPS_S(), hierarchy);
+  // Dirty a line, find its slot, disable that way: the line must be
+  // written back and invalidated before the way is masked.
+  cache.store(0x40, 0xFEEDULL, 1);
+  const std::uint32_t set = cache.geometry().set_index(0x40);
+  std::uint32_t way = cache.ways();
+  for (std::uint32_t w = 0; w < cache.ways(); ++w) {
+    if (cache.line(set, w).valid && !cache.line(set, w).replica) {
+      way = w;
+      break;
+    }
+  }
+  ASSERT_LT(way, cache.ways());
+  const std::uint64_t writebacks = cache.stats().writebacks;
+  cache.disable_way(set, way, 2);
+  EXPECT_TRUE(cache.way_disabled(set, way));
+  EXPECT_FALSE(cache.line(set, way).valid);
+  EXPECT_EQ(cache.stats().writebacks, writebacks + 1);
+  cache.check_invariants();
+}
+
+TEST(CacheProperties, DisableWayRefusesLastEnabledWay) {
+  mem::MemoryHierarchy hierarchy;
+  mem::WayDisableConfig mask;
+  mask.fixed_mask = 0b1110;  // only way 0 left
+  IcrCache cache(mem::l1d_geometry_default(), Scheme::IcrPPS_S(), hierarchy,
+                 mask);
+  EXPECT_THROW(cache.disable_way(0, 0, 1), std::invalid_argument);
+  // Re-disabling an already-disabled way is a no-op, not an error.
+  cache.disable_way(0, 1, 1);
+  EXPECT_EQ(cache.disabled_mask(0), 0b1110u);
+}
+
+TEST(WayDisableProperties, MaskForSetIsDeterministicAndExact) {
+  Rng rng(0x5EED5ULL);
+  for (int c = 0; c < 200; ++c) {
+    const std::uint32_t ways = static_cast<std::uint32_t>(
+        rng.next_range(2, 16));
+    mem::WayDisableConfig mask;
+    mask.count = static_cast<std::uint32_t>(rng.next_range(1, ways - 1));
+    mask.pattern = rng.next_below(2) == 0
+                       ? mem::WayDisableConfig::Pattern::kFixed
+                       : mem::WayDisableConfig::Pattern::kRandom;
+    mask.seed = rng.next_u64();
+    ASSERT_NO_THROW(mask.validate(ways));
+    for (std::uint32_t set = 0; set < 64; ++set) {
+      const std::uint32_t bits = mask.mask_for_set(set, ways);
+      // Exactly k ways disabled, all inside the geometry, never all ways.
+      EXPECT_EQ(std::popcount(bits), static_cast<int>(mask.count));
+      EXPECT_EQ(bits & ~((1u << ways) - 1u), 0u);
+      EXPECT_NE(bits, (1u << ways) - 1u);
+      // Deterministic in (seed, set, ways).
+      EXPECT_EQ(bits, mask.mask_for_set(set, ways));
+    }
+  }
+}
+
+TEST(WayDisableProperties, ValidationRejectsDegenerateConfigs) {
+  mem::WayDisableConfig all;
+  all.fixed_mask = 0b1111;
+  EXPECT_THROW(all.validate(4), std::invalid_argument);
+
+  mem::WayDisableConfig outside;
+  outside.fixed_mask = 0b10000;
+  EXPECT_THROW(outside.validate(4), std::invalid_argument);
+
+  mem::WayDisableConfig too_many;
+  too_many.count = 4;
+  EXPECT_THROW(too_many.validate(4), std::invalid_argument);
+
+  mem::WayDisableConfig fine;
+  fine.count = 3;
+  EXPECT_NO_THROW(fine.validate(4));
+  EXPECT_NO_THROW(mem::WayDisableConfig{}.validate(4));
+}
+
+}  // namespace
+}  // namespace icr::core

@@ -7,6 +7,7 @@
 
 #include <cstdlib>
 #include <set>
+#include <stdexcept>
 #include <string>
 
 #include "src/sim/results_io.h"
@@ -148,6 +149,99 @@ TEST(Campaign, ThreadResolutionPrefersExplicitThenEnvThenHardware) {
   EXPECT_GE(resolve_thread_count(0), 1u);
   unsetenv("ICR_SIM_THREADS");
   EXPECT_GE(resolve_thread_count(0), 1u);
+}
+
+// ---- degraded-geometry regressions (docs/GEOMETRY.md) ----
+
+TEST(CampaignGeometry, HashOfNonGeometrySpecsPinnedAcrossVersions) {
+  // Golden fingerprint of small_spec(): geometry (and every other
+  // conditionally-folded axis) must not move the hash of a spec that does
+  // not use it. If this value changes, old spools stop resuming — bump it
+  // only with a deliberate format break.
+  EXPECT_EQ(campaign_config_hash(small_spec()), 0x4fa8d4a66140fc3cULL);
+}
+
+TEST(CampaignGeometry, DisabledMaskZeroByteIdenticalToPlainRun) {
+  // An explicit count=0 way-disable config is enabled()==false: the run,
+  // the exports, and the config hash are byte-for-byte the pre-PR ones,
+  // at 1 and at 8 threads.
+  const CampaignSpec plain = small_spec();
+  CampaignSpec masked_zero = small_spec();
+  masked_zero.config.dl1_way_disable = mem::WayDisableConfig{};
+  masked_zero.config.dl1_way_disable.count = 0;
+
+  EXPECT_EQ(campaign_config_hash(plain), campaign_config_hash(masked_zero));
+
+  const CampaignResult a1 = CampaignRunner(1).run(plain);
+  const CampaignResult b1 = CampaignRunner(1).run(masked_zero);
+  const CampaignResult b8 = CampaignRunner(8).run(masked_zero);
+  EXPECT_EQ(to_csv(a1), to_csv(b1));
+  EXPECT_EQ(to_csv(a1), to_csv(b8));
+  EXPECT_EQ(to_json(a1, /*include_timing=*/false),
+            to_json(b1, /*include_timing=*/false));
+  EXPECT_EQ(to_json(a1, /*include_timing=*/false),
+            to_json(b8, /*include_timing=*/false));
+}
+
+TEST(CampaignGeometry, AxesAbsentLeaveExportSchemaUnchanged) {
+  // No geometry sweep => the historical CSV header and JSON cell schema,
+  // with no dl1_size/dl1_assoc/ways_disabled columns anywhere.
+  const std::string header = results_csv_header(/*sampled=*/false);
+  EXPECT_EQ(header, results_csv_header(false, /*geometry=*/false));
+  EXPECT_EQ(header.rfind("variant,app,trial,seed,instructions,", 0), 0u);
+  EXPECT_EQ(header.find("dl1_size"), std::string::npos);
+  EXPECT_EQ(header.find("ways_disabled"), std::string::npos);
+
+  const CampaignResult result = CampaignRunner(2).run(small_spec());
+  EXPECT_FALSE(result.meta.geometry);
+  EXPECT_EQ(to_csv(result).find("dl1_size"), std::string::npos);
+  EXPECT_EQ(to_json(result, false).find("\"geometry\""), std::string::npos);
+}
+
+CampaignSpec geometry_spec() {
+  CampaignSpec spec = small_spec();
+  spec.geometry.sizes = {8 * 1024, 16 * 1024};
+  spec.geometry.assocs = {2, 4};
+  spec.geometry.ways_disabled = {0, 1, 2};
+  expand_geometry_sweep(spec);
+  return spec;
+}
+
+TEST(CampaignGeometry, SweepExpansionIsDeterministicAndSkipsInfeasible) {
+  const CampaignSpec spec = geometry_spec();
+  // 3 base schemes x (2 sizes x 2 assocs x 3 k - 2 infeasible 2-way/d2
+  // combinations) = 30 variants, in a reproducible order.
+  EXPECT_EQ(spec.variants.size(), 30u);
+  EXPECT_EQ(spec.geometry.base_schemes.size(), 3u);
+  EXPECT_EQ(spec.variants.front().label, "BaseP@8K/2w-d0");
+  for (const SchemeVariant& v : spec.variants) {
+    ASSERT_TRUE(v.config.has_value()) << v.label;
+    EXPECT_LT(v.config->dl1_way_disable.count, v.config->dl1.associativity);
+  }
+  EXPECT_EQ(campaign_config_hash(spec),
+            campaign_config_hash(geometry_spec()));
+  // Re-expanding an already-expanded spec is an error, not silent
+  // quadratic growth.
+  CampaignSpec expanded = geometry_spec();
+  EXPECT_THROW(expand_geometry_sweep(expanded), std::invalid_argument);
+}
+
+TEST(CampaignGeometry, SweepBitIdenticalAcrossThreadCounts) {
+  const CampaignSpec spec = geometry_spec();
+  const CampaignResult one = CampaignRunner(1).run(spec);
+  const CampaignResult eight = CampaignRunner(8).run(spec);
+  EXPECT_TRUE(one.meta.geometry);
+  EXPECT_EQ(to_csv(one), to_csv(eight));
+  EXPECT_EQ(to_json(one, /*include_timing=*/false),
+            to_json(eight, /*include_timing=*/false));
+  // Geometry provenance columns present and populated.
+  const std::string csv = to_csv(one);
+  EXPECT_NE(csv.find(",dl1_size,dl1_assoc,ways_disabled,"),
+            std::string::npos);
+  EXPECT_NE(csv.find("BaseP@8K/2w-d1,"), std::string::npos);
+  for (const CellResult& cell : one.cells) {
+    EXPECT_TRUE(cell.geometry.present);
+  }
 }
 
 TEST(Campaign, ConfigHashSeparatesExperiments) {

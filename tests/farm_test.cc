@@ -118,6 +118,75 @@ TEST(FarmManifest, RoundTripsThroughJson) {
   EXPECT_THROW((void)Manifest::parse("{}"), std::runtime_error);
 }
 
+TEST(FarmManifest, GeometrySweepRoundTripsAndReExpands) {
+  // Geometry-swept manifests serialize the *base* schemes plus the sweep
+  // axes; reconstruction re-runs the deterministic expansion and must land
+  // on the same config hash (docs/GEOMETRY.md).
+  CampaignSpec spec = small_spec();
+  spec.geometry.sizes = {8 * 1024, 16 * 1024};
+  spec.geometry.assocs = {2, 4};
+  spec.geometry.ways_disabled = {0, 1};
+  spec.geometry.pattern = mem::WayDisableConfig::Pattern::kRandom;
+  spec.geometry.way_seed = 0xBEEFULL;
+  expand_geometry_sweep(spec);
+  ASSERT_EQ(spec.variants.size(), 2u * 8u);
+
+  const Manifest manifest = manifest_for(spec, 4);
+  // Base labels, not the 16 expanded ones: spec_from_manifest resolves
+  // them through sim::cli.
+  EXPECT_EQ(manifest.schemes,
+            (std::vector<std::string>{"BaseP", "ICR-P-PS(S)"}));
+  EXPECT_EQ(manifest.variant_count, 16u);
+
+  const Manifest parsed = Manifest::parse(manifest.to_json());
+  EXPECT_EQ(parsed.geometry.sizes, spec.geometry.sizes);
+  EXPECT_EQ(parsed.geometry.assocs, spec.geometry.assocs);
+  EXPECT_EQ(parsed.geometry.ways_disabled, spec.geometry.ways_disabled);
+  EXPECT_EQ(parsed.geometry.pattern, spec.geometry.pattern);
+  EXPECT_EQ(parsed.geometry.way_seed, spec.geometry.way_seed);
+
+  const CampaignSpec rebuilt = spec_from_manifest(parsed);
+  ASSERT_EQ(rebuilt.variants.size(), spec.variants.size());
+  for (std::size_t i = 0; i < spec.variants.size(); ++i) {
+    EXPECT_EQ(rebuilt.variants[i].label, spec.variants[i].label);
+  }
+  EXPECT_EQ(campaign_config_hash(rebuilt), manifest.config_hash);
+
+  // A sweep-free manifest keeps its historical bytes: no "geometry" key.
+  EXPECT_EQ(manifest_for(small_spec(), 4).to_json().find("\"geometry\""),
+            std::string::npos);
+}
+
+TEST(FarmAggregation, GeometrySweptSpoolByteIdenticalToInMemory) {
+  CampaignSpec spec = small_spec();
+  spec.apps = {trace::App::kVortex};
+  spec.trials = 1;
+  spec.geometry.sizes = {8 * 1024};
+  spec.geometry.assocs = {2, 4};
+  spec.geometry.ways_disabled = {0, 1};
+  expand_geometry_sweep(spec);
+
+  const std::string spool = make_temp_spool();
+  const Manifest manifest = manifest_for(spec, 3);
+  init_spool(spool, manifest);
+  (void)run_worker_loop(spool, spec);
+
+  std::ostringstream csv_out, json_out;
+  FarmAggregator aggregator(manifest, &csv_out, &json_out);
+  for (std::uint32_t u = 0; u < manifest.unit_count; ++u) {
+    aggregator.add_unit(
+        u, parse_unit_json(util::fs::read_text_file(unit_path(spool, u)), u));
+  }
+  aggregator.finish();
+
+  const CampaignResult in_memory = CampaignRunner(2).run(spec);
+  EXPECT_EQ(csv_out.str(), to_csv(in_memory));
+  EXPECT_EQ(json_out.str(), to_json(in_memory, /*include_timing=*/false));
+  // Geometry provenance survived the unit-record round trip.
+  EXPECT_NE(csv_out.str().find(",dl1_size,dl1_assoc,ways_disabled,"),
+            std::string::npos);
+}
+
 TEST(FarmCellRecord, MetricBitsRoundTripExactly) {
   // Awkward IEEE-754 payloads must survive the checkpoint byte-for-byte:
   // the exporters print the reloaded doubles, so a single flipped mantissa

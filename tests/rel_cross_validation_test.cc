@@ -197,5 +197,110 @@ TEST(RelCrossValidation, AnalyticalModelMatchesInjection) {
   }
 }
 
+// Degraded-geometry cross-validation (docs/GEOMETRY.md): disabling ways
+// shrinks the effective capacity the tracker normalizes exposure by (its
+// valid-line census only ever sees enabled ways), so the analytical model
+// must keep matching injection in every degraded cell without any
+// geometry-specific correction. Same clean/injected protocol as above,
+// over a sweep of (size, disabled-way) points; every degraded variant must
+// agree within 3 sigma on at least 3 of the 4 apps for all four outcome
+// classes — the same 75% per-app bar the fig14 test uses, which absorbs
+// the known per-app scatter of the silent-error estimate.
+TEST(RelCrossValidation, DegradedGeometryCellsMatchInjection) {
+  auto relaxed = [](core::Scheme s) {
+    return s.with_decay_window(1000).with_victim_policy(
+        core::ReplicaVictimPolicy::kDeadFirst);
+  };
+  // Expansion snapshots spec.config into each variant's override, so the
+  // fault probability must be in place before expand_geometry_sweep runs.
+  auto make_spec = [&](double fault_probability) {
+    CampaignSpec spec;
+    spec.variants = {
+        {"ICR-P-PS(S)", relaxed(core::Scheme::IcrPPS_S())},
+        {"ICR-ECC-PS(S)", relaxed(core::Scheme::IcrEccPS_S())},
+    };
+    spec.apps = {trace::App::kGzip, trace::App::kMcf, trace::App::kVortex,
+                 trace::App::kVpr};
+    spec.instructions = kInstructions;
+    spec.trials = 3;
+    spec.derive_seeds = true;
+    spec.base_seed = kBaseSeed;
+    spec.config.fault_model = fault::FaultModel::kRandom;
+    spec.config.fault_probability = fault_probability;
+    spec.geometry.sizes = {8 * 1024, 16 * 1024};
+    spec.geometry.assocs = {4};
+    spec.geometry.ways_disabled = {1, 2};  // every cell degraded
+    expand_geometry_sweep(spec);
+    return spec;
+  };
+
+  CampaignSpec clean = make_spec(0.0);
+  clean.rel.enabled = true;
+  clean.rel.probability = kProbability;
+
+  CampaignSpec injected = make_spec(kProbability);
+
+  const CampaignResult clean_result = CampaignRunner().run(clean);
+  const CampaignResult inj_result = CampaignRunner().run(injected);
+
+  const std::size_t napps = clean.apps.size();
+  const std::uint32_t trials = clean.trials;
+  for (std::size_t v = 0; v < clean.variants.size(); ++v) {
+    for (const Outcome& outcome : kOutcomes) {
+      std::size_t within = 0;
+      std::string misses;
+      for (std::size_t a = 0; a < napps; ++a) {
+        double predicted = 0.0;
+        double observed = 0.0;
+        std::vector<double> residuals;
+        for (std::uint32_t t = 0; t < trials; ++t) {
+          const CellResult& cc = clean_result.at(v, a, t, napps, trials);
+          const CellResult& ic = inj_result.at(v, a, t, napps, trials);
+          ASSERT_NE(cc.rel, nullptr);
+          ASSERT_TRUE(cc.geometry.present);
+          ASSERT_GT(cc.geometry.ways_disabled, 0u);
+          const double cycle_scale =
+              static_cast<double>(ic.result.cycles) /
+              static_cast<double>(cc.result.cycles);
+          const rel::RelPrediction trial_pred =
+              cc.rel->evaluate(kProbability, cycle_scale);
+          const double p_t = outcome.predicted(trial_pred);
+          const double o_t =
+              static_cast<double>(outcome.observed(ic.result.faults));
+          predicted += p_t;
+          observed += o_t;
+          residuals.push_back(o_t - p_t);
+        }
+        double sigma =
+            std::sqrt(std::max(1.0, std::max(predicted, observed)));
+        double mean = 0.0;
+        for (const double r : residuals) mean += r;
+        mean /= static_cast<double>(residuals.size());
+        double var = 0.0;
+        for (const double r : residuals) var += (r - mean) * (r - mean);
+        var /= static_cast<double>(residuals.size());
+        sigma = std::max(sigma,
+                         std::sqrt(var * static_cast<double>(trials)));
+        sigma = std::max(sigma, 3.0);  // small-count floor
+
+        if (std::abs(observed - predicted) <= 3.0 * sigma) {
+          ++within;
+        } else {
+          char buf[128];
+          std::snprintf(buf, sizeof buf, " %s(pred=%.1f obs=%.0f sig=%.1f)",
+                        trace::to_string(clean.apps[a]), predicted, observed,
+                        sigma);
+          misses += buf;
+        }
+      }
+      EXPECT_GE(within, 3u)
+          << clean.variants[v].label << " / " << outcome.name
+          << ": degraded-geometry prediction disagrees with injection "
+             "beyond 3 sigma on too many apps:"
+          << misses;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace icr::sim

@@ -302,6 +302,97 @@ int report_rel(const std::string& path) {
   return 0;
 }
 
+// `--sweep results.csv` — geometry sweep tables from a campaign results
+// CSV exported with geometry provenance columns (run_campaign --dl1-sizes/
+// --dl1-assocs/--ways-disabled, docs/GEOMETRY.md). One table per metric:
+// rows are (size, assoc, disabled) geometry points, columns the base
+// schemes, each cell the metric's mean over apps and trials.
+int report_sweep(const std::string& path, const std::string& metric) {
+  const Csv csv = read_csv(path);
+  const std::size_t size_idx = require_column(csv, "dl1_size", path.c_str());
+  const std::size_t assoc_idx = require_column(csv, "dl1_assoc", path.c_str());
+  const std::size_t disabled_idx =
+      require_column(csv, "ways_disabled", path.c_str());
+  std::vector<std::string> metrics;
+  if (!metric.empty()) {
+    require_column(csv, metric.c_str(), path.c_str());
+    metrics.push_back(metric);
+  } else {
+    for (const char* m : {"dl1_miss_rate", "replication_ability",
+                          "unrecoverable_loads"}) {
+      if (column_index(csv, m) != static_cast<std::size_t>(-1)) {
+        metrics.push_back(m);
+      }
+    }
+  }
+  if (csv.rows.empty()) {
+    std::printf("no result rows in %s\n", path.c_str());
+    return 0;
+  }
+
+  // Base scheme = variant label with its "@size/assoc" suffix stripped.
+  const auto base_of = [](const std::string& variant) {
+    const std::size_t at = variant.rfind('@');
+    return at == std::string::npos ? variant : variant.substr(0, at);
+  };
+  const auto geometry_of = [&](const std::vector<std::string>& row) {
+    const std::uint64_t size =
+        std::strtoull(row[size_idx].c_str(), nullptr, 10);
+    const std::string size_text = size != 0 && size % 1024 == 0
+                                      ? std::to_string(size / 1024) + "K"
+                                      : std::to_string(size);
+    return size_text + " / " + row[assoc_idx] + "-way / d" +
+           row[disabled_idx];
+  };
+
+  // First-appearance order for both axes (matches grid order: geometry
+  // varies within a base scheme, so geometries appear in expansion order).
+  std::vector<std::string> schemes;
+  std::vector<std::string> geometries;
+  const auto ordinal = [](std::vector<std::string>& order,
+                          const std::string& key) {
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == key) return i;
+    }
+    order.push_back(key);
+    return order.size() - 1;
+  };
+  for (const auto& row : csv.rows) {
+    if (row.size() <= disabled_idx) continue;
+    ordinal(schemes, base_of(row[0]));
+    ordinal(geometries, geometry_of(row));
+  }
+
+  for (const std::string& m : metrics) {
+    const std::size_t m_idx = require_column(csv, m.c_str(), path.c_str());
+    std::vector<std::vector<double>> sum(
+        geometries.size(), std::vector<double>(schemes.size(), 0.0));
+    std::vector<std::vector<std::uint64_t>> n(
+        geometries.size(), std::vector<std::uint64_t>(schemes.size(), 0));
+    for (const auto& row : csv.rows) {
+      if (row.size() <= m_idx || row.size() <= disabled_idx) continue;
+      const std::size_t g = ordinal(geometries, geometry_of(row));
+      const std::size_t s = ordinal(schemes, base_of(row[0]));
+      sum[g][s] += field_double(row, m_idx);
+      ++n[g][s];
+    }
+    std::vector<std::string> header = {"size / assoc / disabled"};
+    header.insert(header.end(), schemes.begin(), schemes.end());
+    TextTable t(m + " — mean over apps x trials", header);
+    for (std::size_t g = 0; g < geometries.size(); ++g) {
+      std::vector<std::string> cells = {geometries[g]};
+      for (std::size_t s = 0; s < schemes.size(); ++s) {
+        cells.push_back(n[g][s] != 0
+                            ? format_double(sum[g][s] / n[g][s], 4)
+                            : "-");
+      }
+      t.add_row(std::move(cells));
+    }
+    t.print();
+  }
+  return 0;
+}
+
 int report_prof(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -414,6 +505,10 @@ void usage() {
       "  icr_report --rel FILE           per-cell vulnerability breakdown\n"
       "                                  (the rel summary CSV of run_campaign\n"
       "                                  --rel-csv / icr_sim --rel-out)\n"
+      "  icr_report --sweep FILE         geometry sweep tables from a\n"
+      "                                  campaign results CSV with geometry\n"
+      "                                  columns (docs/GEOMETRY.md); narrow\n"
+      "                                  with --metric=NAME\n"
       "  icr_report --prof FILE          host-profiler self-time table from\n"
       "                                  a --prof-out Chrome trace JSON\n"
       "  icr_report --farm SPOOL         fleet status from a campaign-farm\n"
@@ -427,9 +522,10 @@ void usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  enum class Mode { kIntervals, kHeatmap, kRel, kProf, kFarm };
+  enum class Mode { kIntervals, kHeatmap, kRel, kProf, kFarm, kSweep };
   Mode mode = Mode::kIntervals;
   std::string path;
+  std::string metric;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--heatmap") == 0) {
       mode = Mode::kHeatmap;
@@ -441,6 +537,10 @@ int main(int argc, char** argv) {
       mode = Mode::kProf;
     } else if (std::strcmp(argv[i], "--farm") == 0) {
       mode = Mode::kFarm;
+    } else if (std::strcmp(argv[i], "--sweep") == 0) {
+      mode = Mode::kSweep;
+    } else if (std::strncmp(argv[i], "--metric=", 9) == 0) {
+      metric = argv[i] + 9;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       usage();
@@ -462,6 +562,7 @@ int main(int argc, char** argv) {
     case Mode::kRel: return report_rel(path);
     case Mode::kProf: return report_prof(path);
     case Mode::kFarm: return report_farm(path);
+    case Mode::kSweep: return report_sweep(path, metric);
     case Mode::kIntervals: break;
   }
   return report_intervals(path);

@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -53,6 +54,11 @@ struct Options {
   std::uint32_t rcache = 0;
   std::string fault_model = "random";
   double fault_prob = 0.0;
+  std::string geometry;  // dL1 override: SIZE/ASSOC (e.g. 16K/4)
+  std::uint32_t ways_disabled = 0;
+  std::uint32_t way_mask = 0;  // explicit per-set mask; overrides the count
+  std::string way_pattern = "fixed";
+  std::uint64_t way_seed = 0x0DDB17ULL;
   std::uint64_t warmup = 0;
   std::uint32_t sample_windows = 0;
   std::uint64_t sample_width = 0;
@@ -87,6 +93,11 @@ void usage() {
       "  --rcache=N            attach an N-entry Kim&Somani R-Cache\n"
       "  --fault-model=M       random|adjacent|column|direct\n"
       "  --fault-prob=P        per-cycle injection probability (default 0)\n"
+      "  --geometry=SIZE/WAYS  dL1 geometry override, e.g. 16K/4 or 8192/2\n"
+      "  --ways-disabled=K     disable K ways per dL1 set (docs/GEOMETRY.md)\n"
+      "  --way-mask=M          explicit disabled-way bitmask (overrides K)\n"
+      "  --way-pattern=P       fixed|random placement of disabled ways\n"
+      "  --way-seed=S          per-set draw seed for --way-pattern=random\n"
       "  --warmup=N            functional warmup for N instructions before\n"
       "                        measuring (docs/SAMPLING.md)\n"
       "  --sample-windows=K    interval sampling: measure K windows, report\n"
@@ -192,6 +203,18 @@ int main(int argc, char** argv) {
       opt.fault_model = value;
     } else if (parse_flag(argv[i], "--fault-prob", value)) {
       opt.fault_prob = std::atof(value.c_str());
+    } else if (parse_flag(argv[i], "--geometry", value)) {
+      opt.geometry = value;
+    } else if (parse_flag(argv[i], "--ways-disabled", value)) {
+      opt.ways_disabled = static_cast<std::uint32_t>(
+          std::strtoul(value.c_str(), nullptr, 10));
+    } else if (parse_flag(argv[i], "--way-mask", value)) {
+      opt.way_mask = static_cast<std::uint32_t>(
+          std::strtoul(value.c_str(), nullptr, 0));
+    } else if (parse_flag(argv[i], "--way-pattern", value)) {
+      opt.way_pattern = value;
+    } else if (parse_flag(argv[i], "--way-seed", value)) {
+      opt.way_seed = std::strtoull(value.c_str(), nullptr, 0);
     } else if (parse_flag(argv[i], "--warmup", value)) {
       opt.warmup = std::strtoull(value.c_str(), nullptr, 10);
     } else if (parse_flag(argv[i], "--sample-windows", value)) {
@@ -262,6 +285,46 @@ int main(int argc, char** argv) {
   config.fault_model = fault_by_name(opt.fault_model);
   config.fault_probability = opt.fault_prob;
   config.rcache_entries = opt.rcache;
+  try {
+    if (!opt.geometry.empty()) {
+      const std::size_t slash = opt.geometry.find('/');
+      if (slash == std::string::npos) {
+        throw std::invalid_argument("--geometry expects SIZE/WAYS, e.g. 16K/4");
+      }
+      std::string size_text = opt.geometry.substr(0, slash);
+      std::uint64_t mult = 1;
+      if (!size_text.empty() &&
+          (size_text.back() == 'K' || size_text.back() == 'k')) {
+        mult = 1024;
+        size_text.pop_back();
+      } else if (!size_text.empty() &&
+                 (size_text.back() == 'M' || size_text.back() == 'm')) {
+        mult = 1024 * 1024;
+        size_text.pop_back();
+      }
+      config.dl1.size_bytes = static_cast<std::uint32_t>(
+          std::strtoull(size_text.c_str(), nullptr, 10) * mult);
+      config.dl1.associativity = static_cast<std::uint32_t>(std::strtoul(
+          opt.geometry.c_str() + slash + 1, nullptr, 10));
+      config.dl1.validate();
+    }
+    if (opt.ways_disabled != 0 || opt.way_mask != 0) {
+      if (opt.way_pattern != "fixed" && opt.way_pattern != "random") {
+        throw std::invalid_argument("--way-pattern must be fixed or random");
+      }
+      config.dl1_way_disable.count = opt.ways_disabled;
+      config.dl1_way_disable.fixed_mask = opt.way_mask;
+      config.dl1_way_disable.pattern =
+          opt.way_pattern == "random"
+              ? mem::WayDisableConfig::Pattern::kRandom
+              : mem::WayDisableConfig::Pattern::kFixed;
+      config.dl1_way_disable.seed = opt.way_seed;
+      config.dl1_way_disable.validate(config.dl1.associativity);
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "icr_sim: %s\n", error.what());
+    return 2;
+  }
 
   obs::ObsOptions obsopt;
   obsopt.stats_interval = opt.stats_interval;

@@ -70,6 +70,12 @@ struct Options {
   std::uint64_t sample_seed = 0x5A3D11ULL;
   std::string fault_model = "random";
   double fault_prob = 0.0;
+  // Degraded-geometry sweep axes (docs/GEOMETRY.md).
+  std::string dl1_sizes;      // comma list of dL1 sizes (K/M suffixes ok)
+  std::string dl1_assocs;     // comma list of associativities
+  std::string ways_disabled;  // comma list of disabled-way counts
+  std::string way_pattern = "fixed";  // fixed|random per-set draw
+  std::uint64_t way_seed = 0x0DDB17ULL;
   std::string csv_path;
   std::string json_path;
   bool no_timing = false;
@@ -130,6 +136,13 @@ void usage() {
       "scheme\n"
       "  --fault-model=M       random|adjacent|column|direct\n"
       "  --fault-prob=P        per-cycle injection probability (default 0)\n"
+      "  --dl1-sizes=A,B,..    geometry sweep: dL1 sizes (e.g. 8K,16K,32K);\n"
+      "                        crosses every scheme with every geometry cell\n"
+      "                        and adds provenance columns (docs/GEOMETRY.md)\n"
+      "  --dl1-assocs=A,B,..   geometry sweep: dL1 associativities\n"
+      "  --ways-disabled=A,B,. geometry sweep: disabled ways per set (k of N)\n"
+      "  --way-pattern=P       fixed|random — which ways each set disables\n"
+      "  --way-seed=S          per-set draw seed for --way-pattern=random\n"
       "  --warmup=N            functionally warm caches/predictor for N\n"
       "                        instructions before measuring (docs/SAMPLING.md)\n"
       "  --sample-windows=K    measure K interval-sampling windows instead\n"
@@ -205,6 +218,20 @@ void usage() {
       "workload and injection seeds via SplitMix64 from (seed, scheme,\n"
       "app, trial), so results never depend on thread count, schedule, or\n"
       "which process ran the cell.");
+}
+
+// Comma list of unsigned values; K/M suffixes scale by 1024 (so
+// --dl1-sizes=8K,16K reads naturally). Bare numbers pass through.
+std::vector<std::uint32_t> parse_u32_list(const std::string& csv) {
+  std::vector<std::uint32_t> out;
+  for (const std::string& item : split_csv(csv)) {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(item.c_str(), &end, 10);
+    if (end != nullptr && (*end == 'K' || *end == 'k')) v *= 1024ULL;
+    if (end != nullptr && (*end == 'M' || *end == 'm')) v *= 1024ULL * 1024ULL;
+    out.push_back(static_cast<std::uint32_t>(v));
+  }
+  return out;
 }
 
 double unix_now_microseconds() {
@@ -585,6 +612,16 @@ int main(int argc, char** argv) {
       opt.fault_model = value;
     } else if (parse_flag(argv[i], "--fault-prob", value)) {
       opt.fault_prob = std::atof(value.c_str());
+    } else if (parse_flag(argv[i], "--dl1-sizes", value)) {
+      opt.dl1_sizes = value;
+    } else if (parse_flag(argv[i], "--dl1-assocs", value)) {
+      opt.dl1_assocs = value;
+    } else if (parse_flag(argv[i], "--ways-disabled", value)) {
+      opt.ways_disabled = value;
+    } else if (parse_flag(argv[i], "--way-pattern", value)) {
+      opt.way_pattern = value;
+    } else if (parse_flag(argv[i], "--way-seed", value)) {
+      opt.way_seed = std::strtoull(value.c_str(), nullptr, 0);
     } else if (parse_flag(argv[i], "--csv", value)) {
       opt.csv_path = value;
     } else if (parse_flag(argv[i], "--json", value)) {
@@ -744,6 +781,30 @@ int main(int argc, char** argv) {
       (spec.apps.empty() && !spec.trace.enabled())) {
     std::fprintf(stderr, "empty scheme or app list\n");
     return 2;
+  }
+
+  // Geometry sweep: cross every scheme variant with the requested dL1
+  // geometry/way-disable cells before the grid is hashed or sharded.
+  if (!opt.dl1_sizes.empty() || !opt.dl1_assocs.empty() ||
+      !opt.ways_disabled.empty()) {
+    if (opt.way_pattern != "fixed" && opt.way_pattern != "random") {
+      std::fprintf(stderr, "bad --way-pattern '%s' (fixed|random)\n",
+                   opt.way_pattern.c_str());
+      return 2;
+    }
+    spec.geometry.sizes = parse_u32_list(opt.dl1_sizes);
+    spec.geometry.assocs = parse_u32_list(opt.dl1_assocs);
+    spec.geometry.ways_disabled = parse_u32_list(opt.ways_disabled);
+    spec.geometry.pattern = opt.way_pattern == "random"
+                                ? mem::WayDisableConfig::Pattern::kRandom
+                                : mem::WayDisableConfig::Pattern::kFixed;
+    spec.geometry.way_seed = opt.way_seed;
+    try {
+      sim::expand_geometry_sweep(spec);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "run_campaign: %s\n", error.what());
+      return 2;
+    }
   }
 
   if (!opt.farm_dir.empty()) {
